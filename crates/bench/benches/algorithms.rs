@@ -1,0 +1,66 @@
+//! 2D partitioner benchmarks on a 512x512 Uniform instance with delta =
+//! 1.2 — the configuration of the paper's figure 6 runtime study. The
+//! expected ordering (fastest to slowest): RECT-UNIFORM << HIER-RB <
+//! JAG-PQ-HEUR ~ JAG-M-HEUR < RECT-NICOL < HIER-RELAXED.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rectpart_core::{
+    standard_heuristics, JaggedIndex, Partitioner, PrefixSum2D, RectTreeIndex, SpiralRelaxed,
+};
+use rectpart_workloads::uniform;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let matrix = uniform(512, 512, 6).delta(1.2).build();
+    let pfx = PrefixSum2D::new(&matrix);
+    let mut g = c.benchmark_group("algorithms/512x512-uniform");
+    g.sample_size(10);
+    for algo in standard_heuristics() {
+        for &m in &[100usize, 1024] {
+            g.bench_with_input(BenchmarkId::new(algo.name(), m), &m, |b, &m| {
+                b.iter(|| algo.partition(black_box(&pfx), m))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_prefix_build(c: &mut Criterion) {
+    let matrix = uniform(512, 512, 7).delta(1.2).build();
+    c.bench_function("prefix/build-512x512", |b| {
+        b.iter(|| PrefixSum2D::new(black_box(&matrix)))
+    });
+}
+
+fn bench_spiral_and_indexes(c: &mut Criterion) {
+    let matrix = uniform(512, 512, 8).delta(1.2).build();
+    let pfx = PrefixSum2D::new(&matrix);
+    let mut g = c.benchmark_group("algorithms/extras");
+    g.sample_size(10);
+    g.bench_function("spiral-relaxed/m400", |b| {
+        b.iter(|| SpiralRelaxed::default().partition(black_box(&pfx), 400))
+    });
+    let part = rectpart_core::JagMHeur::best().partition(&pfx, 1024);
+    g.bench_function("jagged-index/build-m1024", |b| {
+        b.iter(|| JaggedIndex::detect(black_box(&part)))
+    });
+    g.bench_function("tree-index/build-m1024", |b| {
+        b.iter(|| RectTreeIndex::new(black_box(&part)))
+    });
+    let jagged = JaggedIndex::detect(&part).unwrap();
+    let tree = RectTreeIndex::new(&part);
+    g.bench_function("jagged-index/lookup", |b| {
+        b.iter(|| jagged.owner_of(black_box(313), black_box(127)))
+    });
+    g.bench_function("tree-index/lookup", |b| {
+        b.iter(|| tree.owner_of(black_box(313), black_box(127)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristics,
+    bench_prefix_build,
+    bench_spiral_and_indexes
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Per-figure micro-harnesses: one benchmark per evaluation experiment,
+//! at reduced sizes so `cargo bench` finishes in minutes. The experiment
+//! binary (`cargo run -p rectpart-experiments`) regenerates the full
+//! series; these benches track the runtime of the code paths behind each
+//! figure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rectpart_core::{
+    HierRb, HierRelaxed, JagMHeur, JagMOpt, JagPqHeur, JagPqOpt, Partitioner, PrefixSum2D,
+    RectNicol, RectUniform,
+};
+use rectpart_workloads::{
+    diagonal, multi_peak, peak, slac_like, uniform, PicConfig, PicSimulation,
+};
+
+fn pic_snapshot() -> PrefixSum2D {
+    let mut sim = PicSimulation::new(PicConfig {
+        rows: 128,
+        cols: 128,
+        particles: 1 << 15,
+        snapshots: 2,
+        ..PicConfig::default()
+    });
+    let _ = sim.next_snapshot();
+    PrefixSum2D::new(&sim.next_snapshot().matrix)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // fig 3: HIER-RB variants on Peak.
+    let peak_pfx = PrefixSum2D::new(&peak(256, 256, 1).build());
+    g.bench_function("fig3/hier-rb-load/peak256/m400", |b| {
+        b.iter(|| HierRb::load().partition(black_box(&peak_pfx), 400))
+    });
+
+    // fig 4: HIER-RELAXED on Multi-peak.
+    let mp_pfx = PrefixSum2D::new(&multi_peak(256, 256, 1).build());
+    g.bench_function("fig4/hier-relaxed-load/multipeak256/m400", |b| {
+        b.iter(|| HierRelaxed::load().partition(black_box(&mp_pfx), 400))
+    });
+
+    // fig 5 / fig 10: hierarchical methods on Diagonal.
+    let diag_pfx = PrefixSum2D::new(&diagonal(512, 512, 1).build());
+    g.bench_function("fig10/hier-relaxed-load/diag512/m400", |b| {
+        b.iter(|| HierRelaxed::load().partition(black_box(&diag_pfx), 400))
+    });
+
+    // fig 6: runtime study members on Uniform.
+    let uni_pfx = PrefixSum2D::new(&uniform(512, 512, 1).delta(1.2).build());
+    g.bench_function("fig6/rect-uniform/m1024", |b| {
+        b.iter(|| RectUniform::default().partition(black_box(&uni_pfx), 1024))
+    });
+    g.bench_function("fig6/rect-nicol/m1024", |b| {
+        b.iter(|| RectNicol::default().partition(black_box(&uni_pfx), 1024))
+    });
+    g.bench_function("fig6/jag-pq-opt/m100", |b| {
+        b.iter(|| JagPqOpt::default().partition(black_box(&uni_pfx), 100))
+    });
+
+    // figs 7/8: jagged methods on the PIC snapshot.
+    let pic = pic_snapshot();
+    g.bench_function("fig7/jag-pq-heur/pic/m400", |b| {
+        b.iter(|| JagPqHeur::best().partition(black_box(&pic), 400))
+    });
+    g.bench_function("fig7/jag-m-opt/pic/m100", |b| {
+        b.iter(|| JagMOpt::default().partition(black_box(&pic), 100))
+    });
+    g.bench_function("fig8/jag-m-heur/pic/m400", |b| {
+        b.iter(|| JagMHeur::best().partition(black_box(&pic), 400))
+    });
+
+    // fig 9: stripe-count sweep member.
+    let u514 = PrefixSum2D::new(&uniform(514, 514, 9).delta(1.2).build());
+    g.bench_function("fig9/jag-m-heur-p37/m800", |b| {
+        b.iter(|| JagMHeur::with_stripes(37).partition(black_box(&u514), 800))
+    });
+
+    // figs 12-13 member: full heuristic on PIC.
+    g.bench_function("fig13/hier-relaxed/pic/m400", |b| {
+        b.iter(|| HierRelaxed::load().partition(black_box(&pic), 400))
+    });
+
+    // fig 14: the sparse mesh.
+    let slac = PrefixSum2D::new(&slac_like());
+    g.bench_function("fig14/jag-m-heur/slac/m400", |b| {
+        b.iter(|| JagMHeur::best().partition(black_box(&slac), 400))
+    });
+    g.bench_function("fig14/hier-rb/slac/m400", |b| {
+        b.iter(|| HierRb::load().partition(black_box(&slac), 400))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! 1D partitioning benchmarks: the heuristics against the optimal
+//! algorithms over array length and processor count (paper §2.2's
+//! complexity claims: DC/RB `O(m log n)`, Nicol `O((m log n/m)²)`, DP
+//! `O(m n log n)` in this implementation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rectpart_onedim::{
+    direct_cut, direct_cut_refined, dp_optimal, hetero_optimal, nicol, parametric_optimal,
+    probe_feasible, probe_feasible_sliced, recursive_bisection, PrefixCosts,
+};
+
+fn loads(n: usize, seed: u64) -> PrefixCosts {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let v: Vec<u64> = (0..n).map(|_| rng.gen_range(1..1000)).collect();
+    PrefixCosts::from_loads(&v)
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("onedim/heuristics");
+    for &n in &[512usize, 8192] {
+        let cost = loads(n, 1);
+        for &m in &[16usize, 100] {
+            g.bench_with_input(BenchmarkId::new(format!("DC/n{n}"), m), &m, |b, &m| {
+                b.iter(|| direct_cut(black_box(&cost), m))
+            });
+            g.bench_with_input(BenchmarkId::new(format!("RB/n{n}"), m), &m, |b, &m| {
+                b.iter(|| recursive_bisection(black_box(&cost), m))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_optimal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("onedim/optimal");
+    for &n in &[512usize, 8192] {
+        let cost = loads(n, 2);
+        for &m in &[16usize, 100] {
+            g.bench_with_input(BenchmarkId::new(format!("nicol/n{n}"), m), &m, |b, &m| {
+                b.iter(|| nicol(black_box(&cost), m))
+            });
+        }
+    }
+    // The DP oracle is the slow path by design: keep it small.
+    let cost = loads(512, 3);
+    g.bench_function("dp/n512/m16", |b| {
+        b.iter(|| dp_optimal(black_box(&cost), 16))
+    });
+    g.finish();
+}
+
+fn bench_alternatives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("onedim/alternatives");
+    let cost = loads(4096, 5);
+    g.bench_function("parametric/n4096/m64", |b| {
+        b.iter(|| parametric_optimal(black_box(&cost), 64))
+    });
+    g.bench_function("nicol/n4096/m64", |b| {
+        b.iter(|| nicol(black_box(&cost), 64))
+    });
+    g.bench_function("dc-refined/n4096/m64", |b| {
+        b.iter(|| direct_cut_refined(black_box(&cost), 64))
+    });
+    let budget = nicol(&cost, 64).bottleneck;
+    g.bench_function("probe/n4096/m64", |b| {
+        b.iter(|| probe_feasible(black_box(&cost), 64, budget))
+    });
+    g.bench_function("probe-sliced/n4096/m64", |b| {
+        b.iter(|| probe_feasible_sliced(black_box(&cost), 64, budget))
+    });
+    let speeds: Vec<f64> = (0..64).map(|i| 1.0 + (i % 4) as f64 * 0.5).collect();
+    g.bench_function("hetero/n4096/m64", |b| {
+        b.iter(|| hetero_optimal(black_box(&cost), &speeds))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_optimal, bench_alternatives);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Execution-simulator benchmarks: BSP evaluation (O(m^2) halo scan) and
+//! cell-wise migration accounting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rectpart_core::{JagMHeur, Partitioner, PrefixSum2D};
+use rectpart_simexec::{migration, Simulator};
+use rectpart_workloads::uniform;
+
+fn bench_simexec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simexec");
+    g.sample_size(10);
+    let pfx = PrefixSum2D::new(&uniform(512, 512, 3).delta(1.5).build());
+    let part = JagMHeur::best().partition(&pfx, 1024);
+    let part2 = JagMHeur::best().partition(&pfx, 1023);
+    let sim = Simulator::default();
+    g.bench_function("evaluate/m1024", |b| {
+        b.iter(|| sim.evaluate(black_box(&pfx), black_box(&part)))
+    });
+    g.bench_function("migration/512x512", |b| {
+        b.iter(|| migration(black_box(&pfx), black_box(&part), black_box(&part2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simexec);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! 3D partitioning benchmarks: prefix construction, the three cuboid
+//! partitioners, and accumulation to 2D.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rectpart_volume::{
+    uniform3, Axis3, HierRb3, HierRelaxed3, JagMHeur3, Partitioner3, PrefixSum3D, RectNicol3,
+    RectUniform3,
+};
+
+fn bench_volume(c: &mut Criterion) {
+    let mut g = c.benchmark_group("volume");
+    g.sample_size(10);
+    let v = uniform3(64, 64, 64, 1.5, 1);
+    g.bench_function("prefix3/build-64^3", |b| {
+        b.iter(|| PrefixSum3D::new(black_box(&v)))
+    });
+    let pfx = PrefixSum3D::new(&v);
+    g.bench_function("rect-uniform-3d/m64", |b| {
+        b.iter(|| RectUniform3::default().partition(black_box(&pfx), 64))
+    });
+    g.bench_function("hier-rb-3d/m64", |b| {
+        b.iter(|| HierRb3.partition(black_box(&pfx), 64))
+    });
+    g.bench_function("jag-m-heur-3d/m64", |b| {
+        b.iter(|| JagMHeur3::new(&v, Axis3::X).partition(black_box(&pfx), 64))
+    });
+    g.bench_function("rect-nicol-3d/m64", |b| {
+        b.iter(|| RectNicol3::default().partition(black_box(&pfx), 64))
+    });
+    g.bench_function("hier-relaxed-3d/m64", |b| {
+        b.iter(|| HierRelaxed3::default().partition(black_box(&pfx), 64))
+    });
+    g.bench_function("flatten/64^3", |b| {
+        b.iter(|| v.flatten(black_box(Axis3::Z)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_volume);
+criterion_main!(benches);

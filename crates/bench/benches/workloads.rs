@@ -1,0 +1,61 @@
+//! Workload-generator throughput: synthetic classes, the PIC simulator's
+//! step/deposit phases, and the mesh projector.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rectpart_workloads::{
+    diagonal, multi_peak, peak, uniform, MeshConfig, MeshKind, PicConfig, PicSimulation,
+};
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads/synthetic-512");
+    g.sample_size(10);
+    g.bench_function("uniform", |b| {
+        b.iter(|| uniform(512, 512, black_box(1)).delta(1.2).build())
+    });
+    g.bench_function("diagonal", |b| {
+        b.iter(|| diagonal(512, 512, black_box(1)).build())
+    });
+    g.bench_function("peak", |b| b.iter(|| peak(512, 512, black_box(1)).build()));
+    g.bench_function("multi-peak", |b| {
+        b.iter(|| multi_peak(512, 512, black_box(1)).build())
+    });
+    g.finish();
+}
+
+fn bench_pic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads/pic");
+    g.sample_size(10);
+    let cfg = PicConfig {
+        rows: 128,
+        cols: 128,
+        particles: 1 << 16,
+        ..PicConfig::default()
+    };
+    g.bench_function("step/64k-particles", |b| {
+        let mut sim = PicSimulation::new(cfg.clone());
+        b.iter(|| sim.step())
+    });
+    g.bench_function("deposit/64k-particles", |b| {
+        let sim = PicSimulation::new(cfg.clone());
+        b.iter(|| sim.deposit())
+    });
+    g.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads/mesh");
+    g.sample_size(10);
+    g.bench_function("cavity-512", |b| {
+        b.iter(|| {
+            MeshConfig {
+                kind: black_box(MeshKind::Cavity { cells: 9 }),
+                ..MeshConfig::default()
+            }
+            .generate()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthetic, bench_pic, bench_mesh);
+criterion_main!(benches);

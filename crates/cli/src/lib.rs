@@ -1,0 +1,415 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `rectpart` command-line tool.
+//!
+//! Three subcommands:
+//!
+//! * `generate` — write one of the paper's instance classes as CSV;
+//! * `partition` — partition a CSV load matrix with any algorithm, print
+//!   the quality report, optionally write the cell→processor owner map;
+//! * `evaluate` — additionally price the partition under the BSP
+//!   communication model.
+//!
+//! All logic lives in this library so it is unit-testable; `main.rs` is a
+//! thin wrapper.
+
+mod registry;
+
+pub use registry::{algorithm_by_name, algorithm_names};
+
+use std::path::PathBuf;
+
+use rectpart_core::{LoadMatrix, PartitionStats, PrefixSum2D};
+use rectpart_simexec::{CommModel, Simulator};
+use rectpart_workloads::io::{read_csv, write_csv};
+use rectpart_workloads::{diagonal, multi_peak, peak, slac_like, uniform};
+
+/// A parsed command line.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// `rectpart generate --class C --rows R --cols C --seed S [--delta D] --out F`
+    Generate {
+        /// Instance class name.
+        class: String,
+        /// Output rows.
+        rows: usize,
+        /// Output columns.
+        cols: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Heterogeneity for the uniform class.
+        delta: f64,
+        /// CSV destination.
+        out: PathBuf,
+    },
+    /// `rectpart partition --input F --algo A -m M [--owners F] [--save F]`
+    Partition {
+        /// CSV load matrix to read.
+        input: PathBuf,
+        /// Algorithm name (see `rectpart algos`).
+        algo: String,
+        /// Processor count.
+        m: usize,
+        /// Optional owner-map CSV destination.
+        owners: Option<PathBuf>,
+        /// Optional partition JSON destination.
+        save: Option<PathBuf>,
+    },
+    /// `rectpart evaluate --input F --algo A -m M`
+    Evaluate {
+        /// CSV load matrix to read.
+        input: PathBuf,
+        /// Algorithm name (see `rectpart algos`).
+        algo: String,
+        /// Processor count.
+        m: usize,
+    },
+    /// `rectpart algos`
+    Algos,
+    /// `rectpart --help`
+    Help,
+}
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug, PartialEq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, UsageError> {
+    match flag(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| UsageError(format!("invalid value for {name}: {v:?}"))),
+    }
+}
+
+fn require<T>(v: Option<T>, name: &str) -> Result<T, UsageError> {
+    v.ok_or_else(|| UsageError(format!("missing required option {name}")))
+}
+
+/// Parses a full argument vector (excluding the binary name).
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "-h" | "--help" | "help" => Ok(Command::Help),
+        "algos" => Ok(Command::Algos),
+        "generate" => Ok(Command::Generate {
+            class: require(flag(args, "--class").map(str::to_string), "--class")?,
+            rows: require(parse_flag(args, "--rows")?, "--rows")?,
+            cols: require(parse_flag(args, "--cols")?, "--cols")?,
+            seed: parse_flag(args, "--seed")?.unwrap_or(0),
+            delta: parse_flag(args, "--delta")?.unwrap_or(1.2),
+            out: require(flag(args, "--out").map(PathBuf::from), "--out")?,
+        }),
+        "partition" => Ok(Command::Partition {
+            input: require(flag(args, "--input").map(PathBuf::from), "--input")?,
+            algo: flag(args, "--algo")
+                .unwrap_or("JAG-M-HEUR-BEST")
+                .to_string(),
+            m: require(parse_flag(args, "-m")?, "-m")?,
+            owners: flag(args, "--owners").map(PathBuf::from),
+            save: flag(args, "--save").map(PathBuf::from),
+        }),
+        "evaluate" => Ok(Command::Evaluate {
+            input: require(flag(args, "--input").map(PathBuf::from), "--input")?,
+            algo: flag(args, "--algo")
+                .unwrap_or("JAG-M-HEUR-BEST")
+                .to_string(),
+            m: require(parse_flag(args, "-m")?, "-m")?,
+        }),
+        other => Err(UsageError(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+/// Generates an instance of the named class.
+pub fn generate_matrix(
+    class: &str,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+    delta: f64,
+) -> Result<LoadMatrix, UsageError> {
+    match class {
+        "uniform" => Ok(uniform(rows, cols, seed).delta(delta).build()),
+        "diagonal" => Ok(diagonal(rows, cols, seed).build()),
+        "peak" => Ok(peak(rows, cols, seed).build()),
+        "multi-peak" => Ok(multi_peak(rows, cols, seed).build()),
+        "mesh" => Ok(slac_like()),
+        other => Err(UsageError(format!(
+            "unknown class {other:?} (uniform, diagonal, peak, multi-peak, mesh)"
+        ))),
+    }
+}
+
+/// Executes a parsed command; returns the text to print.
+pub fn run(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => Ok(usage()),
+        Command::Algos => Ok(algorithm_names().join("\n")),
+        Command::Generate {
+            class,
+            rows,
+            cols,
+            seed,
+            delta,
+            out,
+        } => {
+            let m = generate_matrix(&class, rows, cols, seed, delta)?;
+            write_csv(&m, &out)?;
+            Ok(format!(
+                "wrote {}x{} {class} instance (total load {}) to {}",
+                m.rows(),
+                m.cols(),
+                m.total(),
+                out.display()
+            ))
+        }
+        Command::Partition {
+            input,
+            algo,
+            m,
+            owners,
+            save,
+        } => {
+            let matrix = read_csv(&input)?;
+            let pfx = PrefixSum2D::new(&matrix);
+            let algorithm = algorithm_by_name(&algo).ok_or_else(|| {
+                UsageError(format!("unknown algorithm {algo:?}; see `rectpart algos`")).0
+            })?;
+            let part = algorithm.partition(&pfx, m);
+            part.validate(&pfx)?;
+            let stats = PartitionStats::compute(&pfx, &part);
+            let mut out = format!(
+                "{algo} on {}x{} with m={m}:\n  Lmax          = {}\n  lower bound   = {}\n  imbalance     = {:.4}\n  active parts  = {}\n  loads         = {}..{} (sd {:.1})\n  max aspect    = {:.2}\n  perimeter     = {}",
+                matrix.rows(),
+                matrix.cols(),
+                part.lmax(&pfx),
+                pfx.lower_bound(m),
+                part.load_imbalance(&pfx),
+                part.active_parts(),
+                stats.lmin,
+                stats.lmax,
+                stats.stddev,
+                stats.max_aspect,
+                stats.total_perimeter,
+            );
+            if let Some(path) = owners {
+                let owner_matrix = LoadMatrix::from_vec(
+                    matrix.rows(),
+                    matrix.cols(),
+                    part.owner_map(matrix.rows(), matrix.cols()),
+                );
+                write_csv(&owner_matrix, &path)?;
+                out.push_str(&format!("\n  owners        -> {}", path.display()));
+            }
+            if let Some(path) = save {
+                std::fs::write(&path, serde_json::to_string_pretty(&part)?)?;
+                out.push_str(&format!("\n  partition     -> {}", path.display()));
+            }
+            Ok(out)
+        }
+        Command::Evaluate { input, algo, m } => {
+            let matrix = read_csv(&input)?;
+            let pfx = PrefixSum2D::new(&matrix);
+            let algorithm = algorithm_by_name(&algo).ok_or_else(|| {
+                UsageError(format!("unknown algorithm {algo:?}; see `rectpart algos`")).0
+            })?;
+            let part = algorithm.partition(&pfx, m);
+            part.validate(&pfx)?;
+            let rep = Simulator::new(CommModel::default()).evaluate(&pfx, &part);
+            Ok(format!(
+                "{algo} on {}x{} with m={m}:\n  imbalance     = {:.4}\n  makespan      = {:.1}\n  halo volume   = {}\n  max neighbors = {}\n  speedup       = {:.2}\n  efficiency    = {:.1}%",
+                matrix.rows(),
+                matrix.cols(),
+                part.load_imbalance(&pfx),
+                rep.makespan,
+                rep.comm_volume_total,
+                rep.max_neighbors,
+                rep.speedup,
+                100.0 * rep.efficiency,
+            ))
+        }
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "rectpart — rectangle partitioning of spatially located computations (IPDPS 2011)
+
+USAGE:
+  rectpart generate --class <uniform|diagonal|peak|multi-peak|mesh>
+                    --rows N --cols N [--seed S] [--delta D] --out FILE.csv
+  rectpart partition --input FILE.csv -m N [--algo NAME] [--owners OUT.csv]
+                     [--save PARTITION.json]
+  rectpart evaluate  --input FILE.csv -m N [--algo NAME]
+  rectpart algos
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&argv(
+            "generate --class peak --rows 32 --cols 48 --seed 7 --out /tmp/x.csv",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                class: "peak".into(),
+                rows: 32,
+                cols: 48,
+                seed: 7,
+                delta: 1.2,
+                out: PathBuf::from("/tmp/x.csv"),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_partition_with_defaults() {
+        let cmd = parse(&argv("partition --input a.csv -m 16")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Partition {
+                input: PathBuf::from("a.csv"),
+                algo: "JAG-M-HEUR-BEST".into(),
+                m: 16,
+                owners: None,
+                save: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_missing_and_bad_options() {
+        assert!(parse(&argv("generate --class peak --rows 2 --out x")).is_err());
+        assert!(parse(&argv("partition --input a.csv -m nope")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("algos")).unwrap(), Command::Algos);
+    }
+
+    #[test]
+    fn generate_matrix_classes() {
+        for class in ["uniform", "diagonal", "peak", "multi-peak"] {
+            let m = generate_matrix(class, 8, 8, 1, 1.5).unwrap();
+            assert_eq!((m.rows(), m.cols()), (8, 8));
+        }
+        assert!(generate_matrix("nope", 8, 8, 1, 1.5).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_partition_evaluate() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("rectpart-cli-{}.csv", std::process::id()));
+        let owners = dir.join(format!("rectpart-cli-owners-{}.csv", std::process::id()));
+        let msg = run(Command::Generate {
+            class: "multi-peak".into(),
+            rows: 24,
+            cols: 24,
+            seed: 3,
+            delta: 1.2,
+            out: input.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("multi-peak"));
+        let msg = run(Command::Partition {
+            input: input.clone(),
+            algo: "HIER-RELAXED-LOAD".into(),
+            m: 9,
+            owners: Some(owners.clone()),
+            save: None,
+        })
+        .unwrap();
+        assert!(msg.contains("imbalance"));
+        assert!(owners.exists());
+        let msg = run(Command::Evaluate {
+            input: input.clone(),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 9,
+        })
+        .unwrap();
+        assert!(msg.contains("speedup"));
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&owners).ok();
+    }
+
+    #[test]
+    fn save_writes_roundtrippable_partition_json() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("rectpart-cli-save-in-{}.csv", std::process::id()));
+        let saved = dir.join(format!("rectpart-cli-save-{}.json", std::process::id()));
+        run(Command::Generate {
+            class: "peak".into(),
+            rows: 16,
+            cols: 16,
+            seed: 1,
+            delta: 1.2,
+            out: input.clone(),
+        })
+        .unwrap();
+        run(Command::Partition {
+            input: input.clone(),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 4,
+            owners: None,
+            save: Some(saved.clone()),
+        })
+        .unwrap();
+        let json = std::fs::read_to_string(&saved).unwrap();
+        let part: rectpart_core::Partition = serde_json::from_str(&json).unwrap();
+        assert_eq!(part.parts(), 4);
+        assert!(part.validate_dims(16, 16).is_ok());
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&saved).ok();
+    }
+
+    #[test]
+    fn unknown_algorithm_is_reported() {
+        let input =
+            std::env::temp_dir().join(format!("rectpart-cli-unknown-{}.csv", std::process::id()));
+        std::fs::write(&input, "1,2\n3,4\n").unwrap();
+        let err = run(Command::Partition {
+            input: input.clone(),
+            algo: "NOT-AN-ALGO".into(),
+            m: 2,
+            owners: None,
+            save: None,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown algorithm"));
+        std::fs::remove_file(&input).ok();
+    }
+}

@@ -1,0 +1,19 @@
+//! Thin entry point for the `rectpart` CLI; all logic lives in the
+//! library for testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rectpart_cli::parse(&args) {
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", rectpart_cli::usage());
+            std::process::exit(2);
+        }
+        Ok(cmd) => match rectpart_cli::run(cmd) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+    }
+}

@@ -1,0 +1,94 @@
+//! Name → algorithm registry for the CLI.
+
+use rectpart_core::{
+    HierRb, HierRelaxed, HierVariant, JagMHeur, JagMOpt, JagPqHeur, JagPqOpt, JaggedVariant,
+    Partitioner, RectNicol, RectUniform, SpiralRelaxed,
+};
+
+/// Every algorithm the CLI can run, by its canonical name.
+fn registry() -> Vec<Box<dyn Partitioner>> {
+    let mut algos: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(RectUniform::default()),
+        Box::new(RectNicol::default()),
+        Box::new(SpiralRelaxed::default()),
+        Box::new(JagPqOpt::default()),
+        Box::new(JagMOpt::default()),
+    ];
+    for variant in [JaggedVariant::Hor, JaggedVariant::Ver, JaggedVariant::Best] {
+        algos.push(Box::new(JagPqHeur {
+            variant,
+            grid: None,
+        }));
+        algos.push(Box::new(JagMHeur {
+            variant,
+            ..JagMHeur::default()
+        }));
+    }
+    for variant in [
+        HierVariant::Load,
+        HierVariant::Dist,
+        HierVariant::Hor,
+        HierVariant::Ver,
+    ] {
+        algos.push(Box::new(HierRb { variant }));
+        algos.push(Box::new(HierRelaxed {
+            variant,
+            ..HierRelaxed::default()
+        }));
+    }
+    algos
+}
+
+/// All registered algorithm names, sorted.
+pub fn algorithm_names() -> Vec<String> {
+    let mut names: Vec<String> = registry().iter().map(|a| a.name()).collect();
+    names.sort();
+    names
+}
+
+/// Looks an algorithm up by its canonical name (case-insensitive).
+pub fn algorithm_by_name(name: &str) -> Option<Box<dyn Partitioner>> {
+    registry()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let names = algorithm_names();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup, "duplicate algorithm names");
+        for name in &names {
+            assert!(algorithm_by_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(algorithm_by_name("jag-m-heur-best").is_some());
+        assert!(algorithm_by_name("HIER-RB-LOAD").is_some());
+        assert!(algorithm_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn paper_roster_is_present() {
+        for name in [
+            "RECT-UNIFORM",
+            "RECT-NICOL",
+            "JAG-PQ-HEUR-BEST",
+            "JAG-PQ-OPT-BEST",
+            "JAG-M-HEUR-BEST",
+            "JAG-M-OPT-BEST",
+            "HIER-RB-LOAD",
+            "HIER-RELAXED-LOAD",
+            "SPIRAL-RELAXED",
+        ] {
+            assert!(algorithm_by_name(name).is_some(), "{name} missing");
+        }
+    }
+}

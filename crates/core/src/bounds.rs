@@ -1,0 +1,108 @@
+//! Theoretical guarantees of the paper (Lemma 1, Theorems 1–4).
+//!
+//! These formulas require every cell of the matrix to be strictly
+//! positive (Δ = max/min must be defined). They are used by the tests to
+//! check that the heuristics never exceed their proven worst case, and by
+//! the figure-9 experiment which plots the Theorem 3 guarantee next to
+//! the measured imbalance.
+
+/// Lemma 1: bound on the `DirectCut` bottleneck over a positive array of
+/// `n` elements split into `m` parts —
+/// `Lmax(DC) ≤ (Σ/m)(1 + Δm/n)`, expressed here as the multiplicative
+/// factor `1 + Δm/n` over the average load.
+pub fn lemma1_factor(delta: f64, m: usize, n: usize) -> f64 {
+    assert!(delta >= 1.0 && n > 0);
+    1.0 + delta * m as f64 / n as f64
+}
+
+/// Theorem 1: approximation ratio of `JAG-PQ-HEUR` on an `n1 × n2`
+/// positive matrix with `P × Q` processors:
+/// `(1 + ΔP/n1)(1 + ΔQ/n2)`.
+pub fn jag_pq_heur_ratio(delta: f64, p: usize, q: usize, n1: usize, n2: usize) -> f64 {
+    assert!(delta >= 1.0 && p < n1.max(1) + 1 && q < n2.max(1) + 1);
+    (1.0 + delta * p as f64 / n1 as f64) * (1.0 + delta * q as f64 / n2 as f64)
+}
+
+/// Theorem 2: the stripe count minimizing the Theorem 1 ratio,
+/// `P = √(m · n1 / n2)` (continuous optimum; callers round).
+pub fn jag_pq_heur_best_p(m: usize, n1: usize, n2: usize) -> f64 {
+    (m as f64 * n1 as f64 / n2 as f64).sqrt()
+}
+
+/// Theorem 3: approximation ratio of `JAG-M-HEUR` with `P` stripes on an
+/// `n1 × n2` positive matrix and `m` processors:
+/// `m/(m−P) · (1 + Δ/n2) + Δ·m/(P·n2) · (1 + ΔP/n1)`.
+pub fn jag_m_heur_ratio(delta: f64, p: usize, m: usize, n1: usize, n2: usize) -> f64 {
+    assert!(delta >= 1.0 && p < m && p < n1 + 1);
+    let (m, p, n1, n2) = (m as f64, p as f64, n1 as f64, n2 as f64);
+    m / (m - p) * (1.0 + delta / n2) + delta * m / (p * n2) * (1.0 + delta * p / n1)
+}
+
+/// Theorem 4: the stripe count minimizing the Theorem 3 ratio,
+/// `P = m(√(Δ(Δ + n2)) − Δ) / n2` (continuous optimum; callers round and
+/// clamp to `[1, min(m − 1, n1)]`).
+pub fn jag_m_heur_best_p(delta: f64, m: usize, n2: usize) -> f64 {
+    let (m, n2) = (m as f64, n2 as f64);
+    m * ((delta * (delta + n2)).sqrt() - delta) / n2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_reduces_to_two_approximation() {
+        // With m = n and Δ = 1 the factor is 2 — DC's generic guarantee.
+        assert!((lemma1_factor(1.0, 8, 8) - 2.0).abs() < 1e-12);
+        // Finer split: factor approaches 1.
+        assert!(lemma1_factor(1.0, 8, 8000) < 1.01);
+    }
+
+    #[test]
+    fn theorem1_is_product_of_two_lemma1_factors() {
+        let r = jag_pq_heur_ratio(1.5, 10, 10, 100, 100);
+        let f = lemma1_factor(1.5, 10, 100);
+        assert!((r - f * f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem2_square_case() {
+        // n1 = n2 -> P = sqrt(m).
+        assert!((jag_pq_heur_best_p(100, 512, 512) - 10.0).abs() < 1e-12);
+        // Taller matrix gets more stripes.
+        assert!(jag_pq_heur_best_p(100, 1024, 256) > 10.0);
+    }
+
+    #[test]
+    fn theorem3_finite_and_above_one() {
+        let r = jag_m_heur_ratio(1.2, 28, 800, 514, 514);
+        assert!(r > 1.0 && r.is_finite());
+    }
+
+    #[test]
+    fn theorem4_minimizes_theorem3() {
+        let (delta, m, n1, n2) = (1.2, 800, 514, 514);
+        let p_star = jag_m_heur_best_p(delta, m, n2).round() as usize;
+        let at_star = jag_m_heur_ratio(delta, p_star, m, n1, n2);
+        // The analytic optimum beats neighbouring integer choices.
+        for p in [p_star.saturating_sub(5).max(1), p_star + 5] {
+            assert!(jag_m_heur_ratio(delta, p, m, n1, n2) >= at_star - 1e-9);
+        }
+        // And comfortably beats a far-off choice.
+        assert!(jag_m_heur_ratio(delta, 300, m, n1, n2) > at_star);
+    }
+
+    #[test]
+    fn theorem3_improves_on_theorem1_for_large_m() {
+        // The paper's §3.2.2 discussion: for large m, m-way beats P×Q-way.
+        let (delta, n1, n2) = (1.2, 514, 514);
+        let m = 10_000;
+        let p = 100; // sqrt(m)
+        let pq = jag_pq_heur_ratio(delta, p, p, n1, n2);
+        let mw = jag_m_heur_ratio(delta, p, m, n1, n2);
+        assert!(
+            mw < pq,
+            "m-way guarantee {mw} should beat PxQ guarantee {pq}"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Rectangles and axis selection.
+
+/// One of the two dimensions of the load matrix.
+///
+/// The jagged algorithms distinguish a *main* dimension (split into
+/// stripes) and an *auxiliary* dimension (split independently within each
+/// stripe). `Axis::Rows` means the main dimension is the row dimension
+/// (`n1` in the paper) — the `-HOR` variants; `Axis::Cols` is `-VER`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Axis {
+    /// Main dimension = rows (dimension 1, paper's `-HOR`).
+    Rows,
+    /// Main dimension = columns (dimension 2, paper's `-VER`).
+    Cols,
+}
+
+impl Axis {
+    /// The other axis.
+    pub fn flip(self) -> Axis {
+        match self {
+            Axis::Rows => Axis::Cols,
+            Axis::Cols => Axis::Rows,
+        }
+    }
+}
+
+/// An axis-aligned rectangle of cells: rows `[r0, r1)` × columns
+/// `[c0, c1)`, both half-open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rect {
+    /// First row (inclusive).
+    pub r0: usize,
+    /// Past-the-end row.
+    pub r1: usize,
+    /// First column (inclusive).
+    pub c0: usize,
+    /// Past-the-end column.
+    pub c1: usize,
+}
+
+impl Rect {
+    /// A rectangle with no cells, used for idle processors.
+    pub const EMPTY: Rect = Rect {
+        r0: 0,
+        r1: 0,
+        c0: 0,
+        c1: 0,
+    };
+
+    /// Creates a rectangle; panics if the bounds are inverted.
+    pub fn new(r0: usize, r1: usize, c0: usize, c1: usize) -> Rect {
+        assert!(r0 <= r1 && c0 <= c1, "inverted rectangle bounds");
+        Rect { r0, r1, c0, c1 }
+    }
+
+    /// Number of cells covered.
+    pub fn area(&self) -> usize {
+        (self.r1 - self.r0) * (self.c1 - self.c0)
+    }
+
+    /// `true` if the rectangle covers no cell.
+    pub fn is_empty(&self) -> bool {
+        self.r0 == self.r1 || self.c0 == self.c1
+    }
+
+    /// Height (rows) of the rectangle.
+    pub fn height(&self) -> usize {
+        self.r1 - self.r0
+    }
+
+    /// Width (columns) of the rectangle.
+    pub fn width(&self) -> usize {
+        self.c1 - self.c0
+    }
+
+    /// `true` if `self` and `other` share at least one cell.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.r0 < other.r1
+            && other.r0 < self.r1
+            && self.c0 < other.c1
+            && other.c0 < self.c1
+    }
+
+    /// `true` if the cell `(r, c)` lies inside.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        self.r0 <= r && r < self.r1 && self.c0 <= c && c < self.c1
+    }
+
+    /// Length of the boundary shared with `other` when the two rectangles
+    /// are edge-adjacent (touching, not overlapping); 0 otherwise. This is
+    /// the number of cell pairs exchanging halo data between the two
+    /// rectangles in a 4-neighbourhood stencil.
+    pub fn shared_boundary(&self, other: &Rect) -> usize {
+        if self.is_empty() || other.is_empty() {
+            return 0;
+        }
+        // Vertically adjacent (one on top of the other).
+        if self.r1 == other.r0 || other.r1 == self.r0 {
+            let lo = self.c0.max(other.c0);
+            let hi = self.c1.min(other.c1);
+            return hi.saturating_sub(lo);
+        }
+        // Horizontally adjacent.
+        if self.c1 == other.c0 || other.c1 == self.c0 {
+            let lo = self.r0.max(other.r0);
+            let hi = self.r1.min(other.r1);
+            return hi.saturating_sub(lo);
+        }
+        0
+    }
+
+    /// Splits at `r` (row axis) or `c` (column axis) into two rectangles.
+    /// The split point must lie within the rectangle's bounds.
+    pub fn split(&self, axis: Axis, at: usize) -> (Rect, Rect) {
+        match axis {
+            Axis::Rows => {
+                assert!(self.r0 <= at && at <= self.r1);
+                (
+                    Rect::new(self.r0, at, self.c0, self.c1),
+                    Rect::new(at, self.r1, self.c0, self.c1),
+                )
+            }
+            Axis::Cols => {
+                assert!(self.c0 <= at && at <= self.c1);
+                (
+                    Rect::new(self.r0, self.r1, self.c0, at),
+                    Rect::new(self.r0, self.r1, at, self.c1),
+                )
+            }
+        }
+    }
+
+    /// Extent `[lo, hi)` along `axis`.
+    pub fn extent(&self, axis: Axis) -> (usize, usize) {
+        match axis {
+            Axis::Rows => (self.r0, self.r1),
+            Axis::Cols => (self.c0, self.c1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_emptiness() {
+        let r = Rect::new(1, 4, 2, 7);
+        assert_eq!(r.area(), 15);
+        assert_eq!(r.height(), 3);
+        assert_eq!(r.width(), 5);
+        assert!(!r.is_empty());
+        assert!(Rect::EMPTY.is_empty());
+        assert!(Rect::new(3, 3, 0, 5).is_empty());
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(0, 4, 0, 4);
+        assert!(a.intersects(&Rect::new(3, 5, 3, 5)));
+        assert!(!a.intersects(&Rect::new(4, 8, 0, 4))); // touching edge
+        assert!(!a.intersects(&Rect::new(0, 4, 4, 8)));
+        assert!(!a.intersects(&Rect::EMPTY));
+        assert!(a.intersects(&a));
+    }
+
+    #[test]
+    fn contains_cell() {
+        let r = Rect::new(2, 4, 1, 3);
+        assert!(r.contains(2, 1));
+        assert!(r.contains(3, 2));
+        assert!(!r.contains(4, 1));
+        assert!(!r.contains(2, 3));
+    }
+
+    #[test]
+    fn shared_boundary_vertical_and_horizontal() {
+        let top = Rect::new(0, 2, 0, 4);
+        let bottom = Rect::new(2, 4, 1, 6);
+        assert_eq!(top.shared_boundary(&bottom), 3); // columns 1..4
+        assert_eq!(bottom.shared_boundary(&top), 3);
+        let left = Rect::new(0, 3, 0, 2);
+        let right = Rect::new(1, 5, 2, 4);
+        assert_eq!(left.shared_boundary(&right), 2); // rows 1..3
+                                                     // Diagonal touch only: no shared edge.
+        let a = Rect::new(0, 2, 0, 2);
+        let b = Rect::new(2, 4, 2, 4);
+        assert_eq!(a.shared_boundary(&b), 0);
+        // Disjoint with a gap.
+        assert_eq!(a.shared_boundary(&Rect::new(5, 6, 0, 2)), 0);
+    }
+
+    #[test]
+    fn split_along_each_axis() {
+        let r = Rect::new(0, 4, 0, 6);
+        let (t, b) = r.split(Axis::Rows, 1);
+        assert_eq!(t, Rect::new(0, 1, 0, 6));
+        assert_eq!(b, Rect::new(1, 4, 0, 6));
+        let (l, rr) = r.split(Axis::Cols, 6);
+        assert_eq!(l, r);
+        assert!(rr.is_empty());
+    }
+
+    #[test]
+    fn axis_flip() {
+        assert_eq!(Axis::Rows.flip(), Axis::Cols);
+        assert_eq!(Axis::Cols.flip(), Axis::Rows);
+    }
+
+    #[test]
+    fn extent_follows_axis() {
+        let r = Rect::new(1, 4, 2, 7);
+        assert_eq!(r.extent(Axis::Rows), (1, 4));
+        assert_eq!(r.extent(Axis::Cols), (2, 7));
+    }
+}

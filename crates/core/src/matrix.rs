@@ -1,0 +1,224 @@
+//! Dense 2D load matrices.
+
+use crate::geometry::Rect;
+
+/// A dense `rows × cols` matrix of non-negative cell loads, row-major.
+///
+/// The paper's model is a matrix of *positive* integers; zeros are
+/// nevertheless accepted because the mesh-derived instances (SLAC, paper
+/// §4.1) are sparse and contain many empty cells. Algorithms must cope
+/// with zero-load cells and do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LoadMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u32>,
+}
+
+impl LoadMatrix {
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<u32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` on every cell.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> u32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Number of rows (the paper's `n1`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the paper's `n2`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cell load at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable cell access.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut u32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [u32] {
+        &mut self.data
+    }
+
+    /// Sum of all cell loads.
+    pub fn total(&self) -> u64 {
+        self.data.iter().map(|&v| v as u64).sum()
+    }
+
+    /// Largest cell load.
+    pub fn max_cell(&self) -> u32 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest cell load.
+    pub fn min_cell(&self) -> u32 {
+        self.data.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The heterogeneity ratio Δ = max / min, defined only when every cell
+    /// is strictly positive (paper §3.2.1).
+    pub fn delta(&self) -> Option<f64> {
+        let min = self.min_cell();
+        if min == 0 {
+            None
+        } else {
+            Some(self.max_cell() as f64 / min as f64)
+        }
+    }
+
+    /// Naive O(area) load of a rectangle; the production path is
+    /// [`crate::PrefixSum2D::load`], this is the test oracle.
+    pub fn load_naive(&self, r: &Rect) -> u64 {
+        let mut sum = 0u64;
+        for row in r.r0..r.r1 {
+            for col in r.c0..r.c1 {
+                sum += self.get(row, col) as u64;
+            }
+        }
+        sum
+    }
+
+    /// Renders the matrix as coarse ASCII art (darker = heavier), for the
+    /// example binaries and the instance-gallery experiment.
+    pub fn ascii_art(&self, out_rows: usize, out_cols: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut cells = vec![0u64; out_rows * out_cols];
+        let mut counts = vec![0u64; out_rows * out_cols];
+        for r in 0..self.rows {
+            let or = r * out_rows / self.rows.max(1);
+            for c in 0..self.cols {
+                let oc = c * out_cols / self.cols.max(1);
+                cells[or * out_cols + oc] += self.get(r, c) as u64;
+                counts[or * out_cols + oc] += 1;
+            }
+        }
+        let avgs: Vec<f64> = cells
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &n)| if n == 0 { 0.0 } else { s as f64 / n as f64 })
+            .collect();
+        let max = avgs.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+        let mut s = String::with_capacity(out_rows * (out_cols + 1));
+        for r in 0..out_rows {
+            for c in 0..out_cols {
+                let t = avgs[r * out_cols + c] / max;
+                let idx = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                s.push(RAMP[idx] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = LoadMatrix::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(0, 0), 1);
+        assert_eq!(m.get(1, 2), 6);
+        assert_eq!(m.row(1), &[4, 5, 6]);
+        assert_eq!(m.total(), 21);
+        assert_eq!(m.max_cell(), 6);
+        assert_eq!(m.min_cell(), 1);
+    }
+
+    #[test]
+    fn from_fn_matches_from_vec() {
+        let a = LoadMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as u32);
+        let b = LoadMatrix::from_vec(3, 2, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delta_defined_only_without_zeros() {
+        let m = LoadMatrix::from_vec(1, 3, vec![2, 4, 8]);
+        assert_eq!(m.delta(), Some(4.0));
+        let z = LoadMatrix::from_vec(1, 3, vec![0, 4, 8]);
+        assert_eq!(z.delta(), None);
+    }
+
+    #[test]
+    fn naive_load() {
+        let m = LoadMatrix::from_fn(4, 4, |r, c| (r * 4 + c) as u32);
+        assert_eq!(m.load_naive(&Rect::new(0, 4, 0, 4)), m.total());
+        assert_eq!(m.load_naive(&Rect::new(1, 3, 1, 3)), 5 + 6 + 9 + 10);
+        assert_eq!(m.load_naive(&Rect::EMPTY), 0);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut m = LoadMatrix::zeros(2, 2);
+        *m.get_mut(1, 1) = 9;
+        assert_eq!(m.get(1, 1), 9);
+        assert_eq!(m.total(), 9);
+        m.data_mut()[0] = 1;
+        assert_eq!(m.get(0, 0), 1);
+    }
+
+    #[test]
+    fn ascii_art_has_expected_shape() {
+        let m = LoadMatrix::from_fn(16, 16, |r, _| if r < 8 { 0 } else { 10 });
+        let art = m.ascii_art(4, 8);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.chars().count() == 8));
+        assert!(lines[0].chars().all(|ch| ch == ' '));
+        assert!(lines[3].chars().all(|ch| ch == '@'));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_rejects_bad_length() {
+        let _ = LoadMatrix::from_vec(2, 2, vec![1, 2, 3]);
+    }
+}

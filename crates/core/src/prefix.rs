@@ -1,0 +1,265 @@
+//! 2D prefix sums (the paper's Γ array) and axis-oriented views.
+
+use crate::geometry::{Axis, Rect};
+use crate::matrix::LoadMatrix;
+
+/// The 2D prefix-sum array Γ of a load matrix:
+/// `Γ[r][c] = Σ_{r'<r, c'<c} A[r'][c']` with a zero border, so any
+/// rectangle load is four lookups (paper §2.1).
+///
+/// Construction also records the matrix totals and extrema used by the
+/// lower bounds and the Δ-based guarantee formulas.
+///
+/// ```
+/// use rectpart_core::{LoadMatrix, PrefixSum2D, Rect};
+///
+/// let m = LoadMatrix::from_fn(4, 4, |r, c| (r * 4 + c) as u32);
+/// let pfx = PrefixSum2D::new(&m);
+/// assert_eq!(pfx.load(&Rect::new(1, 3, 1, 3)), 5 + 6 + 9 + 10);
+/// assert_eq!(pfx.total(), m.total());
+/// assert!(pfx.lower_bound(4) >= pfx.total() / 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrefixSum2D {
+    rows: usize,
+    cols: usize,
+    /// (rows+1) × (cols+1), row-major, first row/col all zero.
+    g: Vec<u64>,
+    total: u64,
+    max_cell: u32,
+    min_cell: u32,
+}
+
+impl PrefixSum2D {
+    /// Builds Γ in one pass over the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the running sum overflows `u64`.
+    pub fn new(a: &LoadMatrix) -> Self {
+        let rows = a.rows();
+        let cols = a.cols();
+        let w = cols + 1;
+        let mut g = vec![0u64; (rows + 1) * w];
+        let mut max_cell = 0u32;
+        let mut min_cell = u32::MAX;
+        for r in 0..rows {
+            let mut row_sum = 0u64;
+            let src = a.row(r);
+            for c in 0..cols {
+                let v = src[c];
+                max_cell = max_cell.max(v);
+                min_cell = min_cell.min(v);
+                row_sum += v as u64;
+                let above = g[r * w + (c + 1)];
+                g[(r + 1) * w + (c + 1)] =
+                    above.checked_add(row_sum).expect("2D prefix sum overflow");
+            }
+        }
+        if rows == 0 || cols == 0 {
+            min_cell = 0;
+        }
+        let total = g[(rows + 1) * w - 1];
+        Self {
+            rows,
+            cols,
+            g,
+            total,
+            max_cell,
+            min_cell,
+        }
+    }
+
+    /// Number of rows of the underlying matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the underlying matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total load of the matrix.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest single-cell load (a lower bound on any `Lmax`).
+    pub fn max_cell(&self) -> u32 {
+        self.max_cell
+    }
+
+    /// Smallest single-cell load.
+    pub fn min_cell(&self) -> u32 {
+        self.min_cell
+    }
+
+    /// Δ = max/min cell load; `None` when a zero cell exists.
+    pub fn delta(&self) -> Option<f64> {
+        if self.min_cell == 0 {
+            None
+        } else {
+            Some(self.max_cell as f64 / self.min_cell as f64)
+        }
+    }
+
+    /// Load of rows `[r0, r1)` × cols `[c0, c1)` in O(1).
+    #[inline]
+    pub fn load4(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> u64 {
+        debug_assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        let w = self.cols + 1;
+        self.g[r1 * w + c1] + self.g[r0 * w + c0] - self.g[r0 * w + c1] - self.g[r1 * w + c0]
+    }
+
+    /// Load of a rectangle in O(1).
+    #[inline]
+    pub fn load(&self, r: &Rect) -> u64 {
+        self.load4(r.r0, r.r1, r.c0, r.c1)
+    }
+
+    /// The two classical lower bounds on the optimal maximum load
+    /// (paper §2.1): `⌈total/m⌉` and the largest cell.
+    pub fn lower_bound(&self, m: usize) -> u64 {
+        assert!(m >= 1);
+        let avg = self.total.div_ceil(m as u64);
+        avg.max(self.max_cell as u64)
+    }
+
+    /// Average per-processor load `total / m` as a float (denominator of
+    /// the load-imbalance metric).
+    pub fn average_load(&self, m: usize) -> f64 {
+        self.total as f64 / m as f64
+    }
+
+    /// An axis-oriented view with `axis` as the main dimension.
+    pub fn view(&self, axis: Axis) -> View<'_> {
+        View { pfx: self, axis }
+    }
+}
+
+/// A zero-cost re-orientation of a [`PrefixSum2D`]: algorithms written for
+/// "main × auxiliary" coordinates work on either orientation (the paper's
+/// `-HOR`/`-VER` variants) through this adapter.
+#[derive(Clone, Copy)]
+pub struct View<'a> {
+    pfx: &'a PrefixSum2D,
+    axis: Axis,
+}
+
+impl<'a> View<'a> {
+    /// Length of the main dimension.
+    pub fn n_main(&self) -> usize {
+        match self.axis {
+            Axis::Rows => self.pfx.rows(),
+            Axis::Cols => self.pfx.cols(),
+        }
+    }
+
+    /// Length of the auxiliary dimension.
+    pub fn n_aux(&self) -> usize {
+        match self.axis {
+            Axis::Rows => self.pfx.cols(),
+            Axis::Cols => self.pfx.rows(),
+        }
+    }
+
+    /// The main axis of this view.
+    pub fn axis(&self) -> Axis {
+        self.axis
+    }
+
+    /// The underlying prefix sums.
+    pub fn prefix(&self) -> &'a PrefixSum2D {
+        self.pfx
+    }
+
+    /// Load of main `[m0, m1)` × aux `[a0, a1)`.
+    #[inline]
+    pub fn load(&self, m0: usize, m1: usize, a0: usize, a1: usize) -> u64 {
+        match self.axis {
+            Axis::Rows => self.pfx.load4(m0, m1, a0, a1),
+            Axis::Cols => self.pfx.load4(a0, a1, m0, m1),
+        }
+    }
+
+    /// Maps view coordinates back to a matrix-space rectangle.
+    pub fn rect(&self, m0: usize, m1: usize, a0: usize, a1: usize) -> Rect {
+        match self.axis {
+            Axis::Rows => Rect::new(m0, m1, a0, a1),
+            Axis::Cols => Rect::new(a0, a1, m0, m1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn prefix_matches_naive_on_random_matrix() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = LoadMatrix::from_fn(13, 9, |_, _| rng.gen_range(0..50));
+        let p = PrefixSum2D::new(&m);
+        assert_eq!(p.total(), m.total());
+        for _ in 0..200 {
+            let r0 = rng.gen_range(0..=13);
+            let r1 = rng.gen_range(r0..=13);
+            let c0 = rng.gen_range(0..=9);
+            let c1 = rng.gen_range(c0..=9);
+            let rect = Rect::new(r0, r1, c0, c1);
+            assert_eq!(p.load(&rect), m.load_naive(&rect), "{rect:?}");
+        }
+    }
+
+    #[test]
+    fn extrema_and_delta() {
+        let m = LoadMatrix::from_vec(2, 2, vec![2, 8, 4, 6]);
+        let p = PrefixSum2D::new(&m);
+        assert_eq!(p.max_cell(), 8);
+        assert_eq!(p.min_cell(), 2);
+        assert_eq!(p.delta(), Some(4.0));
+        assert_eq!(p.total(), 20);
+    }
+
+    #[test]
+    fn lower_bound_combines_average_and_max_cell() {
+        let m = LoadMatrix::from_vec(1, 4, vec![10, 1, 1, 1]);
+        let p = PrefixSum2D::new(&m);
+        assert_eq!(p.lower_bound(2), 10); // max cell dominates
+        assert_eq!(p.lower_bound(1), 13);
+        let u = LoadMatrix::from_vec(1, 4, vec![3, 3, 3, 3]);
+        let pu = PrefixSum2D::new(&u);
+        assert_eq!(pu.lower_bound(2), 6); // average dominates
+        assert_eq!(pu.lower_bound(3), 4); // ceil(12/3)=4 > 3
+    }
+
+    #[test]
+    fn view_reorients_coordinates() {
+        let m = LoadMatrix::from_fn(3, 5, |r, c| (r * 5 + c) as u32);
+        let p = PrefixSum2D::new(&m);
+        let vr = p.view(Axis::Rows);
+        let vc = p.view(Axis::Cols);
+        assert_eq!(vr.n_main(), 3);
+        assert_eq!(vr.n_aux(), 5);
+        assert_eq!(vc.n_main(), 5);
+        assert_eq!(vc.n_aux(), 3);
+        // Same region through both views.
+        let direct = p.load4(1, 3, 2, 4);
+        assert_eq!(vr.load(1, 3, 2, 4), direct);
+        assert_eq!(vc.load(2, 4, 1, 3), direct);
+        assert_eq!(vr.rect(1, 3, 2, 4), Rect::new(1, 3, 2, 4));
+        assert_eq!(vc.rect(2, 4, 1, 3), Rect::new(1, 3, 2, 4));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = LoadMatrix::zeros(0, 0);
+        let p = PrefixSum2D::new(&m);
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.delta(), None);
+        assert_eq!(p.min_cell(), 0);
+    }
+}

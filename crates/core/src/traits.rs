@@ -1,0 +1,92 @@
+//! The common partitioner interface.
+
+use crate::prefix::PrefixSum2D;
+use crate::solution::Partition;
+
+/// A 2D rectangle-partitioning algorithm.
+///
+/// Implementations are small configuration structs (variant, stripe
+/// count, …); `partition` is deterministic and side-effect free, so one
+/// configured instance can be shared across threads by reference.
+pub trait Partitioner: Sync {
+    /// Human-readable algorithm name including the variant, matching the
+    /// names used in the paper's figures (e.g. `"JAG-M-HEUR-BEST"`).
+    fn name(&self) -> String;
+
+    /// Partitions the matrix behind `pfx` into `m` rectangles.
+    ///
+    /// The result is always a valid partition (tiling) of the matrix;
+    /// every implementation upholds this for any `m ≥ 1`, padding with
+    /// empty rectangles when fewer than `m` are needed.
+    fn partition(&self, pfx: &PrefixSum2D, m: usize) -> Partition;
+}
+
+impl<T: Partitioner + ?Sized> Partitioner for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn partition(&self, pfx: &PrefixSum2D, m: usize) -> Partition {
+        (**self).partition(pfx, m)
+    }
+}
+
+impl Partitioner for Box<dyn Partitioner> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn partition(&self, pfx: &PrefixSum2D, m: usize) -> Partition {
+        (**self).partition(pfx, m)
+    }
+}
+
+/// Integer square root (floor); used for the default `√m` stripe counts.
+pub(crate) fn isqrt(m: usize) -> usize {
+    if m == 0 {
+        return 0;
+    }
+    let mut x = (m as f64).sqrt() as usize;
+    while (x + 1) * (x + 1) <= m {
+        x += 1;
+    }
+    while x * x > m {
+        x -= 1;
+    }
+    x
+}
+
+/// The default `P × Q` grid for a given processor count: the
+/// factorization of `m` whose stripe count is closest to `√m` (exactly
+/// `√m × √m` for the paper's square processor counts).
+pub(crate) fn grid_dims(m: usize) -> (usize, usize) {
+    assert!(m >= 1);
+    let mut p = isqrt(m);
+    while !m.is_multiple_of(p) {
+        p -= 1;
+    }
+    (p, m / p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_and_floor() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(15), 3);
+        assert_eq!(isqrt(16), 4);
+        assert_eq!(isqrt(17), 4);
+        assert_eq!(isqrt(10_000), 100);
+        assert_eq!(isqrt(9_999), 99);
+    }
+
+    #[test]
+    fn grid_dims_prefers_square() {
+        assert_eq!(grid_dims(16), (4, 4));
+        assert_eq!(grid_dims(100), (10, 10));
+        assert_eq!(grid_dims(12), (3, 4));
+        assert_eq!(grid_dims(7), (1, 7)); // prime
+        assert_eq!(grid_dims(1), (1, 1));
+    }
+}

@@ -1,0 +1,215 @@
+//! Figures 6, 12, 13 and 14 — cross-algorithm comparisons — plus the
+//! figure 1/2 galleries.
+
+use std::path::Path;
+
+use rayon::prelude::*;
+use rectpart_core::{
+    standard_heuristics, HierRb, JagMHeur, JagPqHeur, JagPqOpt, LoadMatrix, Partition, Partitioner,
+    PrefixSum2D, RectNicol,
+};
+use rectpart_workloads::io::write_pgm;
+use rectpart_workloads::{diagonal, multi_peak, peak, uniform};
+
+use crate::common::{imbalance_sweep, run_imbalance, timed_partition, Scale, Table};
+use crate::instances::Instances;
+
+/// Figure 1: renders one representative partition per solution class on
+/// a small peak instance, as ASCII art (the paper's structure gallery).
+pub fn fig1(out: &Path) {
+    let n = 16;
+    let matrix = peak(n, n, 3).build();
+    let pfx = PrefixSum2D::new(&matrix);
+    let shapes: Vec<(&str, Partition)> = vec![
+        (
+            "(a) rectilinear 4x3 (RECT-NICOL)",
+            RectNicol {
+                grid: Some((4, 3)),
+                ..RectNicol::default()
+            }
+            .partition(&pfx, 12),
+        ),
+        (
+            "(b) PxQ-way jagged 4x3 (JAG-PQ-HEUR)",
+            JagPqHeur {
+                grid: Some((4, 3)),
+                ..JagPqHeur::default()
+            }
+            .partition(&pfx, 12),
+        ),
+        (
+            "(c) m-way jagged, m=12 (JAG-M-HEUR)",
+            JagMHeur::best().partition(&pfx, 12),
+        ),
+        (
+            "(d) hierarchical, m=12 (HIER-RB)",
+            HierRb::load().partition(&pfx, 12),
+        ),
+    ];
+    println!("\n=== fig1 — partition structure gallery ({n}x{n} Peak) ===");
+    let mut gallery = String::new();
+    for (label, part) in &shapes {
+        assert!(part.validate(&pfx).is_ok());
+        let art = part.ascii_art(n, n);
+        println!(
+            "{label}  (imbalance {:.3})\n{art}",
+            part.load_imbalance(&pfx)
+        );
+        gallery.push_str(&format!("{label}\n{art}\n"));
+    }
+    std::fs::create_dir_all(out).unwrap();
+    std::fs::write(out.join("fig1.txt"), gallery).unwrap();
+    println!("    wrote {}", out.join("fig1.txt").display());
+}
+
+/// Figure 2: the instance gallery — statistics and PGM renderings of each
+/// real and synthetic instance class.
+pub fn fig2(instances: &Instances, out: &Path) {
+    std::fs::create_dir_all(out).unwrap();
+    let scale = instances.scale;
+    let n = scale.pick(192, 512);
+    let named: Vec<(&str, LoadMatrix)> = vec![
+        ("pic-mag", instances.pic_at(20_000).matrix.clone()),
+        ("slac", instances.slac().clone()),
+        ("diagonal", diagonal(n, n, 1).build()),
+        ("peak", peak(n, n, 1).build()),
+        ("multi-peak", multi_peak(n, n, 1).build()),
+        ("uniform", uniform(n, n, 1).delta(1.2).build()),
+    ];
+    println!("\n=== fig2 — instance gallery ===");
+    println!(
+        "{:>12}  {:>6}  {:>14}  {:>8}  {:>8}  {:>8}",
+        "instance", "size", "total load", "max", "zeros%", "delta"
+    );
+    for (name, m) in &named {
+        let zeros = m.data().iter().filter(|&&v| v == 0).count() as f64
+            / (m.rows() * m.cols()) as f64
+            * 100.0;
+        println!(
+            "{:>12}  {:>6}  {:>14}  {:>8}  {:>7.1}%  {:>8}",
+            name,
+            format!("{}x{}", m.rows(), m.cols()),
+            m.total(),
+            m.max_cell(),
+            zeros,
+            m.delta().map_or("-".into(), |d| format!("{d:.2}")),
+        );
+        write_pgm(m, &out.join(format!("fig2-{name}.pgm"))).unwrap();
+    }
+    println!("    wrote PGM renderings to {}", out.display());
+}
+
+/// Figure 6: wall-clock runtime of each algorithm on 512² Uniform with
+/// Δ = 1.2 as `m` grows. Expected ordering (fastest to slowest):
+/// RECT-UNIFORM ≪ HIER-RB < JAG heuristics < RECT-NICOL < HIER-RELAXED ≪
+/// JAG-PQ-OPT.
+pub fn fig6(scale: Scale, out: &Path) {
+    let n = 512;
+    let matrix = uniform(n, n, 6).delta(1.2).build();
+    let pfx = PrefixSum2D::new(&matrix);
+    let mut algos = standard_heuristics();
+    algos.push(Box::new(JagPqOpt::default()));
+    let pq_opt_cap = scale.pick(400, 10_000);
+    let relaxed_cap = scale.pick(2_600, 10_000);
+    let ms = scale.square_ms(2_500);
+    let columns = algos.iter().map(|a| a.name()).collect();
+    let mut table = Table::new(
+        "fig6",
+        format!("Runtime (ms) on {n}x{n} Uniform delta=1.2"),
+        "m",
+        "runtime (ms)",
+        columns,
+    );
+    // Sequential on purpose: timings must not contend for cores.
+    for &m in &ms {
+        let values = algos
+            .iter()
+            .map(|a| {
+                let name = a.name();
+                if (name.starts_with("JAG-PQ-OPT") && m > pq_opt_cap)
+                    || (name.starts_with("HIER-RELAXED") && m > relaxed_cap)
+                {
+                    return None;
+                }
+                let (p, ms) = timed_partition(a.as_ref(), &pfx, m);
+                debug_assert!(p.validate(&pfx).is_ok());
+                Some(ms)
+            })
+            .collect();
+        table.push(m as f64, values);
+    }
+    table.print();
+    table.save(out).unwrap();
+}
+
+/// Figure 12: the six heuristics across the PIC-MAG trace at the paper's
+/// m = 9216 (scaled down by default). Expected layering, top to bottom:
+/// RECT-UNIFORM ≫ RECT-NICOL ≈ JAG-PQ-HEUR > HIER-RB > HIER-RELAXED >
+/// JAG-M-HEUR.
+pub fn fig12(instances: &Instances, out: &Path) {
+    let m = instances.scale.pick(900, 9_216);
+    let algos = standard_heuristics();
+    let trace = instances.pic();
+    let columns = algos.iter().map(|a| a.name()).collect();
+    let mut table = Table::new(
+        "fig12",
+        format!("All heuristics on PIC-MAG with m = {m}"),
+        "iteration",
+        "load imbalance",
+        columns,
+    );
+    let cells: Vec<Vec<Option<f64>>> = trace
+        .par_iter()
+        .map(|snap| {
+            let pfx = PrefixSum2D::new(&snap.matrix);
+            algos
+                .iter()
+                .map(|a| Some(run_imbalance(a.as_ref(), &pfx, m)))
+                .collect()
+        })
+        .collect();
+    for (snap, values) in trace.iter().zip(cells) {
+        table.push(snap.iteration as f64, values);
+    }
+    table.print();
+    table.save(out).unwrap();
+}
+
+/// Figure 13: the six heuristics on the PIC-MAG snapshot at iter≈20,000
+/// while `m` varies.
+pub fn fig13(instances: &Instances, out: &Path) {
+    let snap = instances.pic_at(20_000);
+    let pfx = PrefixSum2D::new(&snap.matrix);
+    let algos = standard_heuristics();
+    let ms = instances.scale.square_ms(2_500);
+    let table = imbalance_sweep(
+        "fig13",
+        &format!(
+            "All heuristics on PIC-MAG iter={} (paper: iter=20,000)",
+            snap.iteration
+        ),
+        &pfx,
+        &algos,
+        &ms,
+    );
+    table.print();
+    table.save(out).unwrap();
+}
+
+/// Figure 14: the six heuristics on the sparse SLAC-like mesh. Expected
+/// shape: the sparsity drives most algorithms to large imbalance; only
+/// the hierarchical methods stay low, HIER-RELAXED lowest.
+pub fn fig14(instances: &Instances, out: &Path) {
+    let pfx = PrefixSum2D::new(instances.slac());
+    let algos = standard_heuristics();
+    let ms = instances.scale.square_ms(2_500);
+    let table = imbalance_sweep(
+        "fig14",
+        "All heuristics on SLAC-like projected mesh",
+        &pfx,
+        &algos,
+        &ms,
+    );
+    table.print();
+    table.save(out).unwrap();
+}

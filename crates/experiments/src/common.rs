@@ -1,0 +1,268 @@
+//! Shared experiment plumbing: series tables, sweeps, timing, output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rayon::prelude::*;
+use rectpart_core::{Partition, Partitioner, PrefixSum2D};
+use serde::Serialize;
+
+/// Experiment scale. Defaults to laptop-sized runs; `--full` switches to
+/// the paper's instance sizes and processor counts.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    pub full: bool,
+}
+
+impl Scale {
+    /// Picks the default- or full-scale value.
+    pub fn pick<T>(&self, small: T, full: T) -> T {
+        if self.full {
+            full
+        } else {
+            small
+        }
+    }
+
+    /// The paper's processor counts: "most square numbers between 16 and
+    /// 10,000" — square numbers, capped at the scale's maximum.
+    pub fn square_ms(&self, cap_small: usize) -> Vec<usize> {
+        let cap = self.pick(cap_small, 10_000);
+        square_numbers(16, cap)
+    }
+}
+
+/// All square numbers in `[lo, hi]`, thinned to at most ~24 points so
+/// sweeps stay readable.
+pub fn square_numbers(lo: usize, hi: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (2..)
+        .map(|k| k * k)
+        .take_while(|&s| s <= hi)
+        .filter(|&s| s >= lo)
+        .collect();
+    while v.len() > 24 {
+        // Drop every other interior point, keeping first and last.
+        let keep: Vec<usize> = v
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i == 0 || *i == v.len() - 1 || i % 2 == 0)
+            .map(|(_, &s)| s)
+            .collect();
+        v = keep;
+    }
+    v
+}
+
+/// One experiment output: an x-column plus one named series per
+/// algorithm, mirroring the paper's figures.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    pub id: String,
+    pub title: String,
+    pub xlabel: String,
+    pub ylabel: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+/// One x position and its per-series values (`None` = not measured, e.g.
+/// `JAG-M-OPT` beyond its processor cap).
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    pub x: f64,
+    pub values: Vec<Option<f64>>,
+}
+
+impl Table {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, values: Vec<Option<f64>>) {
+        assert_eq!(values.len(), self.columns.len());
+        self.rows.push(Row { x, values });
+    }
+
+    /// Renders an aligned text table to stdout.
+    pub fn print(&self) {
+        println!("\n=== {} — {} ===", self.id, self.title);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(10)).collect();
+        let xw = self.xlabel.len().max(8);
+        print!("{:>xw$}", self.xlabel);
+        for (c, w) in self.columns.iter().zip(&widths) {
+            print!("  {c:>w$}");
+        }
+        println!();
+        for row in &self.rows {
+            print!("{:>xw$}", trim_float(row.x));
+            for (v, w) in row.values.iter().zip(&mut widths) {
+                match v {
+                    Some(v) => print!("  {:>w$}", format!("{v:.4}"), w = *w),
+                    None => print!("  {:>w$}", "-", w = *w),
+                }
+            }
+            println!();
+        }
+        println!("    ({} = series values)", self.ylabel);
+    }
+
+    /// Writes `<out>/<id>.csv` (and a JSON twin for tooling).
+    pub fn save(&self, out: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(out)?;
+        let csv = out.join(format!("{}.csv", self.id));
+        let mut s = String::new();
+        s.push_str(&self.xlabel);
+        for c in &self.columns {
+            s.push(',');
+            s.push_str(c);
+        }
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&trim_float(row.x));
+            for v in &row.values {
+                s.push(',');
+                if let Some(v) = v {
+                    s.push_str(&format!("{v:.6}"));
+                }
+            }
+            s.push('\n');
+        }
+        fs::write(&csv, s)?;
+        let json = out.join(format!("{}.json", self.id));
+        fs::write(&json, serde_json::to_string_pretty(self).unwrap())?;
+        println!("    wrote {} and {}", csv.display(), json.display());
+        Ok(())
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Load-imbalance sweep of several algorithms over processor counts,
+/// parallelized over the sweep grid.
+pub fn imbalance_sweep(
+    id: &str,
+    title: &str,
+    pfx: &PrefixSum2D,
+    algos: &[Box<dyn Partitioner>],
+    ms: &[usize],
+) -> Table {
+    let columns: Vec<String> = algos.iter().map(|a| a.name()).collect();
+    let mut table = Table::new(id, title, "m", "load imbalance", columns);
+    let cells: Vec<Vec<Option<f64>>> = ms
+        .par_iter()
+        .map(|&m| {
+            algos
+                .iter()
+                .map(|a| Some(run_imbalance(a, pfx, m)))
+                .collect()
+        })
+        .collect();
+    for (&m, values) in ms.iter().zip(cells) {
+        table.push(m as f64, values);
+    }
+    table
+}
+
+/// Runs one algorithm, validates the partition, returns its imbalance.
+pub fn run_imbalance<P: Partitioner + ?Sized>(algo: &P, pfx: &PrefixSum2D, m: usize) -> f64 {
+    let p = algo.partition(pfx, m);
+    debug_assert!(p.validate(pfx).is_ok(), "{} m={m}", algo.name());
+    p.load_imbalance(pfx)
+}
+
+/// Runs one algorithm and returns `(partition, wall milliseconds)`.
+pub fn timed_partition<P: Partitioner + ?Sized>(
+    algo: &P,
+    pfx: &PrefixSum2D,
+    m: usize,
+) -> (Partition, f64) {
+    let t0 = Instant::now();
+    let p = algo.partition(pfx, m);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    (p, ms)
+}
+
+/// Default output directory (`results/`), overridable with `--out`.
+pub fn out_dir(args: &[String]) -> PathBuf {
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_numbers_are_squares_in_range() {
+        let v = square_numbers(16, 10_000);
+        assert_eq!(v.first(), Some(&16));
+        assert_eq!(v.last(), Some(&10_000));
+        assert!(v.len() <= 24);
+        for &s in &v {
+            let r = (s as f64).sqrt().round() as usize;
+            assert_eq!(r * r, s, "{s} is not a square");
+        }
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn square_numbers_small_range() {
+        assert_eq!(square_numbers(16, 30), vec![16, 25]);
+        assert!(square_numbers(17, 24).is_empty());
+    }
+
+    #[test]
+    fn scale_pick_and_sweep() {
+        let small = Scale { full: false };
+        let full = Scale { full: true };
+        assert_eq!(small.pick(1, 2), 1);
+        assert_eq!(full.pick(1, 2), 2);
+        assert!(small.square_ms(400).last().unwrap() <= &400);
+        assert_eq!(full.square_ms(400).last(), Some(&10_000));
+    }
+
+    #[test]
+    fn table_csv_shape() {
+        let mut t = Table::new("t1", "demo", "m", "imbalance", vec!["a".into(), "b".into()]);
+        t.push(4.0, vec![Some(0.5), None]);
+        t.push(9.0, vec![Some(0.25), Some(1.0)]);
+        let dir = std::env::temp_dir().join(format!("rectpart-exp-{}", std::process::id()));
+        t.save(&dir).unwrap();
+        let csv = std::fs::read_to_string(dir.join("t1.csv")).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "m,a,b");
+        assert_eq!(lines[1], "4,0.500000,");
+        assert_eq!(lines[2], "9,0.250000,1.000000");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new("t2", "demo", "x", "y", vec!["only".into()]);
+        t.push(1.0, vec![Some(1.0), Some(2.0)]);
+    }
+}

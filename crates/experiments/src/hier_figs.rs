@@ -1,0 +1,184 @@
+//! Figures 3, 4, 5, 10 and 11 — the hierarchical-algorithm studies.
+
+use std::path::Path;
+
+use rayon::prelude::*;
+use rectpart_core::{HierRb, HierRelaxed, HierVariant, Partitioner, PrefixSum2D};
+use rectpart_workloads::{diagonal, multi_peak, peak};
+
+use crate::common::{Scale, Table};
+use crate::instances::{aggregate_imbalance, Instances};
+
+const VARIANTS: [HierVariant; 4] = [
+    HierVariant::Load,
+    HierVariant::Dist,
+    HierVariant::Hor,
+    HierVariant::Ver,
+];
+
+fn rb_variants() -> Vec<Box<dyn Partitioner>> {
+    VARIANTS
+        .iter()
+        .map(|&variant| Box::new(HierRb { variant }) as Box<dyn Partitioner>)
+        .collect()
+}
+
+fn relaxed_variants() -> Vec<Box<dyn Partitioner>> {
+    VARIANTS
+        .iter()
+        .map(|&variant| {
+            Box::new(HierRelaxed {
+                variant,
+                ..HierRelaxed::default()
+            }) as Box<dyn Partitioner>
+        })
+        .collect()
+}
+
+/// Aggregated-instance sweep (the paper's 10-instance metric for
+/// synthetic classes).
+fn synthetic_sweep(
+    id: &str,
+    title: &str,
+    instances: &[PrefixSum2D],
+    algos: &[Box<dyn Partitioner>],
+    ms: &[usize],
+) -> Table {
+    let columns = algos.iter().map(|a| a.name()).collect();
+    let mut table = Table::new(id, title, "m", "load imbalance", columns);
+    let cells: Vec<Vec<Option<f64>>> = ms
+        .par_iter()
+        .map(|&m| {
+            algos
+                .iter()
+                .map(|a| Some(aggregate_imbalance(instances, a.as_ref(), m)))
+                .collect()
+        })
+        .collect();
+    for (&m, values) in ms.iter().zip(cells) {
+        table.push(m as f64, values);
+    }
+    table
+}
+
+fn build_instances(build: impl Fn(u64) -> PrefixSum2D + Sync + Send, n: usize) -> Vec<PrefixSum2D> {
+    (0..n as u64).into_par_iter().map(build).collect()
+}
+
+/// Figure 3: the four `HIER-RB` variants on the Peak class
+/// (1024² in the paper). Expected shape: imbalance grows with `m`;
+/// `-LOAD` is the best variant overall.
+pub fn fig3(scale: Scale, out: &Path) {
+    let n = scale.pick(256, 1024);
+    let count = scale.pick(3, 10);
+    let instances = build_instances(|seed| PrefixSum2D::new(&peak(n, n, seed).build()), count);
+    let ms = scale.square_ms(2_500);
+    let table = synthetic_sweep(
+        "fig3",
+        &format!("HIER-RB variants on {n}x{n} Peak ({count} instances)"),
+        &instances,
+        &rb_variants(),
+        &ms,
+    );
+    table.print();
+    table.save(out).unwrap();
+}
+
+/// Figure 4: the four `HIER-RELAXED` variants on 512² Multi-peak.
+/// Expected shape: `-LOAD` best; `-HOR`/`-VER` erratic below ~2000
+/// processors, converging toward `-LOAD` beyond.
+pub fn fig4(scale: Scale, out: &Path) {
+    let n = scale.pick(192, 512);
+    let count = scale.pick(3, 10);
+    let instances = build_instances(
+        |seed| PrefixSum2D::new(&multi_peak(n, n, seed).build()),
+        count,
+    );
+    let ms = scale.square_ms(1_600);
+    let table = synthetic_sweep(
+        "fig4",
+        &format!("HIER-RELAXED variants on {n}x{n} Multi-peak ({count} instances)"),
+        &instances,
+        &relaxed_variants(),
+        &ms,
+    );
+    table.print();
+    table.save(out).unwrap();
+}
+
+/// Figure 5: `HIER-RELAXED` variants on 4096² Diagonal — shows where the
+/// alternating variants start converging on a large matrix.
+pub fn fig5(scale: Scale, out: &Path) {
+    let n = scale.pick(1024, 4096);
+    let count = scale.pick(2, 10);
+    let instances = build_instances(
+        |seed| PrefixSum2D::new(&diagonal(n, n, seed).build()),
+        count,
+    );
+    let ms = scale.square_ms(1_600);
+    let table = synthetic_sweep(
+        "fig5",
+        &format!("HIER-RELAXED variants on {n}x{n} Diagonal ({count} instances)"),
+        &instances,
+        &relaxed_variants(),
+        &ms,
+    );
+    table.print();
+    table.save(out).unwrap();
+}
+
+/// Figure 10: `HIER-RB` vs `HIER-RELAXED` (both `-LOAD`) on 4096²
+/// Diagonal. Expected shape: RELAXED clearly below RB.
+pub fn fig10(scale: Scale, out: &Path) {
+    let n = scale.pick(1024, 4096);
+    let count = scale.pick(2, 10);
+    let instances = build_instances(
+        |seed| PrefixSum2D::new(&diagonal(n, n, seed).build()),
+        count,
+    );
+    let algos: Vec<Box<dyn Partitioner>> =
+        vec![Box::new(HierRb::load()), Box::new(HierRelaxed::load())];
+    let ms = scale.square_ms(1_600);
+    let table = synthetic_sweep(
+        "fig10",
+        &format!("Hierarchical methods on {n}x{n} Diagonal ({count} instances)"),
+        &instances,
+        &algos,
+        &ms,
+    );
+    table.print();
+    table.save(out).unwrap();
+}
+
+/// Figure 11: hierarchical methods across the PIC-MAG trace at `m = 400`.
+/// Expected shape: RELAXED usually better but erratic from snapshot to
+/// snapshot; RB stable.
+pub fn fig11(instances: &Instances, out: &Path) {
+    let m = 400;
+    let algos: Vec<Box<dyn Partitioner>> =
+        vec![Box::new(HierRb::load()), Box::new(HierRelaxed::load())];
+    let trace = instances.pic();
+    let columns = algos.iter().map(|a| a.name()).collect();
+    let mut table = Table::new(
+        "fig11",
+        format!("Hierarchical methods on PIC-MAG with m = {m}"),
+        "iteration",
+        "load imbalance",
+        columns,
+    );
+    let cells: Vec<Vec<Option<f64>>> = trace
+        .par_iter()
+        .map(|snap| {
+            let pfx = PrefixSum2D::new(&snap.matrix);
+            algos
+                .iter()
+                .map(|a| Some(crate::common::run_imbalance(a.as_ref(), &pfx, m)))
+                .collect()
+        })
+        .collect();
+    for (snap, values) in trace.iter().zip(cells) {
+        table.push(snap.iteration as f64, values);
+    }
+    table.print();
+    table.save(out).unwrap();
+}

@@ -1,0 +1,100 @@
+//! Lazily built, run-wide shared instances (the PIC trace is expensive).
+
+use std::sync::OnceLock;
+
+use rectpart_core::{LoadMatrix, Partitioner, PrefixSum2D};
+use rectpart_workloads::{pic_trace, slac_like, MeshConfig, PicConfig, PicSnapshot};
+
+use crate::common::Scale;
+
+/// Instance factory for one harness invocation.
+pub struct Instances {
+    pub scale: Scale,
+    pic: OnceLock<Vec<PicSnapshot>>,
+    slac: OnceLock<LoadMatrix>,
+}
+
+impl Instances {
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            pic: OnceLock::new(),
+            slac: OnceLock::new(),
+        }
+    }
+
+    /// The PIC-MAG configuration at the current scale. Full scale matches
+    /// the paper (512² grid, 68 snapshots labeled 0..33,500); default is
+    /// a 192² grid with 24 snapshots.
+    pub fn pic_config(&self) -> PicConfig {
+        if self.scale.full {
+            PicConfig::default()
+        } else {
+            PicConfig {
+                rows: 192,
+                cols: 192,
+                particles: 150_000,
+                snapshots: 24,
+                ..PicConfig::default()
+            }
+        }
+    }
+
+    /// The full PIC-MAG snapshot trace (computed once per run).
+    pub fn pic(&self) -> &[PicSnapshot] {
+        self.pic.get_or_init(|| {
+            let cfg = self.pic_config();
+            eprintln!(
+                "  [pic] simulating {}x{} grid, {} particles, {} snapshots…",
+                cfg.rows, cfg.cols, cfg.particles, cfg.snapshots
+            );
+            pic_trace(&cfg)
+        })
+    }
+
+    /// The snapshot whose nominal iteration is closest to `iter` scaled
+    /// into this run's range (the paper's "iter=30,000" on a 33,500-long
+    /// trace maps to the same relative position on shorter traces).
+    pub fn pic_at(&self, paper_iter: u32) -> &PicSnapshot {
+        let trace = self.pic();
+        let frac = paper_iter as f64 / 33_500.0;
+        let idx = ((trace.len() - 1) as f64 * frac).round() as usize;
+        &trace[idx]
+    }
+
+    /// The SLAC-like projected cavity mesh (512² at both scales, as in
+    /// the paper).
+    pub fn slac(&self) -> &LoadMatrix {
+        self.slac.get_or_init(|| {
+            eprintln!("  [mesh] projecting cavity mesh…");
+            if self.scale.full {
+                MeshConfig {
+                    u_samples: 4096,
+                    v_samples: 2048,
+                    ..MeshConfig::default()
+                }
+                .generate()
+            } else {
+                slac_like()
+            }
+        })
+    }
+}
+
+/// The paper's aggregate metric for synthetic classes (§4.1):
+/// `Σ_I Lmax(I) / Σ_I Lavg(I) − 1` over a set of instances.
+pub fn aggregate_imbalance<P: Partitioner + ?Sized>(
+    instances: &[PrefixSum2D],
+    algo: &P,
+    m: usize,
+) -> f64 {
+    let mut lmax_sum = 0.0;
+    let mut lavg_sum = 0.0;
+    for pfx in instances {
+        let p = algo.partition(pfx, m);
+        debug_assert!(p.validate(pfx).is_ok());
+        lmax_sum += p.lmax(pfx) as f64;
+        lavg_sum += pfx.average_load(m);
+    }
+    lmax_sum / lavg_sum - 1.0
+}

@@ -1,0 +1,111 @@
+//! `figures` — regenerates every figure of the IPDPS 2011 evaluation
+//! (and the extension experiments) as CSV series + printed tables.
+//!
+//! ```text
+//! cargo run -p rectpart-experiments --release -- all
+//! cargo run -p rectpart-experiments --release -- fig7 fig8 --full
+//! ```
+//!
+//! Options:
+//!   --full        paper-scale instances and processor counts
+//!   --out <dir>   output directory (default: results/)
+//!   --threads <n> rayon thread count (default: all cores)
+
+mod all_figs;
+mod common;
+mod ext_figs;
+mod hier_figs;
+mod instances;
+mod jag_figs;
+
+use common::{out_dir, Scale};
+use instances::Instances;
+
+const FIGURES: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        usage();
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .expect("rayon pool already initialized");
+        }
+    }
+    let scale = Scale {
+        full: args.iter().any(|a| a == "--full"),
+    };
+    let out = out_dir(&args);
+    let mut selected: Vec<&str> = args
+        .iter()
+        .filter(|a| FIGURES.contains(&a.as_str()))
+        .map(|a| a.as_str())
+        .collect();
+    if args.iter().any(|a| a == "all") {
+        selected = FIGURES.to_vec();
+    }
+    if selected.is_empty() {
+        eprintln!("no figure selected");
+        usage();
+        std::process::exit(2);
+    }
+    println!(
+        "rectpart experiment harness — scale: {}, output: {}",
+        if scale.full {
+            "FULL (paper)"
+        } else {
+            "default (laptop)"
+        },
+        out.display()
+    );
+    let inst = Instances::new(scale);
+    let t0 = std::time::Instant::now();
+    for fig in &selected {
+        let t = std::time::Instant::now();
+        match *fig {
+            "fig1" => all_figs::fig1(&out),
+            "fig2" => all_figs::fig2(&inst, &out),
+            "fig3" => hier_figs::fig3(scale, &out),
+            "fig4" => hier_figs::fig4(scale, &out),
+            "fig5" => hier_figs::fig5(scale, &out),
+            "fig6" => all_figs::fig6(scale, &out),
+            "fig7" => jag_figs::fig7(&inst, &out),
+            "fig8" => jag_figs::fig8(&inst, &out),
+            "fig9" => jag_figs::fig9(scale, &out),
+            "fig10" => hier_figs::fig10(scale, &out),
+            "fig11" => hier_figs::fig11(&inst, &out),
+            "fig12" => all_figs::fig12(&inst, &out),
+            "fig13" => all_figs::fig13(&inst, &out),
+            "fig14" => all_figs::fig14(&inst, &out),
+            "extA" => ext_figs::ext_a(&inst, &out),
+            "extB" => ext_figs::ext_b(&inst, &out),
+            "extC" => ext_figs::ext_c(&inst, &out),
+            "extD" => ext_figs::ext_d(scale, &out),
+            "extE" => ext_figs::ext_e(&inst, &out),
+            "extF" => ext_figs::ext_f(&inst, &out),
+            "extG" => ext_figs::ext_g(&inst, &out),
+            "extH" => ext_figs::ext_h(&inst, &out),
+            _ => unreachable!(),
+        }
+        println!("    [{fig} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    println!(
+        "\nall selected figures done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn usage() {
+    println!(
+        "usage: figures [all | fig1..fig14 | extA..extD]... [--full] [--out DIR] [--threads N]"
+    );
+    println!("figures: {}", FIGURES.join(" "));
+}

@@ -1,0 +1,326 @@
+//! Monotone interval-cost oracles.
+
+/// A monotone cost function over half-open intervals `[lo, hi)` of a
+/// sequence of `len()` items.
+///
+/// # Contract
+///
+/// Implementations must guarantee, for all `lo <= hi <= len()`:
+///
+/// * `cost(i, i) == 0`,
+/// * *monotonicity*: `cost(lo, hi) <= cost(lo, hi + 1)` and
+///   `cost(lo, hi) >= cost(lo + 1, hi)` — growing an interval never
+///   decreases its cost.
+///
+/// Additivity (`cost(a, c) == cost(a, b) + cost(b, c)`) is **not**
+/// required: the `RECT-NICOL` refinement feeds a max-over-stripes cost
+/// through the same algorithms. Algorithms that exploit additivity for
+/// their approximation guarantee ([`crate::direct_cut`]) document it.
+pub trait IntervalCost {
+    /// Number of items in the underlying sequence.
+    fn len(&self) -> usize;
+
+    /// Cost of the half-open interval `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `lo > hi` or `hi > len()`.
+    fn cost(&self, lo: usize, hi: usize) -> u64;
+
+    /// `true` if the sequence has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cost of the whole sequence.
+    fn total(&self) -> u64 {
+        self.cost(0, self.len())
+    }
+
+    /// Largest single-item cost; a lower bound on any bottleneck since
+    /// every item must land in some interval (valid for any monotone
+    /// cost).
+    fn max_unit_cost(&self) -> u64 {
+        (0..self.len())
+            .map(|i| self.cost(i, i + 1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `true` if the cost is additive (`cost(a,c) = cost(a,b) +
+    /// cost(b,c)`). Enables average-based lower bounds in the optimal
+    /// algorithms; claiming additivity for a non-additive oracle breaks
+    /// their exactness.
+    fn additive(&self) -> bool {
+        false
+    }
+
+    /// A lower bound on the bottleneck of any partition of `[lo, len)`
+    /// into `parts` intervals. For additive costs this is
+    /// `⌈cost(lo, len)/parts⌉`; without additivity no average-based bound
+    /// is sound (splitting an interval can shrink costs more than
+    /// proportionally), so the default is 0.
+    fn partition_lower_bound(&self, lo: usize, parts: usize) -> u64 {
+        if self.additive() && parts > 0 {
+            self.cost(lo, self.len()).div_ceil(parts as u64)
+        } else {
+            0
+        }
+    }
+
+    /// Smallest index `i in [lo, hi]` such that `cost(from, i) >= target`,
+    /// or `hi` if none. Relies on monotonicity of `cost(from, ·)`.
+    fn lower_bisect(&self, from: usize, lo: usize, hi: usize, target: u64) -> usize {
+        debug_assert!(from <= lo && lo <= hi && hi <= self.len());
+        let (mut a, mut b) = (lo, hi);
+        while a < b {
+            let mid = a + (b - a) / 2;
+            if self.cost(from, mid) >= target {
+                b = mid;
+            } else {
+                a = mid + 1;
+            }
+        }
+        a
+    }
+
+    /// Largest index `i in [lo, hi]` such that `cost(from, i) <= budget`.
+    /// Requires `cost(from, lo) <= budget`. Relies on monotonicity.
+    fn upper_bisect(&self, from: usize, lo: usize, hi: usize, budget: u64) -> usize {
+        debug_assert!(self.cost(from, lo) <= budget);
+        let (mut a, mut b) = (lo, hi);
+        // Invariant: cost(from, a) <= budget.
+        while a < b {
+            let mid = a + (b - a).div_ceil(2);
+            if self.cost(from, mid) <= budget {
+                a = mid;
+            } else {
+                b = mid - 1;
+            }
+        }
+        a
+    }
+}
+
+impl<T: IntervalCost + ?Sized> IntervalCost for &T {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn cost(&self, lo: usize, hi: usize) -> u64 {
+        (**self).cost(lo, hi)
+    }
+    fn max_unit_cost(&self) -> u64 {
+        (**self).max_unit_cost()
+    }
+    fn additive(&self) -> bool {
+        (**self).additive()
+    }
+}
+
+/// Additive interval costs backed by an owned prefix-sum array:
+/// `cost(lo, hi) = prefix[hi] - prefix[lo]` in O(1).
+#[derive(Clone, Debug)]
+pub struct PrefixCosts {
+    prefix: Vec<u64>,
+    max_unit: u64,
+}
+
+impl PrefixCosts {
+    /// Builds the prefix-sum array from per-item loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the running `u64` sum (debug and release).
+    pub fn from_loads<L: Into<u64> + Copy>(loads: &[L]) -> Self {
+        let mut prefix = Vec::with_capacity(loads.len() + 1);
+        prefix.push(0u64);
+        let mut acc = 0u64;
+        let mut max_unit = 0u64;
+        for &l in loads {
+            let l: u64 = l.into();
+            acc = acc.checked_add(l).expect("prefix sum overflow");
+            max_unit = max_unit.max(l);
+            prefix.push(acc);
+        }
+        Self { prefix, max_unit }
+    }
+
+    /// Wraps an existing prefix-sum array (`prefix[0] == 0`,
+    /// non-decreasing, `len = prefix.len() - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is empty, does not start at 0, or decreases.
+    pub fn from_prefix(prefix: Vec<u64>) -> Self {
+        assert!(!prefix.is_empty(), "prefix array must contain at least [0]");
+        assert_eq!(prefix[0], 0, "prefix array must start at 0");
+        let mut max_unit = 0;
+        for w in prefix.windows(2) {
+            assert!(w[1] >= w[0], "prefix array must be non-decreasing");
+            max_unit = max_unit.max(w[1] - w[0]);
+        }
+        Self { prefix, max_unit }
+    }
+
+    /// The raw prefix-sum array (length `len() + 1`).
+    pub fn prefix(&self) -> &[u64] {
+        &self.prefix
+    }
+}
+
+impl IntervalCost for PrefixCosts {
+    fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    #[inline]
+    fn cost(&self, lo: usize, hi: usize) -> u64 {
+        debug_assert!(lo <= hi && hi < self.prefix.len());
+        self.prefix[hi] - self.prefix[lo]
+    }
+
+    fn max_unit_cost(&self) -> u64 {
+        self.max_unit
+    }
+
+    fn additive(&self) -> bool {
+        true
+    }
+}
+
+/// An interval-cost oracle defined by a closure; used by the 2D crate to
+/// expose virtual projections of the load matrix without materializing
+/// them (paper §3.2.1: "there is actually no projection to make").
+#[derive(Clone)]
+pub struct FnCost<F> {
+    len: usize,
+    additive: bool,
+    f: F,
+}
+
+impl<F: Fn(usize, usize) -> u64> FnCost<F> {
+    /// Wraps `f(lo, hi)` as a *general monotone* cost oracle over `len`
+    /// items. The closure must satisfy the [`IntervalCost`] monotonicity
+    /// contract. Use [`FnCost::additive`] when the closure is additive to
+    /// unlock average-based bounds in the optimal algorithms.
+    pub fn new(len: usize, f: F) -> Self {
+        Self {
+            len,
+            additive: false,
+            f,
+        }
+    }
+
+    /// Wraps an **additive** closure (`f(a,c) == f(a,b) + f(b,c)`), e.g. a
+    /// projection of a 2D prefix-sum array.
+    pub fn additive(len: usize, f: F) -> Self {
+        Self {
+            len,
+            additive: true,
+            f,
+        }
+    }
+}
+
+impl<F: Fn(usize, usize) -> u64> IntervalCost for FnCost<F> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn cost(&self, lo: usize, hi: usize) -> u64 {
+        (self.f)(lo, hi)
+    }
+
+    fn additive(&self) -> bool {
+        self.additive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_costs_basic() {
+        let c = PrefixCosts::from_loads(&[1u64, 2, 3, 4]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.total(), 10);
+        assert_eq!(c.cost(0, 0), 0);
+        assert_eq!(c.cost(1, 3), 5);
+        assert_eq!(c.max_unit_cost(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn prefix_costs_empty() {
+        let c = PrefixCosts::from_loads::<u64>(&[]);
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.max_unit_cost(), 0);
+    }
+
+    #[test]
+    fn from_prefix_roundtrip() {
+        let c = PrefixCosts::from_prefix(vec![0, 3, 3, 10]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.cost(0, 3), 10);
+        assert_eq!(c.cost(1, 2), 0);
+        assert_eq!(c.max_unit_cost(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_prefix_rejects_decreasing() {
+        let _ = PrefixCosts::from_prefix(vec![0, 5, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 0")]
+    fn from_prefix_rejects_nonzero_start() {
+        let _ = PrefixCosts::from_prefix(vec![1, 5]);
+    }
+
+    #[test]
+    fn lower_bisect_finds_first_reaching_target() {
+        let c = PrefixCosts::from_loads(&[2u64, 2, 2, 2, 2]);
+        assert_eq!(c.lower_bisect(0, 0, 5, 5), 3); // cost(0,3)=6 >= 5
+        assert_eq!(c.lower_bisect(0, 0, 5, 0), 0);
+        assert_eq!(c.lower_bisect(0, 0, 5, 100), 5); // unreachable -> hi
+        assert_eq!(c.lower_bisect(2, 2, 5, 3), 4); // cost(2,4)=4 >= 3
+    }
+
+    #[test]
+    fn upper_bisect_finds_last_within_budget() {
+        let c = PrefixCosts::from_loads(&[2u64, 2, 2, 2, 2]);
+        assert_eq!(c.upper_bisect(0, 0, 5, 5), 2); // cost(0,2)=4 <= 5
+        assert_eq!(c.upper_bisect(0, 0, 5, 100), 5);
+        assert_eq!(c.upper_bisect(0, 0, 5, 0), 0);
+        assert_eq!(c.upper_bisect(1, 1, 5, 4), 3); // cost(1,3)=4
+    }
+
+    #[test]
+    fn fn_cost_wraps_closure() {
+        let loads = [5u64, 1, 1, 5];
+        let pfx: Vec<u64> = std::iter::once(0)
+            .chain(loads.iter().scan(0, |a, &x| {
+                *a += x;
+                Some(*a)
+            }))
+            .collect();
+        let c = FnCost::new(4, move |lo, hi| pfx[hi] - pfx[lo]);
+        assert_eq!(c.total(), 12);
+        assert_eq!(c.cost(1, 3), 2);
+        assert_eq!(c.max_unit_cost(), 5);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let c = PrefixCosts::from_loads(&[1u64, 2, 3]);
+        let r = &c;
+        assert_eq!(IntervalCost::len(&r), 3);
+        assert_eq!(IntervalCost::cost(&r, 0, 2), 3);
+        assert_eq!(IntervalCost::max_unit_cost(&r), 3);
+    }
+}

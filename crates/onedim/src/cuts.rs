@@ -1,0 +1,139 @@
+//! Partition-of-a-sequence representation.
+
+use crate::cost::IntervalCost;
+
+/// A partition of `[0, n)` into `m` consecutive half-open intervals,
+/// stored as `m + 1` non-decreasing cut points with `points[0] == 0` and
+/// `points[m] == n`. Interval `j` is `[points[j], points[j + 1])`; empty
+/// intervals are allowed (the paper permits idle processors).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cuts {
+    points: Vec<usize>,
+}
+
+impl Cuts {
+    /// Builds cuts from raw points, validating the invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant described on [`Cuts`] is violated.
+    pub fn new(points: Vec<usize>) -> Self {
+        assert!(points.len() >= 2, "need at least one interval");
+        assert_eq!(points[0], 0, "first cut must be 0");
+        assert!(
+            points.windows(2).all(|w| w[0] <= w[1]),
+            "cut points must be non-decreasing"
+        );
+        Self { points }
+    }
+
+    /// The trivial partition of `[0, n)` into `m` intervals of
+    /// near-uniform *length* (sizes differ by at most one).
+    pub fn uniform(n: usize, m: usize) -> Self {
+        assert!(m >= 1);
+        let points = (0..=m).map(|j| j * n / m).collect();
+        Self { points }
+    }
+
+    /// Number of intervals.
+    pub fn parts(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// Total number of items partitioned.
+    pub fn n(&self) -> usize {
+        *self.points.last().unwrap()
+    }
+
+    /// The half-open interval `[lo, hi)` of part `j`.
+    pub fn interval(&self, j: usize) -> (usize, usize) {
+        (self.points[j], self.points[j + 1])
+    }
+
+    /// The raw cut points (length `parts() + 1`).
+    pub fn points(&self) -> &[usize] {
+        &self.points
+    }
+
+    /// Iterator over `(lo, hi)` intervals.
+    pub fn intervals(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.points.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Per-interval costs under the given oracle.
+    pub fn loads<C: IntervalCost>(&self, c: &C) -> Vec<u64> {
+        self.intervals().map(|(lo, hi)| c.cost(lo, hi)).collect()
+    }
+
+    /// Cost of the most loaded interval.
+    pub fn bottleneck<C: IntervalCost>(&self, c: &C) -> u64 {
+        self.intervals()
+            .map(|(lo, hi)| c.cost(lo, hi))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks that this is a partition of `[0, n)` into exactly `m` parts.
+    pub fn validate(&self, n: usize, m: usize) -> Result<(), String> {
+        if self.parts() != m {
+            return Err(format!("expected {m} parts, found {}", self.parts()));
+        }
+        if self.n() != n {
+            return Err(format!("expected last cut {n}, found {}", self.n()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::PrefixCosts;
+
+    #[test]
+    fn uniform_cuts_cover_everything() {
+        let c = Cuts::uniform(10, 3);
+        assert_eq!(c.points(), &[0, 3, 6, 10]);
+        assert_eq!(c.parts(), 3);
+        assert_eq!(c.n(), 10);
+        assert!(c.validate(10, 3).is_ok());
+    }
+
+    #[test]
+    fn uniform_more_parts_than_items_yields_empty_parts() {
+        let c = Cuts::uniform(2, 5);
+        assert_eq!(c.parts(), 5);
+        assert_eq!(c.n(), 2);
+        let total_len: usize = c.intervals().map(|(a, b)| b - a).sum();
+        assert_eq!(total_len, 2);
+    }
+
+    #[test]
+    fn loads_and_bottleneck() {
+        let cost = PrefixCosts::from_loads(&[1u64, 2, 3, 4, 5]);
+        let cuts = Cuts::new(vec![0, 2, 4, 5]);
+        assert_eq!(cuts.loads(&cost), vec![3, 7, 5]);
+        assert_eq!(cuts.bottleneck(&cost), 7);
+        assert_eq!(cuts.interval(1), (2, 4));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_shape() {
+        let cuts = Cuts::new(vec![0, 2, 4]);
+        assert!(cuts.validate(4, 2).is_ok());
+        assert!(cuts.validate(5, 2).is_err());
+        assert!(cuts.validate(4, 3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn new_rejects_decreasing_points() {
+        let _ = Cuts::new(vec![0, 3, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "first cut")]
+    fn new_rejects_nonzero_start() {
+        let _ = Cuts::new(vec![1, 2]);
+    }
+}

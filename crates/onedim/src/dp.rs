@@ -1,0 +1,145 @@
+//! Manne–Olstad style dynamic program for optimal 1D partitioning.
+//!
+//! `B[p][i] = min_k max(B[p-1][k], cost(k, i))` — one interval must end at
+//! `i`, and the bottleneck is either that interval or the best partition of
+//! the prefix (paper §2.2). Since `B[p-1][k]` is non-decreasing and
+//! `cost(k, i)` non-increasing in `k`, the inner minimum is found by binary
+//! search, giving `O(m n log n)` cost queries and `O(m n)` memory.
+//!
+//! This implementation is deliberately simple: it is the *oracle* against
+//! which [`crate::nicol`] (the production optimal solver) is verified.
+
+use crate::cost::IntervalCost;
+use crate::cuts::Cuts;
+use crate::nicol::OneDimResult;
+
+/// Computes an optimal partition of the whole sequence into `m` intervals.
+pub fn dp_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
+    assert!(m >= 1);
+    let n = c.len();
+    // table[p][i] — optimal bottleneck of [0, i) in p+1 parts.
+    let mut table: Vec<Vec<u64>> = Vec::with_capacity(m);
+    let first: Vec<u64> = (0..=n).map(|i| c.cost(0, i)).collect();
+    table.push(first);
+    for p in 1..m {
+        let prev = &table[p - 1];
+        let mut row = vec![0u64; n + 1];
+        for (i, slot) in row.iter_mut().enumerate() {
+            *slot = best_split(c, prev, i).1;
+        }
+        table.push(row);
+    }
+    let bottleneck = table[m - 1][n];
+    // Reconstruct cuts right-to-left.
+    let mut points = vec![0usize; m + 1];
+    points[m] = n;
+    let mut i = n;
+    for p in (1..m).rev() {
+        let prev = &table[p - 1];
+        let (k, _) = best_split(c, prev, i);
+        points[p] = k;
+        i = k;
+    }
+    let cuts = Cuts::new(points);
+    debug_assert_eq!(cuts.bottleneck(c), bottleneck);
+    OneDimResult { cuts, bottleneck }
+}
+
+/// `argmin_k max(prev[k], cost(k, i))` via binary search on the crossing
+/// of the two monotone sequences. Returns `(k, value)`.
+fn best_split<C: IntervalCost>(c: &C, prev: &[u64], i: usize) -> (usize, u64) {
+    // Smallest k with prev[k] >= cost(k, i).
+    let (mut a, mut b) = (0usize, i);
+    while a < b {
+        let mid = a + (b - a) / 2;
+        if prev[mid] >= c.cost(mid, i) {
+            b = mid;
+        } else {
+            a = mid + 1;
+        }
+    }
+    let eval = |k: usize| prev[k].max(c.cost(k, i));
+    let mut best = (a, eval(a));
+    if a > 0 {
+        let v = eval(a - 1);
+        if v < best.1 {
+            best = (a - 1, v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::PrefixCosts;
+
+    /// Exhaustive optimal bottleneck by enumerating all cut placements.
+    fn brute(loads: &[u64], m: usize) -> u64 {
+        let c = PrefixCosts::from_loads(loads);
+        let n = loads.len();
+        fn rec(c: &PrefixCosts, lo: usize, m: usize, n: usize) -> u64 {
+            if m == 1 {
+                return c.cost(lo, n);
+            }
+            (lo..=n)
+                .map(|k| c.cost(lo, k).max(rec(c, k, m - 1, n)))
+                .min()
+                .unwrap()
+        }
+        rec(&c, 0, m, n)
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_arrays() {
+        let cases: &[&[u64]] = &[
+            &[3, 1, 4, 1, 5, 9, 2, 6],
+            &[10, 1, 1, 1, 1, 1, 1, 10],
+            &[0, 0, 7, 0, 0],
+            &[1],
+            &[5, 5, 5, 5],
+            &[100, 1, 100],
+        ];
+        for loads in cases {
+            let c = PrefixCosts::from_loads(loads);
+            for m in 1..=loads.len().min(5) {
+                let got = dp_optimal(&c, m);
+                assert_eq!(got.bottleneck, brute(loads, m), "loads={loads:?} m={m}");
+                assert!(got.cuts.validate(loads.len(), m).is_ok());
+                assert_eq!(got.cuts.bottleneck(&c), got.bottleneck);
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_monotone_in_m() {
+        let loads = [8u64, 2, 9, 4, 4, 7, 1, 1, 6, 3];
+        let c = PrefixCosts::from_loads(&loads);
+        let mut prev = u64::MAX;
+        for m in 1..=10 {
+            let b = dp_optimal(&c, m).bottleneck;
+            assert!(b <= prev, "optimal bottleneck must not increase with m");
+            prev = b;
+        }
+        assert_eq!(prev, 9); // never below the max element
+    }
+
+    #[test]
+    fn lower_bounds_respected() {
+        let loads = [8u64, 2, 9, 4, 4, 7, 1, 1, 6, 3];
+        let c = PrefixCosts::from_loads(&loads);
+        for m in 1..=10 {
+            let b = dp_optimal(&c, m).bottleneck;
+            assert!(b >= c.total() / m as u64);
+            assert!(b >= c.max_unit_cost());
+        }
+    }
+
+    #[test]
+    fn more_parts_than_items_gives_max_element() {
+        let c = PrefixCosts::from_loads(&[4u64, 9, 2]);
+        let r = dp_optimal(&c, 7);
+        assert_eq!(r.bottleneck, 9);
+        assert!(r.cuts.validate(3, 7).is_ok());
+    }
+}

@@ -1,0 +1,197 @@
+//! Heterogeneous-processor 1D partitioning.
+//!
+//! The paper's related work (Lastovetsky & Dongarra's constant
+//! performance models) partitions *equal* tasks over *unequal*
+//! processors; this module solves the combined problem the execution
+//! simulator exposes: split a load array into consecutive intervals, one
+//! per processor with relative speed `s_p`, minimizing the makespan
+//! `max_p load_p / s_p`. Processor order is fixed (the chains-on-chains
+//! setting): callers choose the ordering.
+
+use crate::cost::IntervalCost;
+use crate::cuts::Cuts;
+
+/// Result of a heterogeneous 1D partitioning run.
+#[derive(Clone, Debug)]
+pub struct HeteroResult {
+    /// The partition (one interval per processor, in the given order).
+    pub cuts: Cuts,
+    /// Realized makespan `max_p load_p / s_p`.
+    pub makespan: f64,
+}
+
+/// Greedy feasibility: processor `p` (in order) takes the maximal
+/// interval with `cost ≤ t · s_p`. Returns the cuts if the sequence is
+/// covered — by the usual exchange argument, greedy maximal prefixes are
+/// feasible iff any assignment is.
+pub fn hetero_probe<C: IntervalCost>(c: &C, speeds: &[f64], t: f64) -> Option<Cuts> {
+    assert!(!speeds.is_empty());
+    assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+    let n = c.len();
+    let mut points = Vec::with_capacity(speeds.len() + 1);
+    points.push(0usize);
+    let mut lo = 0usize;
+    for &s in speeds {
+        if lo == n {
+            points.push(n);
+            continue;
+        }
+        let budget = t * s;
+        if c.cost(lo, lo + 1) as f64 > budget {
+            // Unlike the homogeneous probe, this is not fatal: a later,
+            // faster processor may absorb the item — this processor just
+            // takes the empty interval.
+            points.push(lo);
+            continue;
+        }
+        // Largest hi with cost(lo, hi) <= budget (monotone in hi).
+        let (mut a, mut b) = (lo + 1, n);
+        while a < b {
+            let mid = a + (b - a).div_ceil(2);
+            if c.cost(lo, mid) as f64 <= budget {
+                a = mid;
+            } else {
+                b = mid - 1;
+            }
+        }
+        points.push(a);
+        lo = a;
+    }
+    if lo == n {
+        Some(Cuts::new(points))
+    } else {
+        None
+    }
+}
+
+/// Optimal (up to floating-point bisection) heterogeneous partition for
+/// the given processor order: bisects the makespan between the
+/// speed-weighted average and the serial-on-fastest upper bound, then
+/// reports the realized makespan of the final probe.
+///
+/// ```
+/// use rectpart_onedim::{hetero_optimal, PrefixCosts};
+///
+/// let cost = PrefixCosts::from_loads(&[1u64; 30]);
+/// let r = hetero_optimal(&cost, &[2.0, 1.0]); // one processor twice as fast
+/// assert!((r.makespan - 10.0).abs() < 1e-9);  // 20 items / 2.0 = 10 items / 1.0
+/// ```
+pub fn hetero_optimal<C: IntervalCost>(c: &C, speeds: &[f64]) -> HeteroResult {
+    assert!(!speeds.is_empty());
+    assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+    let total = c.total() as f64;
+    let speed_sum: f64 = speeds.iter().sum();
+    let mut lo = total / speed_sum; // perfect speed-proportional split
+    let mut hi = {
+        // Everything on the fastest processor always succeeds when it
+        // comes first; as a general upper bound use total / min speed.
+        let min_speed = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        total / min_speed
+    }
+    .max(lo);
+    // A few extra iterations cost nothing; 128 halvings exhaust f64.
+    for _ in 0..128 {
+        if hi - lo <= f64::EPSILON * hi.max(1.0) {
+            break;
+        }
+        let mid = lo + (hi - lo) / 2.0;
+        if hetero_probe(c, speeds, mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let cuts = hetero_probe(c, speeds, hi).expect("upper bound must stay feasible");
+    let makespan = cuts
+        .intervals()
+        .zip(speeds)
+        .map(|((a, b), &s)| c.cost(a, b) as f64 / s)
+        .fold(0.0f64, f64::max);
+    HeteroResult { cuts, makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::PrefixCosts;
+    use crate::nicol::nicol;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force optimal makespan for a fixed processor order.
+    fn brute(loads: &[u64], speeds: &[f64]) -> f64 {
+        let c = PrefixCosts::from_loads(loads);
+        fn rec(c: &PrefixCosts, lo: usize, speeds: &[f64]) -> f64 {
+            let n = c.len();
+            if speeds.len() == 1 {
+                return c.cost(lo, n) as f64 / speeds[0];
+            }
+            (lo..=n)
+                .map(|k| (c.cost(lo, k) as f64 / speeds[0]).max(rec(c, k, &speeds[1..])))
+                .fold(f64::INFINITY, f64::min)
+        }
+        rec(&c, 0, speeds)
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..12);
+            let loads: Vec<u64> = (0..n).map(|_| rng.gen_range(1..40)).collect();
+            let m = rng.gen_range(1..5usize);
+            let speeds: Vec<f64> = (0..m).map(|_| rng.gen_range(1..4) as f64).collect();
+            let c = PrefixCosts::from_loads(&loads);
+            let got = hetero_optimal(&c, &speeds);
+            let want = brute(&loads, &speeds);
+            assert!(
+                (got.makespan - want).abs() <= 1e-9 * want.max(1.0),
+                "loads={loads:?} speeds={speeds:?}: {} vs {want}",
+                got.makespan
+            );
+            assert!(got.cuts.validate(n, m).is_ok());
+        }
+    }
+
+    #[test]
+    fn equal_speeds_reduce_to_homogeneous() {
+        let loads = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let c = PrefixCosts::from_loads(&loads);
+        for m in 1..=5 {
+            let homo = nicol(&c, m).bottleneck as f64;
+            let het = hetero_optimal(&c, &vec![1.0; m]).makespan;
+            assert!((het - homo).abs() < 1e-9, "m={m}: {het} vs {homo}");
+        }
+    }
+
+    #[test]
+    fn fast_processor_takes_more_load() {
+        let loads = vec![1u64; 30];
+        let c = PrefixCosts::from_loads(&loads);
+        let r = hetero_optimal(&c, &[2.0, 1.0]);
+        let (a0, b0) = r.cuts.interval(0);
+        let (a1, b1) = r.cuts.interval(1);
+        assert!(b0 - a0 > b1 - a1, "the 2x processor must take more items");
+        assert!((r.makespan - 10.0).abs() < 1e-9); // 20/2 = 10/1
+    }
+
+    #[test]
+    fn probe_semantics() {
+        let c = PrefixCosts::from_loads(&[5u64, 5, 5]);
+        // t=5 with speeds [1,1,1]: exactly one item each.
+        let cuts = hetero_probe(&c, &[1.0, 1.0, 1.0], 5.0).unwrap();
+        assert_eq!(cuts.points(), &[0, 1, 2, 3]);
+        assert!(hetero_probe(&c, &[1.0, 1.0], 5.0).is_none());
+        assert!(hetero_probe(&c, &[1.0, 1.0], 10.0).is_some());
+        // A fast first processor can take everything.
+        assert!(hetero_probe(&c, &[15.0, 1.0], 1.0).is_some());
+    }
+
+    #[test]
+    fn zero_length_sequence() {
+        let c = PrefixCosts::from_loads::<u64>(&[]);
+        let r = hetero_optimal(&c, &[1.0, 2.0]);
+        assert_eq!(r.makespan, 0.0);
+        assert!(r.cuts.validate(0, 2).is_ok());
+    }
+}

@@ -1,0 +1,228 @@
+//! Fast 1D partitioning heuristics: `DirectCut` and `RecursiveBisection`.
+
+use crate::cost::IntervalCost;
+use crate::cuts::Cuts;
+
+/// `DirectCut` (DC) — "Heuristic 1" of Miguet & Pierson.
+///
+/// Places cut `j` at the smallest index `i` such that
+/// `cost(0, i) > j · total / m`, i.e. each processor greedily absorbs the
+/// smallest prefix whose load exceeds its cumulative ideal share.
+///
+/// For **additive** costs this guarantees
+/// `Lmax(DC) ≤ total/m + max_i A[i]` (paper §2.2), hence DC is a
+/// 2-approximation, and — with every element strictly positive —
+/// `Lmax(DC) ≤ (total/m)(1 + Δm/n)` (Lemma 1 of the paper). For general
+/// monotone costs it is still a valid heuristic, without the guarantee.
+///
+/// Runs in `O(m log n)` cost queries.
+pub fn direct_cut<C: IntervalCost>(c: &C, m: usize) -> Cuts {
+    assert!(m >= 1);
+    let n = c.len();
+    let total = c.total() as u128;
+    let mut points = Vec::with_capacity(m + 1);
+    points.push(0usize);
+    let mut prev = 0usize;
+    for j in 1..m {
+        // smallest i >= prev with cost(0, i) * m > j * total
+        let target = j as u128 * total;
+        let (mut a, mut b) = (prev, n);
+        while a < b {
+            let mid = a + (b - a) / 2;
+            if (c.cost(0, mid) as u128) * m as u128 > target {
+                b = mid;
+            } else {
+                a = mid + 1;
+            }
+        }
+        points.push(a);
+        prev = a;
+    }
+    points.push(n);
+    Cuts::new(points)
+}
+
+/// `RecursiveBisection` (RB) — Berger & Bokhari style bisection.
+///
+/// Recursively splits the range into two pieces of (approximately) equal
+/// per-processor load, assigning `⌊m/2⌋` processors to one side and
+/// `⌈m/2⌉` to the other; for odd `m` both assignments of the extra
+/// processor are tried and the one minimizing the expected per-processor
+/// load is kept. A 2-approximation with
+/// `Lmax(RB) ≤ total/m + max_i A[i]` for additive costs; `O(m log n)`
+/// cost queries.
+pub fn recursive_bisection<C: IntervalCost>(c: &C, m: usize) -> Cuts {
+    assert!(m >= 1);
+    let mut points = Vec::with_capacity(m + 1);
+    points.push(0usize);
+    bisect(c, 0, c.len(), m, &mut points);
+    debug_assert_eq!(points.len(), m + 1);
+    Cuts::new(points)
+}
+
+/// Scaled max per-processor load of splitting `[lo, hi)` at `s` with
+/// `(m1, m2)` processors: `max(L1/m1, L2/m2)` compared via cross
+/// multiplication to stay in integers. Returns the comparable key.
+fn split_key<C: IntervalCost>(c: &C, lo: usize, s: usize, hi: usize, m1: usize, m2: usize) -> u128 {
+    let l1 = c.cost(lo, s) as u128;
+    let l2 = c.cost(s, hi) as u128;
+    // max(l1/m1, l2/m2) == max(l1*m2, l2*m1) / (m1*m2); m1*m2 is constant
+    // across candidate s for a fixed (m1, m2) ordering, and when comparing
+    // the two orderings of an odd split the denominators also agree.
+    (l1 * m2 as u128).max(l2 * m1 as u128)
+}
+
+fn bisect<C: IntervalCost>(c: &C, lo: usize, hi: usize, m: usize, out: &mut Vec<usize>) {
+    if m == 1 {
+        out.push(hi);
+        return;
+    }
+    let m1 = m / 2;
+    let m2 = m - m1;
+    // Smallest s with l1 * m2 >= l2 * m1 (LHS non-decreasing, RHS
+    // non-increasing in s); the optimum is at that crossing or just before.
+    let (mut a, mut b) = (lo, hi);
+    while a < b {
+        let mid = a + (b - a) / 2;
+        let l1 = c.cost(lo, mid) as u128 * m2 as u128;
+        let l2 = c.cost(mid, hi) as u128 * m1 as u128;
+        if l1 >= l2 {
+            b = mid;
+        } else {
+            a = mid + 1;
+        }
+    }
+    let mut best_s = a;
+    let mut best_key = split_key(c, lo, a, hi, m1, m2);
+    let mut best_m1 = m1;
+    if a > lo {
+        let k = split_key(c, lo, a - 1, hi, m1, m2);
+        if k < best_key {
+            best_key = k;
+            best_s = a - 1;
+        }
+    }
+    if m1 != m2 {
+        // Odd m: also consider giving the larger processor count to the left.
+        let (mut a, mut b) = (lo, hi);
+        while a < b {
+            let mid = a + (b - a) / 2;
+            let l1 = c.cost(lo, mid) as u128 * m1 as u128;
+            let l2 = c.cost(mid, hi) as u128 * m2 as u128;
+            if l1 >= l2 {
+                b = mid;
+            } else {
+                a = mid + 1;
+            }
+        }
+        for s in [a, a.saturating_sub(1).max(lo)] {
+            let k = split_key(c, lo, s, hi, m2, m1);
+            if k < best_key {
+                best_key = k;
+                best_s = s;
+                best_m1 = m2;
+            }
+        }
+    }
+    bisect(c, lo, best_s, best_m1, out);
+    bisect(c, best_s, hi, m - best_m1, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::PrefixCosts;
+    use crate::dp::dp_optimal;
+
+    fn uniform(n: usize) -> PrefixCosts {
+        PrefixCosts::from_loads(&vec![1u64; n])
+    }
+
+    #[test]
+    fn direct_cut_uniform_is_balanced() {
+        let c = uniform(100);
+        let cuts = direct_cut(&c, 4);
+        // DC takes the smallest prefix whose load exceeds the cumulative
+        // ideal share (strict, per Miguet-Pierson), so the first part gets
+        // one extra item on a perfectly uniform array.
+        assert_eq!(cuts.loads(&c), vec![26, 25, 25, 24]);
+        assert_eq!(cuts.bottleneck(&c), 26);
+    }
+
+    #[test]
+    fn direct_cut_guarantee_holds() {
+        let loads = [7u64, 3, 9, 1, 1, 8, 2, 2, 6, 5, 4, 9];
+        let c = PrefixCosts::from_loads(&loads);
+        for m in 1..=12 {
+            let cuts = direct_cut(&c, m);
+            let bound = c.total() / m as u64 + c.max_unit_cost() + 1; // +1 for integer division slack
+            assert!(
+                cuts.bottleneck(&c) <= bound,
+                "m={m}: {} > {}",
+                cuts.bottleneck(&c),
+                bound
+            );
+            assert!(cuts.validate(12, m).is_ok());
+        }
+    }
+
+    #[test]
+    fn recursive_bisection_uniform_is_balanced() {
+        let c = uniform(64);
+        let cuts = recursive_bisection(&c, 8);
+        assert_eq!(cuts.loads(&c), vec![8; 8]);
+    }
+
+    #[test]
+    fn recursive_bisection_guarantee_holds() {
+        let loads = [7u64, 3, 9, 1, 1, 8, 2, 2, 6, 5, 4, 9, 10, 1, 1, 2];
+        let c = PrefixCosts::from_loads(&loads);
+        for m in 1..=16 {
+            let cuts = recursive_bisection(&c, m);
+            assert!(cuts.validate(16, m).is_ok());
+            let bound = c.total() / m as u64 + c.max_unit_cost() + 1;
+            assert!(cuts.bottleneck(&c) <= bound, "m={m}");
+        }
+    }
+
+    #[test]
+    fn heuristics_never_beat_optimal() {
+        let loads = [5u64, 17, 2, 8, 8, 1, 13, 4, 4, 4, 20, 1];
+        let c = PrefixCosts::from_loads(&loads);
+        for m in 1..=8 {
+            let opt = dp_optimal(&c, m).bottleneck;
+            assert!(direct_cut(&c, m).bottleneck(&c) >= opt);
+            assert!(recursive_bisection(&c, m).bottleneck(&c) >= opt);
+        }
+    }
+
+    #[test]
+    fn single_processor_takes_everything() {
+        let c = PrefixCosts::from_loads(&[1u64, 2, 3]);
+        assert_eq!(direct_cut(&c, 1).points(), &[0, 3]);
+        assert_eq!(recursive_bisection(&c, 1).points(), &[0, 3]);
+    }
+
+    #[test]
+    fn more_parts_than_items() {
+        let c = PrefixCosts::from_loads(&[4u64, 4]);
+        let dc = direct_cut(&c, 5);
+        let rb = recursive_bisection(&c, 5);
+        assert!(dc.validate(2, 5).is_ok());
+        assert!(rb.validate(2, 5).is_ok());
+        assert_eq!(dc.bottleneck(&c), 4);
+        assert_eq!(rb.bottleneck(&c), 4);
+    }
+
+    #[test]
+    fn zero_loads_are_tolerated() {
+        let c = PrefixCosts::from_loads(&[0u64, 0, 5, 0, 0, 5, 0]);
+        for m in 1..=4 {
+            let dc = direct_cut(&c, m);
+            let rb = recursive_bisection(&c, m);
+            assert!(dc.validate(7, m).is_ok());
+            assert!(rb.validate(7, m).is_ok());
+        }
+        assert_eq!(recursive_bisection(&c, 2).bottleneck(&c), 5);
+    }
+}

@@ -1,0 +1,172 @@
+//! The Probe subroutine of Han, Narahari & Choi (1992).
+//!
+//! `Probe(B)` answers "can `[0, n)` be split into at most `m` intervals of
+//! cost ≤ B?" by greedily assigning to every part the *maximal* interval
+//! whose cost stays within the budget (binary search per part on the
+//! monotone cost). Nicol's optimal algorithm is built on it.
+
+use crate::cost::IntervalCost;
+use crate::cuts::Cuts;
+
+/// Greedy feasibility test with solution reconstruction.
+///
+/// Returns the cuts of a partition of `[0, len)` into exactly `m` parts,
+/// each of cost at most `budget`, if one exists (trailing parts may be
+/// empty). Returns `None` if even the greedy maximal-interval strategy
+/// cannot cover the sequence within `m` parts — by the classic exchange
+/// argument this means no partition does.
+pub fn probe<C: IntervalCost>(c: &C, m: usize, budget: u64) -> Option<Cuts> {
+    assert!(m >= 1);
+    let n = c.len();
+    let mut points = Vec::with_capacity(m + 1);
+    points.push(0usize);
+    let mut lo = 0usize;
+    for _ in 0..m {
+        if lo == n {
+            points.push(n);
+            continue;
+        }
+        if c.cost(lo, lo + 1) > budget {
+            return None; // single item exceeds the budget
+        }
+        let hi = c.upper_bisect(lo, lo + 1, n, budget);
+        points.push(hi);
+        lo = hi;
+    }
+    if lo == n {
+        Some(Cuts::new(points))
+    } else {
+        None
+    }
+}
+
+/// Allocation-free feasibility-only variant of [`probe`].
+pub fn probe_feasible<C: IntervalCost>(c: &C, m: usize, budget: u64) -> bool {
+    probe_suffix_feasible(c, 0, m, budget)
+}
+
+/// Feasibility of partitioning the suffix `[start, len)` into at most
+/// `parts` intervals of cost ≤ `budget`. Used by Nicol's algorithm, which
+/// repeatedly probes suffixes of the sequence.
+pub fn probe_suffix_feasible<C: IntervalCost>(
+    c: &C,
+    start: usize,
+    parts: usize,
+    budget: u64,
+) -> bool {
+    let n = c.len();
+    debug_assert!(start <= n);
+    if parts == 0 {
+        return start == n;
+    }
+    let mut lo = start;
+    for _ in 0..parts {
+        if lo == n {
+            return true;
+        }
+        if c.cost(lo, lo + 1) > budget {
+            return false;
+        }
+        lo = c.upper_bisect(lo, lo + 1, n, budget);
+    }
+    lo == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::PrefixCosts;
+
+    fn cost() -> PrefixCosts {
+        PrefixCosts::from_loads(&[3u64, 1, 4, 1, 5, 9, 2, 6])
+    }
+
+    #[test]
+    fn probe_succeeds_at_generous_budget() {
+        let c = cost();
+        let cuts = probe(&c, 3, 31).expect("total fits in one part");
+        assert_eq!(cuts.parts(), 3);
+        assert!(cuts.bottleneck(&c) <= 31);
+        assert!(cuts.validate(8, 3).is_ok());
+    }
+
+    #[test]
+    fn probe_fails_below_max_element() {
+        let c = cost();
+        assert!(probe(&c, 8, 8).is_none()); // element 9 cannot fit
+        assert!(!probe_feasible(&c, 8, 8));
+    }
+
+    #[test]
+    fn probe_tight_budget() {
+        let c = cost();
+        // Optimal bottleneck for m=3 is 11: [3,1,4,1]=9? greedy at 11:
+        // [3,1,4,1]=9 then +5 would be 14 -> [3,1,4,1], [5,9]=14 > 11 so [5],
+        // check real value via feasibility scan below.
+        let mut b = 0;
+        while !probe_feasible(&c, 3, b) {
+            b += 1;
+        }
+        assert!(probe(&c, 3, b).is_some());
+        assert!(probe(&c, 3, b - 1).is_none());
+        // Bottleneck is at least the average ceil(31/3) = 11 and at least 9.
+        assert!(b >= 11);
+    }
+
+    #[test]
+    fn probe_exact_parts_with_padding() {
+        let c = PrefixCosts::from_loads(&[1u64, 1]);
+        let cuts = probe(&c, 4, 2).unwrap();
+        assert_eq!(cuts.parts(), 4);
+        assert_eq!(cuts.n(), 2);
+    }
+
+    #[test]
+    fn probe_suffix_matches_prefix_probe() {
+        let c = cost();
+        for start in 0..=8 {
+            for parts in 1..=4 {
+                for budget in [5, 9, 12, 31] {
+                    let direct = {
+                        let mut lo = start;
+                        let mut used = 0;
+                        let mut ok = true;
+                        while lo < 8 && used < parts {
+                            if c.cost(lo, lo + 1) > budget {
+                                ok = false;
+                                break;
+                            }
+                            lo = c.upper_bisect(lo, lo + 1, 8, budget);
+                            used += 1;
+                        }
+                        ok && lo == 8
+                    };
+                    assert_eq!(
+                        probe_suffix_feasible(&c, start, parts, budget),
+                        direct,
+                        "start={start} parts={parts} budget={budget}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_zero_parts_only_covers_empty_suffix() {
+        let c = cost();
+        assert!(probe_suffix_feasible(&c, 8, 0, 0));
+        assert!(!probe_suffix_feasible(&c, 7, 0, 100));
+    }
+
+    #[test]
+    fn probe_budget_monotonicity() {
+        let c = cost();
+        let mut prev = false;
+        for budget in 0..=31 {
+            let now = probe_feasible(&c, 3, budget);
+            assert!(!prev || now, "feasibility must be monotone in budget");
+            prev = now;
+        }
+        assert!(prev);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the 1D substrate: all three optimal solvers
+//! agree, heuristics are bounded, the refined heuristics never regress,
+//! and the heterogeneous solver is sane.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rectpart_onedim::{
+    direct_cut, direct_cut_refined, dp_optimal, hetero_optimal, nicol, parametric_optimal,
+    probe_feasible, probe_feasible_sliced, recursive_bisection, IntervalCost, PrefixCosts,
+};
+
+fn arb_loads() -> impl Strategy<Value = Vec<u64>> {
+    vec(0u64..300, 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn three_optimal_solvers_agree(loads in arb_loads(), m in 1usize..10) {
+        let c = PrefixCosts::from_loads(&loads);
+        let a = nicol(&c, m).bottleneck;
+        let b = dp_optimal(&c, m).bottleneck;
+        let d = parametric_optimal(&c, m).bottleneck;
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, d);
+    }
+
+    #[test]
+    fn refined_dc_between_dc_and_optimal(loads in arb_loads(), m in 1usize..10) {
+        let c = PrefixCosts::from_loads(&loads);
+        let dc = direct_cut(&c, m).bottleneck(&c);
+        let h2 = direct_cut_refined(&c, m).bottleneck(&c);
+        let opt = nicol(&c, m).bottleneck;
+        prop_assert!(h2 <= dc);
+        prop_assert!(h2 >= opt);
+    }
+
+    #[test]
+    fn sliced_probe_agrees_with_plain(loads in arb_loads(), m in 1usize..8) {
+        let c = PrefixCosts::from_loads(&loads);
+        let opt = nicol(&c, m).bottleneck;
+        for budget in [opt.saturating_sub(1), opt, opt + 7] {
+            prop_assert_eq!(
+                probe_feasible_sliced(&c, m, budget),
+                probe_feasible(&c, m, budget)
+            );
+        }
+    }
+
+    #[test]
+    fn rb_guarantee(loads in arb_loads(), m in 1usize..10) {
+        let c = PrefixCosts::from_loads(&loads);
+        let rb = recursive_bisection(&c, m).bottleneck(&c);
+        prop_assert!(rb <= c.total() / m as u64 + c.max_unit_cost() + 1);
+    }
+
+    #[test]
+    fn hetero_generalizes_homogeneous(loads in arb_loads(), m in 1usize..6) {
+        let c = PrefixCosts::from_loads(&loads);
+        let homo = nicol(&c, m).bottleneck as f64;
+        let het = hetero_optimal(&c, &vec![1.0; m]).makespan;
+        prop_assert!((het - homo).abs() <= 1e-6 * homo.max(1.0));
+    }
+
+    #[test]
+    fn hetero_makespan_monotone_in_speed(loads in arb_loads()) {
+        let c = PrefixCosts::from_loads(&loads);
+        let slow = hetero_optimal(&c, &[1.0, 1.0]).makespan;
+        let fast = hetero_optimal(&c, &[2.0, 2.0]).makespan;
+        prop_assert!(fast <= slow + 1e-9);
+    }
+}

@@ -1,0 +1,172 @@
+//! Dynamic-application driver: repartitioning a load time series.
+//!
+//! The PIC-MAG application's load evolves as particles move; the paper
+//! partitions every 500-iteration snapshot independently (figures 8, 11,
+//! 12). This driver reproduces that loop and adds the migration-cost
+//! accounting the paper leaves as future work: either repartition at
+//! every snapshot, or only when the *current* partition's imbalance
+//! drifts past a threshold (a common production policy, exposed here as
+//! an extension experiment).
+
+use rectpart_core::{LoadMatrix, Partition, Partitioner, PrefixSum2D};
+
+use crate::model::{migration, CommModel, Simulator};
+
+/// When to compute a fresh partition along the trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RebalancePolicy {
+    /// Repartition at every snapshot (the paper's setting).
+    EverySnapshot,
+    /// Keep the previous partition while its imbalance on the *current*
+    /// load stays at or below the threshold.
+    Threshold(f64),
+}
+
+/// Per-snapshot outcome of a dynamic run.
+#[derive(Clone, Debug)]
+pub struct DynamicStats {
+    /// Snapshot index (0-based).
+    pub step: usize,
+    /// Load imbalance of the active partition on this snapshot's load.
+    pub imbalance: f64,
+    /// BSP makespan of the active partition on this snapshot.
+    pub makespan: f64,
+    /// Parallel speedup at this snapshot.
+    pub speedup: f64,
+    /// Whether a fresh partition was computed at this snapshot.
+    pub repartitioned: bool,
+    /// Cells that changed owner relative to the previous active
+    /// partition (0 on the first snapshot or when not repartitioned).
+    pub migration_cells: u64,
+    /// Load (on the new snapshot) carried by migrated cells.
+    pub migration_load: u64,
+}
+
+/// Runs `algo` over a load time series under the given policy and cost
+/// model, returning one [`DynamicStats`] per snapshot.
+pub fn dynamic_run<P: Partitioner + ?Sized>(
+    trace: &[LoadMatrix],
+    algo: &P,
+    m: usize,
+    model: &CommModel,
+    policy: RebalancePolicy,
+) -> Vec<DynamicStats> {
+    let sim = Simulator::new(*model);
+    let mut stats = Vec::with_capacity(trace.len());
+    let mut active: Option<Partition> = None;
+    for (step, matrix) in trace.iter().enumerate() {
+        let pfx = PrefixSum2D::new(matrix);
+        let (partition, repartitioned, mig) = match (&active, policy) {
+            (Some(prev), RebalancePolicy::Threshold(t)) if prev.load_imbalance(&pfx) <= t => {
+                (prev.clone(), false, Default::default())
+            }
+            (prev, _) => {
+                let fresh = algo.partition(&pfx, m);
+                let mig = prev
+                    .as_ref()
+                    .map(|p| migration(&pfx, p, &fresh))
+                    .unwrap_or_default();
+                (fresh, true, mig)
+            }
+        };
+        let report = sim.evaluate(&pfx, &partition);
+        stats.push(DynamicStats {
+            step,
+            imbalance: partition.load_imbalance(&pfx),
+            makespan: report.makespan,
+            speedup: report.speedup,
+            repartitioned,
+            migration_cells: mig.cells,
+            migration_load: mig.load,
+        });
+        active = Some(partition);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rectpart_core::{HierRb, JagMHeur};
+
+    /// A drifting peak: load concentrates at a column that moves right
+    /// over time.
+    fn drifting_trace(steps: usize, n: usize) -> Vec<LoadMatrix> {
+        (0..steps)
+            .map(|t| {
+                let hot = (t * n) / steps;
+                LoadMatrix::from_fn(n, n, |_, c| 1 + if c == hot { 100 } else { 0 })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_snapshot_repartitions_every_time() {
+        let trace = drifting_trace(5, 16);
+        let stats = dynamic_run(
+            &trace,
+            &JagMHeur::best(),
+            4,
+            &CommModel::default(),
+            RebalancePolicy::EverySnapshot,
+        );
+        assert_eq!(stats.len(), 5);
+        assert!(stats.iter().all(|s| s.repartitioned));
+        assert_eq!(stats[0].migration_cells, 0, "no predecessor at step 0");
+        assert!(
+            stats[1..].iter().any(|s| s.migration_cells > 0),
+            "a drifting peak must move cells"
+        );
+    }
+
+    #[test]
+    fn threshold_policy_skips_stable_steps() {
+        // A static trace: after the first partition nothing drifts, so a
+        // threshold policy never repartitions again.
+        let matrix = LoadMatrix::from_fn(16, 16, |r, c| ((r * c) % 5) as u32 + 1);
+        let trace = vec![matrix.clone(), matrix.clone(), matrix];
+        let stats = dynamic_run(
+            &trace,
+            &HierRb::load(),
+            4,
+            &CommModel::default(),
+            RebalancePolicy::Threshold(0.5),
+        );
+        assert!(stats[0].repartitioned);
+        assert!(!stats[1].repartitioned && !stats[2].repartitioned);
+        assert_eq!(stats[1].migration_cells, 0);
+    }
+
+    #[test]
+    fn threshold_policy_reacts_to_drift() {
+        let trace = drifting_trace(6, 16);
+        let stats = dynamic_run(
+            &trace,
+            &JagMHeur::best(),
+            4,
+            &CommModel::default(),
+            RebalancePolicy::Threshold(0.05),
+        );
+        assert!(stats[0].repartitioned);
+        assert!(
+            stats[1..].iter().any(|s| s.repartitioned),
+            "tight threshold must trigger on a drifting peak"
+        );
+    }
+
+    #[test]
+    fn imbalance_matches_partition_metric() {
+        let trace = drifting_trace(2, 12);
+        let stats = dynamic_run(
+            &trace,
+            &HierRb::load(),
+            3,
+            &CommModel::default(),
+            RebalancePolicy::EverySnapshot,
+        );
+        for s in &stats {
+            assert!(s.imbalance >= 0.0);
+            assert!(s.speedup > 0.0 && s.speedup <= 3.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! BSP execution simulator for rectangle partitions.
+//!
+//! The paper optimizes compute load only and names communication and
+//! migration costs as future work (§5): "we plan to investigate the
+//! effect of these different partitioning schemes in communication cost,
+//! as well as taking into account data migration costs in dynamic
+//! applications". This crate implements that evaluation layer:
+//!
+//! * a **BSP iteration model** — every processor computes over its
+//!   rectangle (`α` per unit load), then exchanges halos with its
+//!   edge-adjacent neighbours (`β` per boundary cell + a per-neighbour
+//!   latency); the iteration time is the slowest processor;
+//! * **migration accounting** between successive partitions of a dynamic
+//!   run (cells and load changing owners);
+//! * a **dynamic-run driver** that repartitions a matrix time series
+//!   (e.g. the PIC-MAG trace) with any [`Partitioner`] and reports
+//!   imbalance, makespan, speedup and migration per step;
+//! * a **real threaded stencil mini-app** ([`run_stencil`]) that executes
+//!   a partitioned Jacobi relaxation with one OS thread per processor and
+//!   measures realized (not modeled) balance.
+
+mod dynamic;
+mod model;
+mod stencil;
+
+pub use dynamic::{dynamic_run, DynamicStats, RebalancePolicy};
+pub use model::{migration, CommModel, ExecutionReport, MigrationReport, Simulator};
+pub use stencil::{run_stencil, run_stencil_sequential, StencilConfig, StencilReport};

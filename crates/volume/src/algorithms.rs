@@ -1,0 +1,331 @@
+//! 3D generalizations of the paper's partitioning families.
+
+use rectpart_core::{allocate_processors, JagMHeur, Partitioner, PrefixSum2D};
+use rectpart_onedim::{nicol, FnCost};
+
+use crate::geometry::{Axis3, Box3};
+use crate::prefix::PrefixSum3D;
+use crate::solution::{Partition3, Partitioner3};
+use crate::volume::LoadVolume;
+
+/// `RECT-UNIFORM-3D`: a P×Q×R grid of near-equal-*size* slabs (the 3D
+/// `MPI_Cart` baseline).
+#[derive(Clone, Debug, Default)]
+pub struct RectUniform3 {
+    /// Explicit grid; defaults to the most cubic factorization of `m`.
+    pub grid: Option<(usize, usize, usize)>,
+}
+
+impl Partitioner3 for RectUniform3 {
+    fn name(&self) -> String {
+        "RECT-UNIFORM-3D".into()
+    }
+
+    fn partition(&self, pfx: &PrefixSum3D, m: usize) -> Partition3 {
+        assert!(m >= 1);
+        let (p, q, r) = self.grid.unwrap_or_else(|| cubic_dims(m));
+        assert!(p * q * r <= m);
+        let (nx, ny, nz) = pfx.dims();
+        let cut = |n: usize, k: usize, i: usize| i * n / k;
+        let mut boxes = Vec::with_capacity(p * q * r);
+        for i in 0..p {
+            for j in 0..q {
+                for k in 0..r {
+                    boxes.push(Box3::new(
+                        cut(nx, p, i),
+                        cut(nx, p, i + 1),
+                        cut(ny, q, j),
+                        cut(ny, q, j + 1),
+                        cut(nz, r, k),
+                        cut(nz, r, k + 1),
+                    ));
+                }
+            }
+        }
+        Partition3::with_parts(boxes, m)
+    }
+}
+
+/// The factorization `m = p·q·r` minimizing the spread `max/min` of the
+/// factors (most cubic grid).
+pub(crate) fn cubic_dims(m: usize) -> (usize, usize, usize) {
+    assert!(m >= 1);
+    let mut best = (1, 1, m);
+    let mut best_spread = m;
+    for p in 1..=m {
+        if p * p * p > m {
+            break;
+        }
+        if !m.is_multiple_of(p) {
+            continue;
+        }
+        let rest = m / p;
+        let mut q = (rest as f64).sqrt() as usize;
+        while !rest.is_multiple_of(q) {
+            q -= 1;
+        }
+        let r = rest / q;
+        let spread = r.max(q).max(p) / p.min(q).min(r);
+        if spread < best_spread {
+            best_spread = spread;
+            best = (p, q, r);
+        }
+    }
+    best
+}
+
+/// `JAG-M-HEUR-3D`: the natural 3D lift of the paper's m-way jagged
+/// heuristic. The main axis is split into `P ≈ ∛m·…` slabs with the
+/// optimal 1D algorithm on the axis projection; every slab receives a
+/// processor count proportional to its load (the §3.2.2 allocation) and
+/// is then partitioned by the 2D `JAG-M-HEUR` on its accumulated
+/// cross-section.
+///
+/// Requires the underlying [`LoadVolume`] (for per-slab accumulation), so
+/// it is constructed with [`JagMHeur3::new`] rather than from the prefix
+/// sums alone. Per-slab accumulated loads must fit `u32`.
+#[derive(Clone, Debug)]
+pub struct JagMHeur3<'a> {
+    volume: &'a LoadVolume,
+    /// Main (slab) axis.
+    pub main: Axis3,
+    /// Slab count; defaults to `⌊m^(1/3)⌋`.
+    pub slabs: Option<usize>,
+}
+
+impl<'a> JagMHeur3<'a> {
+    /// Creates the partitioner for a volume, slicing along `main`.
+    pub fn new(volume: &'a LoadVolume, main: Axis3) -> Self {
+        Self {
+            volume,
+            main,
+            slabs: None,
+        }
+    }
+}
+
+impl Partitioner3 for JagMHeur3<'_> {
+    fn name(&self) -> String {
+        "JAG-M-HEUR-3D".into()
+    }
+
+    fn partition(&self, pfx: &PrefixSum3D, m: usize) -> Partition3 {
+        assert!(m >= 1);
+        assert_eq!(
+            pfx.dims(),
+            self.volume.dims(),
+            "prefix sums must describe the constructing volume"
+        );
+        let n_main = self.volume.len(self.main);
+        let p = self
+            .slabs
+            .unwrap_or_else(|| (m as f64).cbrt().floor() as usize)
+            .clamp(1, m.min(n_main.max(1)));
+        // Optimal 1D slab cuts on the main-axis projection.
+        let slab_load = |a: usize, b: usize| -> u64 {
+            let (nx, ny, nz) = pfx.dims();
+            match self.main {
+                Axis3::X => pfx.load6(a, b, 0, ny, 0, nz),
+                Axis3::Y => pfx.load6(0, nx, a, b, 0, nz),
+                Axis3::Z => pfx.load6(0, nx, 0, ny, a, b),
+            }
+        };
+        let cost = FnCost::additive(n_main, &slab_load);
+        let cuts = nicol(&cost, p).cuts;
+        let slabs: Vec<(usize, usize)> = cuts.intervals().filter(|(a, b)| a < b).collect();
+        let loads: Vec<u64> = slabs.iter().map(|&(a, b)| slab_load(a, b)).collect();
+        let procs = allocate_processors(&loads, m, p.min(m));
+        let mut boxes = Vec::with_capacity(m);
+        for (&(a, b), &qs) in slabs.iter().zip(&procs) {
+            // 2D sub-problem on the slab's accumulated cross-section.
+            let matrix = self.volume.flatten_range(self.main, a, b);
+            let pfx2 = PrefixSum2D::new(&matrix);
+            let part2 = JagMHeur::best().partition(&pfx2, qs);
+            for rect in part2.rects().iter().filter(|r| !r.is_empty()) {
+                boxes.push(embed(self.main, a, b, rect.r0, rect.r1, rect.c0, rect.c1));
+            }
+        }
+        Partition3::with_parts(boxes, m)
+    }
+}
+
+/// Maps a 2D rectangle of the cross-section (rows, cols =
+/// `main.others()`) back into the slab `[a, b)` of the volume.
+fn embed(main: Axis3, a: usize, b: usize, r0: usize, r1: usize, c0: usize, c1: usize) -> Box3 {
+    match main {
+        Axis3::X => Box3::new(a, b, r0, r1, c0, c1),
+        Axis3::Y => Box3::new(r0, r1, a, b, c0, c1),
+        Axis3::Z => Box3::new(r0, r1, c0, c1, a, b),
+    }
+}
+
+/// `HIER-RB-3D`: recursive bisection choosing, at every node, the best
+/// balanced split over all three axes (the `-LOAD` policy in 3D).
+#[derive(Clone, Debug, Default)]
+pub struct HierRb3;
+
+impl Partitioner3 for HierRb3 {
+    fn name(&self) -> String {
+        "HIER-RB-3D-LOAD".into()
+    }
+
+    fn partition(&self, pfx: &PrefixSum3D, m: usize) -> Partition3 {
+        assert!(m >= 1);
+        let (nx, ny, nz) = pfx.dims();
+        let mut boxes = Vec::with_capacity(m);
+        recurse(pfx, Box3::new(0, nx, 0, ny, 0, nz), m, &mut boxes);
+        debug_assert_eq!(boxes.len(), m);
+        Partition3::new(boxes)
+    }
+}
+
+fn recurse(pfx: &PrefixSum3D, cuboid: Box3, m: usize, out: &mut Vec<Box3>) {
+    if m == 1 {
+        out.push(cuboid);
+        return;
+    }
+    let candidates: Vec<Axis3> = Axis3::ALL
+        .into_iter()
+        .filter(|&a| {
+            let (lo, hi) = cuboid.extent(a);
+            hi - lo >= 2
+        })
+        .collect();
+    if candidates.is_empty() {
+        out.push(cuboid);
+        out.extend(std::iter::repeat_n(Box3::EMPTY, m - 1));
+        return;
+    }
+    let m1 = m / 2;
+    let m2 = m - m1;
+    let mut best: Option<(u128, Axis3, usize, usize)> = None;
+    let assignments: &[(usize, usize)] = if m1 == m2 {
+        &[(m1, m2)]
+    } else {
+        &[(m1, m2), (m2, m1)]
+    };
+    for &axis in &candidates {
+        for &(ma, mb) in assignments {
+            let (lo, hi) = cuboid.extent(axis);
+            let (mut a, mut b) = (lo, hi);
+            while a < b {
+                let mid = a + (b - a) / 2;
+                let (first, second) = cuboid.split(axis, mid);
+                if pfx.load(&first) as u128 * mb as u128 >= pfx.load(&second) as u128 * ma as u128 {
+                    b = mid;
+                } else {
+                    a = mid + 1;
+                }
+            }
+            for at in [a, a.saturating_sub(1).max(lo)] {
+                let (first, second) = cuboid.split(axis, at);
+                let key = (pfx.load(&first) as u128 * mb as u128)
+                    .max(pfx.load(&second) as u128 * ma as u128);
+                if best.is_none_or(|(bk, ..)| key < bk) {
+                    best = Some((key, axis, at, ma));
+                }
+            }
+        }
+    }
+    let (_, axis, at, ma) = best.unwrap();
+    let (first, second) = cuboid.split(axis, at);
+    recurse(pfx, first, ma, out);
+    recurse(pfx, second, m - ma, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_volume(nx: usize, ny: usize, nz: usize, seed: u64) -> LoadVolume {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LoadVolume::from_fn(nx, ny, nz, |_, _, _| rng.gen_range(1..50))
+    }
+
+    #[test]
+    fn cubic_dims_properties() {
+        assert_eq!(cubic_dims(8), (2, 2, 2));
+        assert_eq!(cubic_dims(27), (3, 3, 3));
+        assert_eq!(cubic_dims(12), (2, 2, 3));
+        assert_eq!(cubic_dims(7), (1, 1, 7));
+        for m in 1..=64 {
+            let (p, q, r) = cubic_dims(m);
+            assert_eq!(p * q * r, m);
+        }
+    }
+
+    #[test]
+    fn uniform3_tiles_the_volume() {
+        let v = random_volume(9, 7, 11, 1);
+        let pfx = PrefixSum3D::new(&v);
+        for m in [1, 4, 8, 12, 27] {
+            let p = RectUniform3::default().partition(&pfx, m);
+            assert!(p.validate(&pfx).is_ok(), "m={m}: {:?}", p.validate(&pfx));
+        }
+    }
+
+    #[test]
+    fn hier_rb3_tiles_and_balances() {
+        let v = random_volume(12, 10, 8, 2);
+        let pfx = PrefixSum3D::new(&v);
+        for m in [1, 2, 5, 8, 16, 31] {
+            let p = HierRb3.partition(&pfx, m);
+            assert!(p.validate(&pfx).is_ok(), "m={m}");
+            assert!(p.lmax(&pfx) >= pfx.lower_bound(m));
+        }
+        // On a uniform volume and a power-of-two m, bisection is perfect.
+        let u = LoadVolume::from_fn(8, 8, 8, |_, _, _| 3);
+        let pu = PrefixSum3D::new(&u);
+        let p = HierRb3.partition(&pu, 8);
+        assert_eq!(p.lmax(&pu), pu.total() / 8);
+    }
+
+    #[test]
+    fn jag_m_heur3_tiles_and_balances() {
+        let v = random_volume(10, 12, 9, 3);
+        let pfx = PrefixSum3D::new(&v);
+        for axis in Axis3::ALL {
+            for m in [1, 4, 9, 20] {
+                let algo = JagMHeur3::new(&v, axis);
+                let p = algo.partition(&pfx, m);
+                assert!(p.validate(&pfx).is_ok(), "axis={axis:?} m={m}");
+                assert!(p.lmax(&pfx) >= pfx.lower_bound(m));
+            }
+        }
+    }
+
+    #[test]
+    fn jagged3_beats_uniform_grid_on_skewed_volumes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = LoadVolume::from_fn(12, 12, 12, |x, y, z| {
+            let d =
+                ((x as f64 - 6.0).powi(2) + (y as f64 - 6.0).powi(2) + (z as f64 - 6.0).powi(2))
+                    .sqrt();
+            (500.0 / (d + 0.5)) as u32 + rng.gen_range(1..5)
+        });
+        let pfx = PrefixSum3D::new(&v);
+        let m = 27;
+        let grid = RectUniform3::default()
+            .partition(&pfx, m)
+            .load_imbalance(&pfx);
+        let jag = JagMHeur3::new(&v, Axis3::X)
+            .partition(&pfx, m)
+            .load_imbalance(&pfx);
+        assert!(
+            jag < grid,
+            "jagged ({jag:.3}) must beat the uniform grid ({grid:.3}) on a peaked volume"
+        );
+    }
+
+    #[test]
+    fn explicit_slab_count() {
+        let v = random_volume(16, 8, 8, 5);
+        let pfx = PrefixSum3D::new(&v);
+        let mut algo = JagMHeur3::new(&v, Axis3::X);
+        algo.slabs = Some(4);
+        let p = algo.partition(&pfx, 16);
+        assert!(p.validate(&pfx).is_ok());
+    }
+}

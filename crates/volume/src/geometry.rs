@@ -1,0 +1,170 @@
+//! Cuboids and axis selection in three dimensions.
+
+/// One of the three dimensions of a load volume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis3 {
+    /// First (slowest-varying) dimension.
+    X,
+    /// Second dimension.
+    Y,
+    /// Third (fastest-varying) dimension.
+    Z,
+}
+
+impl Axis3 {
+    /// All three axes.
+    pub const ALL: [Axis3; 3] = [Axis3::X, Axis3::Y, Axis3::Z];
+
+    /// The two axes orthogonal to this one, in (row, col) order of the
+    /// flattened matrix.
+    pub fn others(self) -> (Axis3, Axis3) {
+        match self {
+            Axis3::X => (Axis3::Y, Axis3::Z),
+            Axis3::Y => (Axis3::X, Axis3::Z),
+            Axis3::Z => (Axis3::X, Axis3::Y),
+        }
+    }
+}
+
+/// An axis-aligned box of cells: `[x0, x1) × [y0, y1) × [z0, z1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Box3 {
+    /// First x (inclusive).
+    pub x0: usize,
+    /// Past-the-end x.
+    pub x1: usize,
+    /// First y (inclusive).
+    pub y0: usize,
+    /// Past-the-end y.
+    pub y1: usize,
+    /// First z (inclusive).
+    pub z0: usize,
+    /// Past-the-end z.
+    pub z1: usize,
+}
+
+impl Box3 {
+    /// A box covering no cell.
+    pub const EMPTY: Box3 = Box3 {
+        x0: 0,
+        x1: 0,
+        y0: 0,
+        y1: 0,
+        z0: 0,
+        z1: 0,
+    };
+
+    /// Creates a box; panics on inverted bounds.
+    pub fn new(x0: usize, x1: usize, y0: usize, y1: usize, z0: usize, z1: usize) -> Box3 {
+        assert!(x0 <= x1 && y0 <= y1 && z0 <= z1, "inverted box bounds");
+        Box3 {
+            x0,
+            x1,
+            y0,
+            y1,
+            z0,
+            z1,
+        }
+    }
+
+    /// Number of cells covered.
+    pub fn volume(&self) -> usize {
+        (self.x1 - self.x0) * (self.y1 - self.y0) * (self.z1 - self.z0)
+    }
+
+    /// `true` when no cell is covered.
+    pub fn is_empty(&self) -> bool {
+        self.x0 == self.x1 || self.y0 == self.y1 || self.z0 == self.z1
+    }
+
+    /// Extent `[lo, hi)` along `axis`.
+    pub fn extent(&self, axis: Axis3) -> (usize, usize) {
+        match axis {
+            Axis3::X => (self.x0, self.x1),
+            Axis3::Y => (self.y0, self.y1),
+            Axis3::Z => (self.z0, self.z1),
+        }
+    }
+
+    /// Splits at `at` along `axis` (must lie within the extent).
+    pub fn split(&self, axis: Axis3, at: usize) -> (Box3, Box3) {
+        let (lo, hi) = self.extent(axis);
+        assert!(lo <= at && at <= hi);
+        let mut a = *self;
+        let mut b = *self;
+        match axis {
+            Axis3::X => {
+                a.x1 = at;
+                b.x0 = at;
+            }
+            Axis3::Y => {
+                a.y1 = at;
+                b.y0 = at;
+            }
+            Axis3::Z => {
+                a.z1 = at;
+                b.z0 = at;
+            }
+        }
+        (a, b)
+    }
+
+    /// `true` if the boxes share at least one cell.
+    pub fn intersects(&self, other: &Box3) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.x0 < other.x1
+            && other.x0 < self.x1
+            && self.y0 < other.y1
+            && other.y0 < self.y1
+            && self.z0 < other.z1
+            && other.z0 < self.z1
+    }
+
+    /// `true` if the cell lies inside.
+    pub fn contains(&self, x: usize, y: usize, z: usize) -> bool {
+        self.x0 <= x && x < self.x1 && self.y0 <= y && y < self.y1 && self.z0 <= z && z < self.z1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_emptiness() {
+        let b = Box3::new(0, 2, 1, 4, 2, 5);
+        assert_eq!(b.volume(), 2 * 3 * 3);
+        assert!(!b.is_empty());
+        assert!(Box3::EMPTY.is_empty());
+        assert!(Box3::new(1, 1, 0, 4, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn split_along_each_axis() {
+        let b = Box3::new(0, 4, 0, 6, 0, 8);
+        let (lo, hi) = b.split(Axis3::Y, 2);
+        assert_eq!(lo.extent(Axis3::Y), (0, 2));
+        assert_eq!(hi.extent(Axis3::Y), (2, 6));
+        assert_eq!(lo.extent(Axis3::X), (0, 4));
+        let (a, c) = b.split(Axis3::Z, 8);
+        assert_eq!(a, b);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn intersection_and_containment() {
+        let a = Box3::new(0, 4, 0, 4, 0, 4);
+        assert!(a.intersects(&Box3::new(3, 5, 3, 5, 3, 5)));
+        assert!(!a.intersects(&Box3::new(4, 6, 0, 4, 0, 4)));
+        assert!(a.contains(3, 3, 3));
+        assert!(!a.contains(4, 0, 0));
+    }
+
+    #[test]
+    fn axis_others() {
+        assert_eq!(Axis3::X.others(), (Axis3::Y, Axis3::Z));
+        assert_eq!(Axis3::Y.others(), (Axis3::X, Axis3::Z));
+        assert_eq!(Axis3::Z.others(), (Axis3::X, Axis3::Y));
+    }
+}

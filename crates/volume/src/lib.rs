@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Three-dimensional extension of `rectpart`.
+//!
+//! The paper's problem statement covers "discrete, two or
+//! three-dimensional space" (§1), and its PIC-MAG instances are in fact
+//! 3D simulation data *accumulated along one dimension* into matrices
+//! (§4.1). This crate supplies the 3D side of that story:
+//!
+//! * [`LoadVolume`] — a dense 3D load array, with
+//!   [`LoadVolume::flatten`] reproducing the paper's accumulation
+//!   preprocessing;
+//! * [`PrefixSum3D`] — the 3D Γ array: any axis-aligned box load in O(1)
+//!   (8-term inclusion–exclusion);
+//! * [`Partition3`] / [`Partitioner3`] — cuboid-per-processor solutions
+//!   with the same validation and imbalance metrics as 2D;
+//! * three partitioners generalizing the paper's families to 3D:
+//!   [`RectUniform3`] (P×Q×R grid), [`JagMHeur3`] (m-way jagged slabs,
+//!   each slab partitioned by the 2D `JAG-M-HEUR`), and [`HierRb3`]
+//!   (recursive bisection over the best of three axes).
+
+mod algorithms;
+mod geometry;
+mod prefix;
+mod refine3;
+mod solution;
+mod synthetic;
+mod volume;
+
+pub use algorithms::{HierRb3, JagMHeur3, RectUniform3};
+pub use geometry::{Axis3, Box3};
+pub use prefix::PrefixSum3D;
+pub use refine3::{HierRelaxed3, RectNicol3};
+pub use solution::{Partition3, Partitioner3};
+pub use synthetic::{peak3, uniform3};
+pub use volume::LoadVolume;

@@ -1,0 +1,141 @@
+//! 3D prefix sums: any box load in O(1).
+
+use crate::geometry::Box3;
+use crate::volume::LoadVolume;
+
+/// The 3D Γ array: `g[x][y][z] = Σ_{x'<x, y'<y, z'<z} A[x'][y'][z']`
+/// with zero borders, so a box load is eight lookups (3D
+/// inclusion–exclusion).
+#[derive(Clone, Debug)]
+pub struct PrefixSum3D {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    g: Vec<u64>,
+    total: u64,
+    max_cell: u32,
+}
+
+impl PrefixSum3D {
+    /// Builds Γ in one pass.
+    pub fn new(v: &LoadVolume) -> Self {
+        let (nx, ny, nz) = v.dims();
+        let (sy, sz) = ((ny + 1) * (nz + 1), nz + 1);
+        let idx = |x: usize, y: usize, z: usize| x * sy + y * sz + z;
+        let mut g = vec![0u64; (nx + 1) * sy];
+        let mut max_cell = 0u32;
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let cell = v.get(x, y, z);
+                    max_cell = max_cell.max(cell);
+                    // Standard 3D prefix recurrence.
+                    g[idx(x + 1, y + 1, z + 1)] = cell as u64
+                        + g[idx(x, y + 1, z + 1)]
+                        + g[idx(x + 1, y, z + 1)]
+                        + g[idx(x + 1, y + 1, z)]
+                        - g[idx(x, y, z + 1)]
+                        - g[idx(x, y + 1, z)]
+                        - g[idx(x + 1, y, z)]
+                        + g[idx(x, y, z)];
+                }
+            }
+        }
+        let total = g[idx(nx, ny, nz)];
+        Self {
+            nx,
+            ny,
+            nz,
+            g,
+            total,
+            max_cell,
+        }
+    }
+
+    /// Dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total load.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest cell load.
+    pub fn max_cell(&self) -> u32 {
+        self.max_cell
+    }
+
+    /// Load of a box in O(1).
+    pub fn load(&self, b: &Box3) -> u64 {
+        self.load6(b.x0, b.x1, b.y0, b.y1, b.z0, b.z1)
+    }
+
+    /// Load of `[x0,x1) × [y0,y1) × [z0,z1)` in O(1).
+    #[allow(clippy::too_many_arguments)]
+    pub fn load6(&self, x0: usize, x1: usize, y0: usize, y1: usize, z0: usize, z1: usize) -> u64 {
+        debug_assert!(x0 <= x1 && x1 <= self.nx);
+        debug_assert!(y0 <= y1 && y1 <= self.ny);
+        debug_assert!(z0 <= z1 && z1 <= self.nz);
+        let (sy, sz) = ((self.ny + 1) * (self.nz + 1), self.nz + 1);
+        let idx = |x: usize, y: usize, z: usize| x * sy + y * sz + z;
+        let g = &self.g;
+        // Inclusion–exclusion; grouped to keep intermediate sums
+        // non-negative in unsigned arithmetic.
+        (g[idx(x1, y1, z1)] + g[idx(x0, y0, z1)] + g[idx(x0, y1, z0)] + g[idx(x1, y0, z0)])
+            - (g[idx(x0, y1, z1)] + g[idx(x1, y0, z1)] + g[idx(x1, y1, z0)] + g[idx(x0, y0, z0)])
+    }
+
+    /// The classical lower bounds on any m-way cuboid bottleneck.
+    pub fn lower_bound(&self, m: usize) -> u64 {
+        assert!(m >= 1);
+        self.total.div_ceil(m as u64).max(self.max_cell as u64)
+    }
+
+    /// Average per-processor load.
+    pub fn average_load(&self, m: usize) -> f64 {
+        self.total as f64 / m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_naive_on_random_volumes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = LoadVolume::from_fn(6, 7, 5, |_, _, _| rng.gen_range(0..50));
+        let p = PrefixSum3D::new(&v);
+        assert_eq!(p.total(), v.total());
+        assert_eq!(p.max_cell(), v.max_cell());
+        for _ in 0..300 {
+            let x0 = rng.gen_range(0..=6);
+            let x1 = rng.gen_range(x0..=6);
+            let y0 = rng.gen_range(0..=7);
+            let y1 = rng.gen_range(y0..=7);
+            let z0 = rng.gen_range(0..=5);
+            let z1 = rng.gen_range(z0..=5);
+            let b = Box3::new(x0, x1, y0, y1, z0, z1);
+            assert_eq!(p.load(&b), v.load_naive(&b), "{b:?}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_semantics() {
+        let v = LoadVolume::from_fn(2, 2, 2, |x, _, _| if x == 0 { 10 } else { 1 });
+        let p = PrefixSum3D::new(&v);
+        assert_eq!(p.lower_bound(1), p.total());
+        assert_eq!(p.lower_bound(44), 10);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        let v = LoadVolume::from_fn(1, 1, 4, |_, _, z| z as u32);
+        let p = PrefixSum3D::new(&v);
+        assert_eq!(p.load6(0, 1, 0, 1, 1, 3), 3);
+    }
+}

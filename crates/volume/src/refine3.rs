@@ -1,0 +1,312 @@
+//! The remaining 3D generalizations: iterative rectilinear refinement
+//! (`RECT-NICOL-3D`) and the relaxed hierarchical heuristic
+//! (`HIER-RELAXED-3D`).
+//!
+//! Both are direct lifts of their 2D counterparts. The rectilinear
+//! refinement showcases the generic-interval-cost design: fixing the cut
+//! sets of two axes, the third axis is re-partitioned *optimally* by
+//! Nicol's algorithm under the max-over-tubes interval cost — exactly the
+//! paper's §3.1 refinement with one more dimension in the maximum.
+
+use rectpart_onedim::{nicol, Cuts, FnCost};
+
+use crate::geometry::{Axis3, Box3};
+use crate::prefix::PrefixSum3D;
+use crate::solution::{Partition3, Partitioner3};
+
+/// `RECT-NICOL-3D`: iterative refinement of a P×Q×R grid. Each round
+/// re-partitions one axis optimally against the max-over-tubes cost of
+/// the other two axes' fixed cuts, cycling through the axes until the
+/// grid bottleneck stops improving.
+#[derive(Clone, Debug)]
+pub struct RectNicol3 {
+    /// Explicit grid; defaults to the most cubic factorization of `m`.
+    pub grid: Option<(usize, usize, usize)>,
+    /// Cap on full refinement rounds (one round = all three axes).
+    pub max_iters: usize,
+}
+
+impl Default for RectNicol3 {
+    fn default() -> Self {
+        Self {
+            grid: None,
+            max_iters: 10,
+        }
+    }
+}
+
+impl Partitioner3 for RectNicol3 {
+    fn name(&self) -> String {
+        "RECT-NICOL-3D".into()
+    }
+
+    fn partition(&self, pfx: &PrefixSum3D, m: usize) -> Partition3 {
+        assert!(m >= 1);
+        let (p, q, r) = self
+            .grid
+            .unwrap_or_else(|| crate::algorithms::cubic_dims(m));
+        assert!(p * q * r <= m);
+        let (nx, ny, nz) = pfx.dims();
+        let mut cuts = [
+            Cuts::uniform(nx, p),
+            Cuts::uniform(ny, q),
+            Cuts::uniform(nz, r),
+        ];
+        let parts = [p, q, r];
+        let mut best = grid_lmax3(pfx, &cuts);
+        for _ in 0..self.max_iters {
+            let mut next = cuts.clone();
+            for (ai, axis) in Axis3::ALL.into_iter().enumerate() {
+                next[ai] = refine_axis(pfx, &next, axis, parts[ai]);
+            }
+            let lmax = grid_lmax3(pfx, &next);
+            if lmax >= best {
+                break;
+            }
+            best = lmax;
+            cuts = next;
+        }
+        let mut boxes = Vec::with_capacity(p * q * r);
+        for (x0, x1) in cuts[0].intervals() {
+            for (y0, y1) in cuts[1].intervals() {
+                for (z0, z1) in cuts[2].intervals() {
+                    boxes.push(Box3::new(x0, x1, y0, y1, z0, z1));
+                }
+            }
+        }
+        Partition3::with_parts(boxes, m)
+    }
+}
+
+/// Optimal 1D re-partition of `axis` under the max-over-tubes cost of
+/// the other two axes' cuts.
+fn refine_axis(pfx: &PrefixSum3D, cuts: &[Cuts; 3], axis: Axis3, parts: usize) -> Cuts {
+    let (a1, a2) = axis.others();
+    let (i1, i2) = (axis_index(a1), axis_index(a2));
+    let tubes: Vec<((usize, usize), (usize, usize))> = cuts[i1]
+        .intervals()
+        .flat_map(|u| cuts[i2].intervals().map(move |v| (u, v)))
+        .collect();
+    let n = axis_len(pfx, axis);
+    let cost = FnCost::new(n, move |lo, hi| {
+        tubes
+            .iter()
+            .map(|&((u0, u1), (v0, v1))| tube_load(pfx, axis, lo, hi, u0, u1, v0, v1))
+            .max()
+            .unwrap_or(0)
+    });
+    nicol(&cost, parts).cuts
+}
+
+fn axis_index(axis: Axis3) -> usize {
+    match axis {
+        Axis3::X => 0,
+        Axis3::Y => 1,
+        Axis3::Z => 2,
+    }
+}
+
+fn axis_len(pfx: &PrefixSum3D, axis: Axis3) -> usize {
+    let (nx, ny, nz) = pfx.dims();
+    match axis {
+        Axis3::X => nx,
+        Axis3::Y => ny,
+        Axis3::Z => nz,
+    }
+}
+
+/// Load of the box spanning `[lo, hi)` on `axis` and the given intervals
+/// on its two other axes (in `Axis3::others` order).
+#[allow(clippy::too_many_arguments)]
+fn tube_load(
+    pfx: &PrefixSum3D,
+    axis: Axis3,
+    lo: usize,
+    hi: usize,
+    u0: usize,
+    u1: usize,
+    v0: usize,
+    v1: usize,
+) -> u64 {
+    match axis {
+        Axis3::X => pfx.load6(lo, hi, u0, u1, v0, v1),
+        Axis3::Y => pfx.load6(u0, u1, lo, hi, v0, v1),
+        Axis3::Z => pfx.load6(u0, u1, v0, v1, lo, hi),
+    }
+}
+
+fn grid_lmax3(pfx: &PrefixSum3D, cuts: &[Cuts; 3]) -> u64 {
+    let mut best = 0;
+    for (x0, x1) in cuts[0].intervals() {
+        for (y0, y1) in cuts[1].intervals() {
+            for (z0, z1) in cuts[2].intervals() {
+                best = best.max(pfx.load6(x0, x1, y0, y1, z0, z1));
+            }
+        }
+    }
+    best
+}
+
+/// `HIER-RELAXED-3D`: at every node choose the axis, the cut position and
+/// the processor split minimizing `max(L1/j, L2/(m−j))`, with the same
+/// balanced-outward tie stabilization as the 2D implementation.
+#[derive(Clone, Debug)]
+pub struct HierRelaxed3 {
+    /// Relative improvement a less balanced split must show (see the 2D
+    /// `HierRelaxed::balance_bias`).
+    pub balance_bias: f64,
+}
+
+impl Default for HierRelaxed3 {
+    fn default() -> Self {
+        Self { balance_bias: 1e-3 }
+    }
+}
+
+impl Partitioner3 for HierRelaxed3 {
+    fn name(&self) -> String {
+        "HIER-RELAXED-3D-LOAD".into()
+    }
+
+    fn partition(&self, pfx: &PrefixSum3D, m: usize) -> Partition3 {
+        assert!(m >= 1);
+        let (nx, ny, nz) = pfx.dims();
+        let mut boxes = Vec::with_capacity(m);
+        self.recurse(pfx, Box3::new(0, nx, 0, ny, 0, nz), m, &mut boxes);
+        debug_assert_eq!(boxes.len(), m);
+        Partition3::new(boxes)
+    }
+}
+
+impl HierRelaxed3 {
+    fn recurse(&self, pfx: &PrefixSum3D, cuboid: Box3, m: usize, out: &mut Vec<Box3>) {
+        if m == 1 {
+            out.push(cuboid);
+            return;
+        }
+        let candidates: Vec<Axis3> = Axis3::ALL
+            .into_iter()
+            .filter(|&a| {
+                let (lo, hi) = cuboid.extent(a);
+                hi - lo >= 2
+            })
+            .collect();
+        if candidates.is_empty() {
+            out.push(cuboid);
+            out.extend(std::iter::repeat_n(Box3::EMPTY, m - 1));
+            return;
+        }
+        let mut best: Option<(f64, Axis3, usize, usize)> = None;
+        for &axis in &candidates {
+            let (lo, hi) = cuboid.extent(axis);
+            for step in 0..m - 1 {
+                let half = m / 2;
+                let j = if step % 2 == 0 {
+                    half - step / 2
+                } else {
+                    half + step.div_ceil(2)
+                };
+                if j == 0 || j >= m {
+                    continue;
+                }
+                let (mut a, mut b) = (lo, hi);
+                while a < b {
+                    let mid = a + (b - a) / 2;
+                    let (first, second) = cuboid.split(axis, mid);
+                    if pfx.load(&first) as u128 * (m - j) as u128
+                        >= pfx.load(&second) as u128 * j as u128
+                    {
+                        b = mid;
+                    } else {
+                        a = mid + 1;
+                    }
+                }
+                for at in [a, a.saturating_sub(1).max(lo)] {
+                    let (first, second) = cuboid.split(axis, at);
+                    let key = (pfx.load(&first) as f64 / j as f64)
+                        .max(pfx.load(&second) as f64 / (m - j) as f64);
+                    if best.is_none_or(|(bk, ..)| key < bk * (1.0 - self.balance_bias)) {
+                        best = Some((key, axis, at, j));
+                    }
+                }
+            }
+        }
+        let (_, axis, at, j) = best.unwrap();
+        let (first, second) = cuboid.split(axis, at);
+        self.recurse(pfx, first, j, out);
+        self.recurse(pfx, second, m - j, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::RectUniform3;
+    use crate::synthetic::{peak3, uniform3};
+    use crate::volume::LoadVolume;
+
+    #[test]
+    fn rect_nicol3_tiles_and_beats_uniform() {
+        let v = peak3(14, 12, 10, 3);
+        let pfx = PrefixSum3D::new(&v);
+        for m in [8, 12, 27] {
+            let refined = RectNicol3::default().partition(&pfx, m);
+            assert!(refined.validate(&pfx).is_ok(), "m={m}");
+            let grid = RectUniform3::default().partition(&pfx, m);
+            assert!(
+                refined.lmax(&pfx) <= grid.lmax(&pfx),
+                "m={m}: refinement must not lose to the uniform grid"
+            );
+        }
+    }
+
+    #[test]
+    fn hier_relaxed3_tiles_and_balances() {
+        let v = peak3(12, 12, 12, 7);
+        let pfx = PrefixSum3D::new(&v);
+        for m in [1, 3, 7, 16, 27] {
+            let p = HierRelaxed3::default().partition(&pfx, m);
+            assert!(p.validate(&pfx).is_ok(), "m={m}");
+            assert!(p.lmax(&pfx) >= pfx.lower_bound(m));
+        }
+    }
+
+    #[test]
+    fn relaxed3_perfect_on_uniform_cube() {
+        let v = uniform3(8, 8, 8, 1.0, 1);
+        let pfx = PrefixSum3D::new(&v);
+        let p = HierRelaxed3::default().partition(&pfx, 8);
+        assert_eq!(p.lmax(&pfx), pfx.total() / 8);
+    }
+
+    #[test]
+    fn degenerate_volume_dimensions() {
+        // A 1-cell-thick slab reduces the problem to 2D; both algorithms
+        // must still tile it.
+        let v = LoadVolume::from_fn(1, 16, 16, |_, y, z| (y * z) as u32 + 1);
+        let pfx = PrefixSum3D::new(&v);
+        for m in [4, 9] {
+            assert!(RectNicol3::default()
+                .partition(&pfx, m)
+                .validate(&pfx)
+                .is_ok());
+            assert!(HierRelaxed3::default()
+                .partition(&pfx, m)
+                .validate(&pfx)
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn explicit_grid() {
+        let v = uniform3(9, 9, 9, 1.4, 2);
+        let pfx = PrefixSum3D::new(&v);
+        let algo = RectNicol3 {
+            grid: Some((1, 2, 3)),
+            ..RectNicol3::default()
+        };
+        let p = algo.partition(&pfx, 6);
+        assert!(p.validate(&pfx).is_ok());
+        assert_eq!(p.active_parts(), 6);
+    }
+}

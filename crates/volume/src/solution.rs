@@ -1,0 +1,195 @@
+//! Cuboid-per-processor partitions of a volume.
+
+use std::fmt;
+
+use crate::geometry::Box3;
+use crate::prefix::PrefixSum3D;
+
+/// Why a candidate 3D partition is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Partition3Error {
+    /// A box sticks out of the volume.
+    OutOfBounds { index: usize, cuboid: Box3 },
+    /// Two boxes share a cell.
+    Overlap { a: usize, b: usize },
+    /// The boxes do not cover every cell.
+    Uncovered { covered: usize, expected: usize },
+}
+
+impl fmt::Display for Partition3Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partition3Error::OutOfBounds { index, cuboid } => {
+                write!(f, "box {index} out of bounds: {cuboid:?}")
+            }
+            Partition3Error::Overlap { a, b } => write!(f, "boxes {a} and {b} overlap"),
+            Partition3Error::Uncovered { covered, expected } => {
+                write!(f, "only {covered} of {expected} cells covered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Partition3Error {}
+
+/// A cuboid-per-processor partition; idle processors hold
+/// [`Box3::EMPTY`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition3 {
+    boxes: Vec<Box3>,
+}
+
+impl Partition3 {
+    /// Wraps boxes into a partition of `boxes.len()` processors.
+    pub fn new(boxes: Vec<Box3>) -> Self {
+        assert!(!boxes.is_empty());
+        Self { boxes }
+    }
+
+    /// Wraps boxes, padding with [`Box3::EMPTY`] up to `m`.
+    pub fn with_parts(mut boxes: Vec<Box3>, m: usize) -> Self {
+        assert!(
+            boxes.len() <= m,
+            "{} boxes exceed {m} processors",
+            boxes.len()
+        );
+        boxes.resize(m, Box3::EMPTY);
+        Self { boxes }
+    }
+
+    /// Number of processors.
+    pub fn parts(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// The boxes, one per processor.
+    pub fn boxes(&self) -> &[Box3] {
+        &self.boxes
+    }
+
+    /// Non-empty boxes.
+    pub fn active_parts(&self) -> usize {
+        self.boxes.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Per-processor loads.
+    pub fn loads(&self, pfx: &PrefixSum3D) -> Vec<u64> {
+        self.boxes.iter().map(|b| pfx.load(b)).collect()
+    }
+
+    /// Load of the most loaded processor.
+    pub fn lmax(&self, pfx: &PrefixSum3D) -> u64 {
+        self.boxes.iter().map(|b| pfx.load(b)).max().unwrap_or(0)
+    }
+
+    /// `Lmax / Lavg − 1`.
+    pub fn load_imbalance(&self, pfx: &PrefixSum3D) -> f64 {
+        let lavg = pfx.average_load(self.parts());
+        if lavg == 0.0 {
+            return 0.0;
+        }
+        self.lmax(pfx) as f64 / lavg - 1.0
+    }
+
+    /// Checks the boxes tile the volume exactly (pairwise disjointness +
+    /// volume count, as in 2D).
+    pub fn validate(&self, pfx: &PrefixSum3D) -> Result<(), Partition3Error> {
+        let (nx, ny, nz) = pfx.dims();
+        let mut covered = 0usize;
+        for (i, b) in self.boxes.iter().enumerate() {
+            if b.is_empty() {
+                continue;
+            }
+            if b.x1 > nx || b.y1 > ny || b.z1 > nz {
+                return Err(Partition3Error::OutOfBounds {
+                    index: i,
+                    cuboid: *b,
+                });
+            }
+            covered += b.volume();
+        }
+        for i in 0..self.boxes.len() {
+            for j in i + 1..self.boxes.len() {
+                if self.boxes[i].intersects(&self.boxes[j]) {
+                    return Err(Partition3Error::Overlap { a: i, b: j });
+                }
+            }
+        }
+        let expected = nx * ny * nz;
+        if covered != expected {
+            return Err(Partition3Error::Uncovered { covered, expected });
+        }
+        Ok(())
+    }
+}
+
+/// A 3D cuboid-partitioning algorithm.
+pub trait Partitioner3: Sync {
+    /// Algorithm name, following the 2D naming convention with a `-3D`
+    /// suffix.
+    fn name(&self) -> String;
+
+    /// Partitions the volume behind `pfx` into `m` cuboids.
+    fn partition(&self, pfx: &PrefixSum3D, m: usize) -> Partition3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::LoadVolume;
+
+    fn pfx() -> PrefixSum3D {
+        PrefixSum3D::new(&LoadVolume::from_fn(4, 4, 4, |x, y, z| {
+            (x + y + z) as u32 + 1
+        }))
+    }
+
+    #[test]
+    fn octants_are_valid() {
+        let mut boxes = Vec::new();
+        for x in [0, 2] {
+            for y in [0, 2] {
+                for z in [0, 2] {
+                    boxes.push(Box3::new(x, x + 2, y, y + 2, z, z + 2));
+                }
+            }
+        }
+        let p = Partition3::new(boxes);
+        let g = pfx();
+        assert!(p.validate(&g).is_ok());
+        assert_eq!(p.loads(&g).iter().sum::<u64>(), g.total());
+        assert!(p.load_imbalance(&g) >= 0.0);
+    }
+
+    #[test]
+    fn detects_overlap_and_gaps() {
+        let g = pfx();
+        let overlap = Partition3::new(vec![
+            Box3::new(0, 3, 0, 4, 0, 4),
+            Box3::new(2, 4, 0, 4, 0, 4),
+        ]);
+        assert!(matches!(
+            overlap.validate(&g),
+            Err(Partition3Error::Overlap { .. })
+        ));
+        let gap = Partition3::new(vec![Box3::new(0, 3, 0, 4, 0, 4)]);
+        assert!(matches!(
+            gap.validate(&g),
+            Err(Partition3Error::Uncovered { .. })
+        ));
+        let oob = Partition3::new(vec![Box3::new(0, 5, 0, 4, 0, 4)]);
+        assert!(matches!(
+            oob.validate(&g),
+            Err(Partition3Error::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn padding_with_empty_boxes() {
+        let g = pfx();
+        let p = Partition3::with_parts(vec![Box3::new(0, 4, 0, 4, 0, 4)], 5);
+        assert!(p.validate(&g).is_ok());
+        assert_eq!(p.parts(), 5);
+        assert_eq!(p.active_parts(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Synthetic 3D load volumes (uniform and peaked), mirroring the 2D
+//! classes for the 3D algorithms' tests and examples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::volume::LoadVolume;
+
+/// Uniform volume with heterogeneity Δ: cells drawn from
+/// `[1000, 1000·Δ]`.
+pub fn uniform3(nx: usize, ny: usize, nz: usize, delta: f64, seed: u64) -> LoadVolume {
+    assert!(delta >= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hi = (1000.0 * delta).round() as u32;
+    LoadVolume::from_fn(nx, ny, nz, |_, _, _| rng.gen_range(1000..=hi.max(1000)))
+}
+
+/// Single random load peak: a uniform draw divided by the distance to a
+/// random reference point (the 2D peak recipe lifted to 3D).
+pub fn peak3(nx: usize, ny: usize, nz: usize, seed: u64) -> LoadVolume {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (px, py, pz) = (
+        rng.gen_range(0..nx) as f64,
+        rng.gen_range(0..ny) as f64,
+        rng.gen_range(0..nz) as f64,
+    );
+    let ncells = (nx * ny * nz) as u64;
+    LoadVolume::from_fn(nx, ny, nz, |x, y, z| {
+        let d =
+            ((x as f64 - px).powi(2) + (y as f64 - py).powi(2) + (z as f64 - pz).powi(2)).sqrt();
+        (rng.gen_range(0..ncells) as f64 / (d + 0.1)) as u32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Axis3;
+
+    #[test]
+    fn uniform3_range() {
+        let v = uniform3(8, 8, 8, 1.5, 1);
+        assert!(v.max_cell() <= 1500);
+        assert!(v.total() >= 1000 * 512);
+    }
+
+    #[test]
+    fn peak3_concentrates() {
+        let v = peak3(16, 16, 16, 2);
+        // The peak cell dwarfs the average cell...
+        let mean = v.total() as f64 / 4096.0;
+        assert!(v.max_cell() as f64 > 10.0 * mean);
+        // ...and survives accumulation as a visible 2D hotspot.
+        let flat = v.flatten(Axis3::Z);
+        let avg = flat.total() as f64 / 256.0;
+        assert!(flat.max_cell() as f64 > 1.5 * avg);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(peak3(8, 8, 8, 7), peak3(8, 8, 8, 7));
+        assert_ne!(peak3(8, 8, 8, 7), peak3(8, 8, 8, 8));
+    }
+}

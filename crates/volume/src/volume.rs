@@ -1,0 +1,199 @@
+//! Dense 3D load volumes.
+
+use rectpart_core::LoadMatrix;
+
+use crate::geometry::{Axis3, Box3};
+
+/// A dense `nx × ny × nz` volume of non-negative cell loads, `x` slowest.
+///
+/// ```
+/// use rectpart_volume::{Axis3, LoadVolume};
+///
+/// let v = LoadVolume::from_fn(2, 3, 4, |_, _, _| 1);
+/// assert_eq!(v.total(), 24);
+/// // The paper's PIC-MAG preprocessing: accumulate one dimension away.
+/// let m = v.flatten(Axis3::Z);
+/// assert_eq!((m.rows(), m.cols()), (2, 3));
+/// assert_eq!(m.get(0, 0), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadVolume {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    data: Vec<u32>,
+}
+
+impl LoadVolume {
+    /// Builds a volume from `x`-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == nx * ny * nz`.
+    pub fn from_vec(nx: usize, ny: usize, nz: usize, data: Vec<u32>) -> Self {
+        assert_eq!(data.len(), nx * ny * nz, "volume data length mismatch");
+        Self { nx, ny, nz, data }
+    }
+
+    /// Builds a volume by evaluating `f(x, y, z)` on every cell.
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut f: impl FnMut(usize, usize, usize) -> u32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(nx * ny * nz);
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    data.push(f(x, y, z));
+                }
+            }
+        }
+        Self { nx, ny, nz, data }
+    }
+
+    /// Dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Extent along an axis.
+    pub fn len(&self, axis: Axis3) -> usize {
+        match axis {
+            Axis3::X => self.nx,
+            Axis3::Y => self.ny,
+            Axis3::Z => self.nz,
+        }
+    }
+
+    /// Cell load at `(x, y, z)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> u32 {
+        self.data[(x * self.ny + y) * self.nz + z]
+    }
+
+    /// Sum of all cell loads.
+    pub fn total(&self) -> u64 {
+        self.data.iter().map(|&v| v as u64).sum()
+    }
+
+    /// Largest cell load.
+    pub fn max_cell(&self) -> u32 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Naive O(volume) box load — the test oracle for
+    /// [`crate::PrefixSum3D`].
+    pub fn load_naive(&self, b: &Box3) -> u64 {
+        let mut sum = 0u64;
+        for x in b.x0..b.x1 {
+            for y in b.y0..b.y1 {
+                for z in b.z0..b.z1 {
+                    sum += self.get(x, y, z) as u64;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Accumulates the volume along `axis` into a 2D matrix — exactly the
+    /// paper's PIC-MAG preprocessing ("the number of particles are
+    /// accumulated among one dimension to get a 2D instance", §4.1). The
+    /// remaining axes map to (rows, cols) in [`Axis3::others`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column's accumulated load exceeds `u32::MAX`.
+    pub fn flatten(&self, axis: Axis3) -> LoadMatrix {
+        self.flatten_range(axis, 0, self.len(axis))
+    }
+
+    /// [`LoadVolume::flatten`] restricted to the slab `[lo, hi)` along
+    /// `axis` — the per-slab projection used by the 3D jagged
+    /// partitioner.
+    pub fn flatten_range(&self, axis: Axis3, lo: usize, hi: usize) -> LoadMatrix {
+        assert!(lo <= hi && hi <= self.len(axis));
+        let (row_axis, col_axis) = axis.others();
+        let rows = self.len(row_axis);
+        let cols = self.len(col_axis);
+        LoadMatrix::from_fn(rows, cols, |r, c| {
+            let mut sum = 0u64;
+            for d in lo..hi {
+                let (x, y, z) = arrange(axis, d, row_axis, r, col_axis, c);
+                sum += self.get(x, y, z) as u64;
+            }
+            u32::try_from(sum).expect("accumulated column exceeds u32")
+        })
+    }
+}
+
+/// Reassembles `(x, y, z)` from per-axis coordinates.
+fn arrange(
+    a1: Axis3,
+    v1: usize,
+    a2: Axis3,
+    v2: usize,
+    a3: Axis3,
+    v3: usize,
+) -> (usize, usize, usize) {
+    let mut coords = [0usize; 3];
+    for (axis, v) in [(a1, v1), (a2, v2), (a3, v3)] {
+        let idx = match axis {
+            Axis3::X => 0,
+            Axis3::Y => 1,
+            Axis3::Z => 2,
+        };
+        coords[idx] = v;
+    }
+    (coords[0], coords[1], coords[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = LoadVolume::from_fn(2, 3, 4, |x, y, z| (x * 100 + y * 10 + z) as u32);
+        assert_eq!(v.dims(), (2, 3, 4));
+        assert_eq!(v.get(1, 2, 3), 123);
+        assert_eq!(v.len(Axis3::Y), 3);
+    }
+
+    #[test]
+    fn flatten_sums_along_each_axis() {
+        let v = LoadVolume::from_fn(2, 3, 4, |_, _, _| 1);
+        let fx = v.flatten(Axis3::X);
+        assert_eq!((fx.rows(), fx.cols()), (3, 4));
+        assert!(fx.data().iter().all(|&c| c == 2));
+        let fy = v.flatten(Axis3::Y);
+        assert_eq!((fy.rows(), fy.cols()), (2, 4));
+        assert!(fy.data().iter().all(|&c| c == 3));
+        let fz = v.flatten(Axis3::Z);
+        assert_eq!((fz.rows(), fz.cols()), (2, 3));
+        assert!(fz.data().iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn flatten_preserves_total() {
+        let v = LoadVolume::from_fn(3, 4, 5, |x, y, z| (x + 2 * y + 3 * z) as u32);
+        for axis in Axis3::ALL {
+            assert_eq!(v.flatten(axis).total(), v.total());
+        }
+    }
+
+    #[test]
+    fn naive_box_load() {
+        let v = LoadVolume::from_fn(3, 3, 3, |x, y, z| (x + y + z) as u32);
+        assert_eq!(v.load_naive(&Box3::new(0, 3, 0, 3, 0, 3)), v.total());
+        assert_eq!(v.load_naive(&Box3::new(1, 2, 1, 2, 1, 2)), 3);
+        assert_eq!(v.load_naive(&Box3::EMPTY), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_checks_length() {
+        let _ = LoadVolume::from_vec(2, 2, 2, vec![0; 7]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Adaptive-mesh-refinement-style workload.
+//!
+//! The paper's first application class — fluid dynamics / PIC codes — is
+//! in practice often run on adaptively refined meshes (the original
+//! recursive-bisection paper, Berger & Bokhari 1987, was written exactly
+//! for this setting). The resulting load field differs from the smooth
+//! synthetic classes: *discrete plateaus* — each refinement level
+//! multiplies the per-cell cost — with sharp nested boundaries. Those
+//! steps are what make cut placement hard for grid-like methods, so this
+//! class complements the §4.1 generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rectpart_core::LoadMatrix;
+
+/// Nested-refinement workload configuration.
+#[derive(Clone, Debug)]
+pub struct AmrConfig {
+    /// Output rows.
+    pub rows: usize,
+    /// Output columns.
+    pub cols: usize,
+    /// Refinement levels (0 = uniform base grid).
+    pub levels: usize,
+    /// Independently placed refinement sites.
+    pub sites: usize,
+    /// Cost of an unrefined cell.
+    pub base_cost: u32,
+    /// Cost multiplier per refinement level (4 models one 2×2 split per
+    /// level, the standard AMR ratio).
+    pub refine_factor: u32,
+    /// RNG seed for site placement.
+    pub seed: u64,
+}
+
+impl Default for AmrConfig {
+    fn default() -> Self {
+        Self {
+            rows: 256,
+            cols: 256,
+            levels: 3,
+            sites: 4,
+            base_cost: 10,
+            refine_factor: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl AmrConfig {
+    /// Generates the load matrix: every cell costs
+    /// `base · factor^(deepest covering level)`, where level `l + 1`'s
+    /// region around each site is half the radius of level `l`'s.
+    pub fn generate(&self) -> LoadMatrix {
+        assert!(self.rows > 0 && self.cols > 0 && self.base_cost > 0);
+        assert!(self.refine_factor >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sites: Vec<(f64, f64)> = (0..self.sites)
+            .map(|_| {
+                (
+                    rng.gen_range(0..self.rows) as f64,
+                    rng.gen_range(0..self.cols) as f64,
+                )
+            })
+            .collect();
+        let base_radius = (self.rows.min(self.cols)) as f64 / 3.0;
+        LoadMatrix::from_fn(self.rows, self.cols, |r, c| {
+            let mut depth = 0usize;
+            for &(sr, sc) in &sites {
+                let d = ((r as f64 - sr).powi(2) + (c as f64 - sc).powi(2)).sqrt();
+                // Deepest level whose shrinking radius still covers (r, c).
+                let mut radius = base_radius;
+                let mut level = 0usize;
+                while level < self.levels && d <= radius {
+                    level += 1;
+                    radius /= 2.0;
+                }
+                depth = depth.max(level);
+            }
+            self.base_cost
+                .checked_mul(self.refine_factor.pow(depth as u32))
+                .expect("refined cell cost exceeds u32")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn costs_form_discrete_levels() {
+        let cfg = AmrConfig {
+            rows: 96,
+            cols: 96,
+            ..AmrConfig::default()
+        };
+        let m = cfg.generate();
+        let values: BTreeSet<u32> = m.data().iter().copied().collect();
+        // Only base * 4^l values may appear.
+        for v in &values {
+            let mut x = *v / cfg.base_cost;
+            assert_eq!(v % cfg.base_cost, 0);
+            while x > 1 {
+                assert_eq!(x % cfg.refine_factor, 0, "value {v} is not a level cost");
+                x /= cfg.refine_factor;
+            }
+        }
+        // The base level and at least one refined level are present.
+        assert!(values.contains(&cfg.base_cost));
+        assert!(values.len() >= 2, "refinement must actually trigger");
+    }
+
+    #[test]
+    fn deterministic_and_positive() {
+        let a = AmrConfig::default().generate();
+        let b = AmrConfig::default().generate();
+        assert_eq!(a, b);
+        assert!(a.min_cell() >= 1);
+        let c = AmrConfig {
+            seed: 1,
+            ..AmrConfig::default()
+        }
+        .generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_levels_is_uniform() {
+        let m = AmrConfig {
+            rows: 16,
+            cols: 16,
+            levels: 0,
+            ..AmrConfig::default()
+        }
+        .generate();
+        assert_eq!(m.min_cell(), m.max_cell());
+    }
+
+    #[test]
+    fn refined_regions_are_nested() {
+        // A single central site: deeper levels must sit inside shallower
+        // ones (cost is monotone non-increasing with distance from site).
+        let cfg = AmrConfig {
+            rows: 64,
+            cols: 64,
+            sites: 1,
+            seed: 9,
+            ..AmrConfig::default()
+        };
+        let m = cfg.generate();
+        // Find the site as the argmax cell.
+        let (mut sr, mut sc, mut best) = (0, 0, 0);
+        for r in 0..64 {
+            for c in 0..64 {
+                if m.get(r, c) > best {
+                    best = m.get(r, c);
+                    sr = r;
+                    sc = c;
+                }
+            }
+        }
+        // Walk away from the site along a row: costs never increase.
+        let mut prev = m.get(sr, sc);
+        for c in sc..64 {
+            let v = m.get(sr, c);
+            assert!(v <= prev, "cost increased away from the site");
+            prev = v;
+        }
+    }
+}

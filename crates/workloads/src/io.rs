@@ -1,0 +1,126 @@
+//! Small import/export helpers for load matrices (PGM images for the
+//! instance gallery, CSV for external analysis).
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use rectpart_core::LoadMatrix;
+
+/// Writes the matrix as a binary PGM (P5) image, darkest = zero load,
+/// brightest = maximum load (the paper's figure 2 rendering convention:
+/// "the whiter the more computation").
+pub fn write_pgm(matrix: &LoadMatrix, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "P5\n{} {}\n255", matrix.cols(), matrix.rows())?;
+    let max = matrix.max_cell().max(1) as f64;
+    for r in 0..matrix.rows() {
+        let row: Vec<u8> = matrix
+            .row(r)
+            .iter()
+            .map(|&v| ((v as f64 / max).sqrt() * 255.0).round() as u8)
+            .collect();
+        out.write_all(&row)?;
+    }
+    out.flush()
+}
+
+/// Writes the matrix as headerless CSV (one row per line).
+pub fn write_csv(matrix: &LoadMatrix, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    let mut line = String::new();
+    for r in 0..matrix.rows() {
+        line.clear();
+        for (c, v) in matrix.row(r).iter().enumerate() {
+            if c > 0 {
+                line.push(',');
+            }
+            line.push_str(&v.to_string());
+        }
+        writeln!(out, "{line}")?;
+    }
+    out.flush()
+}
+
+/// Reads a matrix from headerless CSV as written by [`write_csv`].
+pub fn read_csv(path: &Path) -> io::Result<LoadMatrix> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut data: Vec<u32> = Vec::new();
+    let mut cols = None;
+    let mut rows = 0;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let before = data.len();
+        for tok in line.split(',') {
+            let v = tok.trim().parse::<u32>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad cell {tok:?}: {e}"))
+            })?;
+            data.push(v);
+        }
+        let width = data.len() - before;
+        match cols {
+            None => cols = Some(width),
+            Some(c) if c != width => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("ragged CSV: row {rows} has {width} cells, expected {c}"),
+                ));
+            }
+            _ => {}
+        }
+        rows += 1;
+    }
+    let cols = cols.unwrap_or(0);
+    Ok(LoadMatrix::from_vec(rows, cols, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rectpart-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let m = LoadMatrix::from_fn(5, 7, |r, c| (r * 7 + c) as u32);
+        let path = tmp("roundtrip.csv");
+        write_csv(&m, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(m, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "1,2,3\n4,5\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let path = tmp("garbage.csv");
+        std::fs::write(&path, "1,x,3\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let m = LoadMatrix::from_fn(3, 4, |r, c| (r + c) as u32);
+        let path = tmp("img.pgm");
+        write_pgm(&m, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n4 3\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n4 3\n255\n".len() + 12);
+        std::fs::remove_file(&path).ok();
+    }
+}

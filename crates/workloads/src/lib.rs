@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Load-matrix generators for the `rectpart` evaluation (paper §4.1).
+//!
+//! * [`synthetic`] — the four synthetic classes (uniform, diagonal, peak,
+//!   multi-peak) with the paper's exact recipes;
+//! * [`pic`] — a particle-in-cell magnetosphere simulator standing in for
+//!   the proprietary PIC-MAG traces (see DESIGN.md §8);
+//! * [`mesh`] — parametric 3D surface meshes projected to a 2D grid,
+//!   standing in for the SLAC cavity mesh;
+//! * [`amr`] — adaptive-mesh-refinement-style nested cost plateaus;
+//! * [`render`] — escape-time render-cost fields (the image-rendering
+//!   application class);
+//! * [`io`] — PGM/CSV import & export.
+//!
+//! All generators are deterministic in their seeds.
+
+pub mod amr;
+pub mod io;
+pub mod mesh;
+pub mod pic;
+pub mod pic3d;
+pub mod render;
+pub mod synthetic;
+
+pub use amr::AmrConfig;
+pub use mesh::{slac_like, MeshConfig, MeshKind};
+pub use pic::{pic_trace, PicConfig, PicSimulation, PicSnapshot};
+pub use pic3d::{pic3_trace, Pic3Config, Pic3Simulation, Pic3Snapshot};
+pub use render::RenderConfig;
+pub use synthetic::{diagonal, multi_peak, peak, uniform, Synthetic};

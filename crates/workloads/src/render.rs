@@ -1,0 +1,134 @@
+//! Image-rendering workload — the paper's third motivating application
+//! class ("image rendering algorithms", §1, citing sort-first parallel
+//! volume rendering).
+//!
+//! In sort-first rendering the screen is partitioned among processors and
+//! each pays for the primitives behind its pixels. A faithful stand-in
+//! with the same load anatomy is an escape-time fractal render: per-pixel
+//! cost = iteration count, producing large cheap plateaus (the set's
+//! interior and the far exterior) against expensive filament bands — the
+//! classic hard case for static screen partitioning.
+
+use rectpart_core::LoadMatrix;
+
+/// Escape-time render-cost field over a rectangular window of the
+/// complex plane.
+#[derive(Clone, Debug)]
+pub struct RenderConfig {
+    /// Output rows (pixels).
+    pub rows: usize,
+    /// Output columns (pixels).
+    pub cols: usize,
+    /// Window center (real, imaginary).
+    pub center: (f64, f64),
+    /// Window width in the complex plane (height follows the aspect).
+    pub width: f64,
+    /// Iteration cap = maximum per-pixel cost.
+    pub max_iter: u32,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        // The seahorse-valley window: rich filament structure, strong
+        // load contrast.
+        Self {
+            rows: 512,
+            cols: 512,
+            center: (-0.75, 0.1),
+            width: 0.6,
+            max_iter: 256,
+        }
+    }
+}
+
+impl RenderConfig {
+    /// Computes the per-pixel cost matrix (deterministic; no RNG).
+    pub fn generate(&self) -> LoadMatrix {
+        assert!(self.rows > 0 && self.cols > 0 && self.max_iter > 0);
+        let height = self.width * self.rows as f64 / self.cols as f64;
+        let (cx, cy) = self.center;
+        let x0 = cx - self.width / 2.0;
+        let y0 = cy - height / 2.0;
+        LoadMatrix::from_fn(self.rows, self.cols, |r, c| {
+            let re = x0 + self.width * (c as f64 + 0.5) / self.cols as f64;
+            let im = y0 + height * (r as f64 + 0.5) / self.rows as f64;
+            // Cost 1 + iterations: every pixel costs at least the
+            // rasterization itself (keeps the matrix strictly positive,
+            // like the paper's model).
+            1 + escape_iterations(re, im, self.max_iter)
+        })
+    }
+}
+
+/// Mandelbrot escape iterations for `c = re + im·i`, capped.
+fn escape_iterations(re: f64, im: f64, cap: u32) -> u32 {
+    let (mut x, mut y) = (0.0f64, 0.0f64);
+    let mut iter = 0;
+    while x * x + y * y <= 4.0 && iter < cap {
+        let xt = x * x - y * y + re;
+        y = 2.0 * x * y + im;
+        x = xt;
+        iter += 1;
+    }
+    iter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RenderConfig {
+        RenderConfig {
+            rows: 64,
+            cols: 64,
+            ..RenderConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_and_positive() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a, b);
+        assert!(a.min_cell() >= 1);
+        assert!(a.delta().is_some());
+    }
+
+    #[test]
+    fn has_strong_load_contrast() {
+        let m = small().generate();
+        // Interior pixels hit the cap, exterior escapes quickly.
+        assert!(m.max_cell() >= 256);
+        let delta = m.delta().unwrap();
+        assert!(
+            delta > 20.0,
+            "render cost must be highly heterogeneous, got {delta}"
+        );
+    }
+
+    #[test]
+    fn interior_is_expensive() {
+        // A window fully inside the set: every pixel at the cap.
+        let cfg = RenderConfig {
+            rows: 8,
+            cols: 8,
+            center: (-0.1, 0.0),
+            width: 0.05,
+            max_iter: 100,
+        };
+        let m = cfg.generate();
+        assert_eq!(m.min_cell(), 101);
+        assert_eq!(m.max_cell(), 101);
+    }
+
+    #[test]
+    fn aspect_follows_dimensions() {
+        let cfg = RenderConfig {
+            rows: 32,
+            cols: 64,
+            ..RenderConfig::default()
+        };
+        let m = cfg.generate();
+        assert_eq!((m.rows(), m.cols()), (32, 64));
+    }
+}

@@ -1,0 +1,67 @@
+//! Dynamic load balancing of a particle-in-cell simulation — the paper's
+//! motivating application (PIC-MAG), extended with the migration-cost
+//! accounting its §5 names as future work.
+//!
+//! A magnetosphere-style PIC run drifts over time; this example
+//! repartitions every snapshot with `JAG-M-HEUR` and contrasts an
+//! always-repartition policy with an imbalance-threshold policy.
+//!
+//! ```text
+//! cargo run --release --example pic_dynamic_rebalance
+//! ```
+
+use rectpart::prelude::*;
+use rectpart::simexec::{dynamic_run, RebalancePolicy};
+
+fn main() {
+    let cfg = PicConfig {
+        rows: 128,
+        cols: 128,
+        particles: 100_000,
+        snapshots: 12,
+        ..PicConfig::default()
+    };
+    println!(
+        "simulating {}x{} PIC-MAG, {} particles, {} snapshots…",
+        cfg.rows, cfg.cols, cfg.particles, cfg.snapshots
+    );
+    let trace: Vec<_> = rectpart::workloads::pic_trace(&cfg)
+        .into_iter()
+        .map(|s| s.matrix)
+        .collect();
+
+    let m = 64;
+    let algo = JagMHeur::best();
+    let model = CommModel::default();
+
+    for (label, policy) in [
+        ("repartition every snapshot", RebalancePolicy::EverySnapshot),
+        (
+            "repartition when imbalance > 10%",
+            RebalancePolicy::Threshold(0.10),
+        ),
+    ] {
+        let stats = dynamic_run(&trace, &algo, m, &model, policy);
+        println!("\npolicy: {label}");
+        println!(
+            "{:>5} {:>12} {:>12} {:>8} {:>14}",
+            "step", "imbalance", "makespan", "repart", "migrated cells"
+        );
+        for s in &stats {
+            println!(
+                "{:>5} {:>11.2}% {:>12.0} {:>8} {:>14}",
+                s.step,
+                100.0 * s.imbalance,
+                s.makespan,
+                if s.repartitioned { "yes" } else { "-" },
+                s.migration_cells
+            );
+        }
+        let moved: u64 = stats.iter().map(|s| s.migration_cells).sum();
+        let mean_imb = stats.iter().map(|s| s.imbalance).sum::<f64>() / stats.len() as f64;
+        println!(
+            "total cells migrated: {moved}, mean imbalance: {:.2}%",
+            100.0 * mean_imb
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Partitioning in three dimensions — and why the paper's "accumulate
+//! to 2D" preprocessing is a legitimate shortcut.
+//!
+//! Runs the 3D PIC-MAG simulation, partitions the raw volume with the 3D
+//! algorithms, then partitions the accumulated 2D matrix (the paper's
+//! pipeline) and extrudes the result back to 3D for comparison.
+//!
+//! ```text
+//! cargo run --release --example volume_partition
+//! ```
+
+use rectpart::core::{JagMHeur, Partitioner, PrefixSum2D};
+use rectpart::volume::{
+    Axis3, Box3, HierRb3, JagMHeur3, Partition3, Partitioner3, PrefixSum3D, RectUniform3,
+};
+use rectpart::workloads::{Pic3Config, Pic3Simulation, PicConfig};
+
+fn main() {
+    let cfg = Pic3Config {
+        planar: PicConfig {
+            rows: 96,
+            cols: 96,
+            particles: 120_000,
+            snapshots: 4,
+            ..PicConfig::default()
+        },
+        depth: 24,
+        vz_thermal: 0.3,
+    };
+    println!(
+        "simulating {}x{}x{} PIC-MAG volume, {} particles…",
+        cfg.planar.rows, cfg.planar.cols, cfg.depth, cfg.planar.particles
+    );
+    let mut sim = Pic3Simulation::new(cfg.clone());
+    let volume = (0..4).map(|_| sim.next_snapshot()).last().unwrap().volume;
+    let pfx3 = PrefixSum3D::new(&volume);
+    let m = 64;
+
+    println!("\n3D partitioners, m = {m}:");
+    println!("{:<22} {:>12} {:>12}", "algorithm", "Lmax", "imbalance");
+    let threed: Vec<(String, Partition3)> = vec![
+        (
+            RectUniform3::default().name(),
+            RectUniform3::default().partition(&pfx3, m),
+        ),
+        (
+            JagMHeur3::new(&volume, Axis3::X).name(),
+            JagMHeur3::new(&volume, Axis3::X).partition(&pfx3, m),
+        ),
+        (HierRb3.name(), HierRb3.partition(&pfx3, m)),
+    ];
+    for (name, p) in &threed {
+        p.validate(&pfx3).expect("3D tiling");
+        println!(
+            "{name:<22} {:>12} {:>11.2}%",
+            p.lmax(&pfx3),
+            100.0 * p.load_imbalance(&pfx3)
+        );
+    }
+
+    // The paper's pipeline: accumulate along the depth axis, partition in
+    // 2D, extrude each rectangle through the full depth.
+    let flat = volume.flatten(Axis3::Z);
+    let pfx2 = PrefixSum2D::new(&flat);
+    let part2 = JagMHeur::best().partition(&pfx2, m);
+    let depth = volume.dims().2;
+    let extruded = Partition3::new(
+        part2
+            .rects()
+            .iter()
+            .map(|r| {
+                if r.is_empty() {
+                    Box3::EMPTY
+                } else {
+                    Box3::new(r.r0, r.r1, r.c0, r.c1, 0, depth)
+                }
+            })
+            .collect(),
+    );
+    extruded.validate(&pfx3).expect("extruded tiling");
+    println!(
+        "\npaper pipeline (flatten -> JAG-M-HEUR -> extrude): Lmax = {}, imbalance = {:.2}%",
+        extruded.lmax(&pfx3),
+        100.0 * extruded.load_imbalance(&pfx3)
+    );
+    println!(
+        "2D imbalance on the accumulated matrix itself:       {:.2}%",
+        100.0 * part2.load_imbalance(&pfx2)
+    );
+    println!(
+        "\nBecause column loads are preserved by accumulation, the extruded\n\
+         partition's imbalance equals the 2D one — the paper's preprocessing\n\
+         loses nothing for column-shaped (extruded) solutions, while native\n\
+         3D classes can additionally cut along the depth axis."
+    );
+}

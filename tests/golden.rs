@@ -1,0 +1,95 @@
+//! Golden regression tests: every generator and algorithm in this
+//! workspace is deterministic, so exact bottleneck values for fixed
+//! seeds are stable across releases. A failure here means an algorithm's
+//! *behaviour* changed — intentionally or not — and EXPERIMENTS.md should
+//! be regenerated alongside the fix.
+
+use rectpart::core::{
+    standard_heuristics, JagMOpt, JagPqOpt, LoadMatrix, Partitioner, PrefixSum2D, SpiralRelaxed,
+};
+use rectpart::prelude::*;
+
+/// (workload, algorithm, m, expected Lmax) for 48x48 seed-7 instances.
+const GOLDEN: &[(&str, &str, usize, u64)] = &[
+    ("uniform", "RECT-UNIFORM", 9, 324924),
+    ("uniform", "RECT-UNIFORM", 16, 183149),
+    ("uniform", "RECT-NICOL", 9, 324924),
+    ("uniform", "RECT-NICOL", 16, 183149),
+    ("uniform", "JAG-PQ-HEUR-BEST", 9, 324924),
+    ("uniform", "JAG-PQ-HEUR-BEST", 16, 183149),
+    ("uniform", "JAG-M-HEUR-BEST", 9, 324924),
+    ("uniform", "JAG-M-HEUR-BEST", 16, 183149),
+    ("uniform", "HIER-RB-LOAD", 9, 333062),
+    ("uniform", "HIER-RB-LOAD", 16, 183021),
+    ("uniform", "HIER-RELAXED-LOAD", 9, 324924),
+    ("uniform", "HIER-RELAXED-LOAD", 16, 182894),
+    ("uniform", "JAG-PQ-OPT-BEST", 9, 324924),
+    ("uniform", "JAG-M-OPT-BEST", 9, 323615),
+    ("uniform", "SPIRAL-RELAXED", 9, 324924),
+    ("diagonal", "RECT-UNIFORM", 9, 316803),
+    ("diagonal", "RECT-UNIFORM", 16, 216163),
+    ("diagonal", "RECT-NICOL", 9, 207720),
+    ("diagonal", "RECT-NICOL", 16, 143865),
+    ("diagonal", "JAG-PQ-HEUR-BEST", 9, 125066),
+    ("diagonal", "JAG-PQ-HEUR-BEST", 16, 76740),
+    ("diagonal", "JAG-M-HEUR-BEST", 9, 125066),
+    ("diagonal", "JAG-M-HEUR-BEST", 16, 76740),
+    ("diagonal", "HIER-RB-LOAD", 9, 124754),
+    ("diagonal", "HIER-RB-LOAD", 16, 74669),
+    ("diagonal", "HIER-RELAXED-LOAD", 9, 122807),
+    ("diagonal", "HIER-RELAXED-LOAD", 16, 73989),
+    ("diagonal", "JAG-PQ-OPT-BEST", 9, 125066),
+    ("diagonal", "JAG-M-OPT-BEST", 9, 123543),
+    ("diagonal", "SPIRAL-RELAXED", 9, 127439),
+    ("multi-peak", "RECT-UNIFORM", 9, 69943),
+    ("multi-peak", "RECT-UNIFORM", 16, 57197),
+    ("multi-peak", "RECT-NICOL", 9, 47112),
+    ("multi-peak", "RECT-NICOL", 16, 32329),
+    ("multi-peak", "JAG-PQ-HEUR-BEST", 9, 34707),
+    ("multi-peak", "JAG-PQ-HEUR-BEST", 16, 23872),
+    ("multi-peak", "JAG-M-HEUR-BEST", 9, 34707),
+    ("multi-peak", "JAG-M-HEUR-BEST", 16, 23872),
+    ("multi-peak", "HIER-RB-LOAD", 9, 38943),
+    ("multi-peak", "HIER-RB-LOAD", 16, 28059),
+    ("multi-peak", "HIER-RELAXED-LOAD", 9, 38943),
+    ("multi-peak", "HIER-RELAXED-LOAD", 16, 27416),
+    ("multi-peak", "JAG-PQ-OPT-BEST", 9, 34574),
+    ("multi-peak", "JAG-M-OPT-BEST", 9, 34069),
+    ("multi-peak", "SPIRAL-RELAXED", 9, 42798),
+];
+
+fn workload(name: &str) -> LoadMatrix {
+    match name {
+        "uniform" => uniform(48, 48, 7).delta(1.5).build(),
+        "diagonal" => diagonal(48, 48, 7).build(),
+        "multi-peak" => multi_peak(48, 48, 7).build(),
+        other => panic!("unknown golden workload {other}"),
+    }
+}
+
+fn algorithm(name: &str) -> Box<dyn Partitioner> {
+    match name {
+        "JAG-PQ-OPT-BEST" => Box::new(JagPqOpt::default()),
+        "JAG-M-OPT-BEST" => Box::new(JagMOpt::default()),
+        "SPIRAL-RELAXED" => Box::new(SpiralRelaxed::default()),
+        other => standard_heuristics()
+            .into_iter()
+            .find(|a| a.name() == other)
+            .unwrap_or_else(|| panic!("unknown golden algorithm {other}")),
+    }
+}
+
+#[test]
+fn golden_bottlenecks_are_stable() {
+    let mut cache: std::collections::HashMap<&str, PrefixSum2D> = Default::default();
+    for &(wl, algo, m, expected) in GOLDEN {
+        let pfx = cache
+            .entry(wl)
+            .or_insert_with(|| PrefixSum2D::new(&workload(wl)));
+        let got = algorithm(algo).partition(pfx, m).lmax(pfx);
+        assert_eq!(
+            got, expected,
+            "{algo} on {wl} m={m}: behaviour changed (got {got}, golden {expected})"
+        );
+    }
+}

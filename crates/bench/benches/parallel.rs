@@ -1,0 +1,117 @@
+//! Serial-vs-parallel benchmark of the parallel execution layer, with a
+//! machine-readable export.
+//!
+//! Measures the 2D prefix-sum (Γ) construction at 512², 2048² and 4096²
+//! and `JAG-M-HEUR-BEST` at m ∈ {16, 1000, 10000} on the paper's 512²
+//! uniform instance, each under a forced single-thread budget and under
+//! the auto-detected budget. Both configurations produce bit-identical
+//! results (see `crates/core/tests/differential.rs`); only the wall
+//! clock differs.
+//!
+//! Results land in `BENCH_parallel.json` at the workspace root together
+//! with the machine's core count and the thread budget used — on a
+//! single-core host the "parallel" numbers are expected to sit at parity
+//! (the layer falls back to serial execution when fewer than two worker
+//! threads are available), so speedups must always be read against the
+//! recorded `host_cores`.
+
+use criterion::{black_box, Criterion};
+use rectpart_core::{JagMHeur, Partitioner, PrefixSum2D};
+use rectpart_json::Json;
+use rectpart_parallel::{current_threads, with_threads};
+use rectpart_workloads::uniform;
+
+fn bench_gamma(c: &mut Criterion) {
+    for &n in &[512usize, 2048, 4096] {
+        let matrix = uniform(n, n, 11).delta(1.2).build();
+        let mut g = c.benchmark_group("gamma");
+        g.sample_size(if n >= 4096 { 10 } else { 15 });
+        g.bench_function(format!("serial/{n}x{n}"), |b| {
+            b.iter(|| with_threads(1, || PrefixSum2D::new(black_box(&matrix))))
+        });
+        g.bench_function(format!("parallel/{n}x{n}"), |b| {
+            b.iter(|| PrefixSum2D::new(black_box(&matrix)))
+        });
+        g.finish();
+    }
+}
+
+fn bench_jag_m_heur(c: &mut Criterion) {
+    let matrix = uniform(512, 512, 6).delta(1.2).build();
+    let pfx = PrefixSum2D::new(&matrix);
+    let algo = JagMHeur::best();
+    for &m in &[16usize, 1000, 10000] {
+        let mut g = c.benchmark_group("jag-m-heur");
+        g.sample_size(10);
+        g.bench_function(format!("serial/512x512-m{m}"), |b| {
+            b.iter(|| with_threads(1, || algo.partition(black_box(&pfx), m)))
+        });
+        g.bench_function(format!("parallel/512x512-m{m}"), |b| {
+            b.iter(|| algo.partition(black_box(&pfx), m))
+        });
+        g.finish();
+    }
+}
+
+/// Splits `"<group>/serial/<case>"` into `(group, case)`; `None` for
+/// non-serial ids so each pair is exported exactly once.
+fn serial_case(id: &str) -> Option<(&str, &str)> {
+    let mut parts = id.splitn(3, '/');
+    let group = parts.next()?;
+    let kind = parts.next()?;
+    let case = parts.next()?;
+    (kind == "serial").then_some((group, case))
+}
+
+/// Pairs `<group>/serial/<case>` with `<group>/parallel/<case>` and
+/// emits one JSON record per case.
+fn export(c: &Criterion, threads: usize) {
+    let results = c.results();
+    let mut entries = Vec::new();
+    for r in results {
+        let Some((group, case)) = serial_case(&r.id) else {
+            continue;
+        };
+        let parallel_id = format!("{group}/parallel/{case}");
+        let Some(p) = results.iter().find(|o| o.id == parallel_id) else {
+            continue;
+        };
+        entries.push(Json::obj(vec![
+            ("group", group.to_json()),
+            ("case", case.to_json()),
+            ("serial_ns", r.mean_ns.to_json()),
+            ("parallel_ns", p.mean_ns.to_json()),
+            ("speedup", (r.mean_ns / p.mean_ns).to_json()),
+        ]));
+    }
+    let doc = Json::obj(vec![
+        ("benchmark", "parallel-execution-layer".to_json()),
+        ("host_cores", num_cores().to_json()),
+        ("parallel_threads", threads.to_json()),
+        (
+            "note",
+            "parallel results are bit-identical to serial; speedup is only \
+             meaningful when host_cores > 1 (the layer falls back to serial \
+             execution under a single-thread budget)"
+                .to_json(),
+        ),
+        ("entries", Json::Arr(entries)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, rectpart_json::to_string_pretty(&doc)).expect("write BENCH_parallel.json");
+    eprintln!("wrote {path}");
+}
+
+fn num_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+use rectpart_json::ToJson;
+
+fn main() {
+    let threads = current_threads();
+    let mut c = Criterion::default().configure_from_args();
+    bench_gamma(&mut c);
+    bench_jag_m_heur(&mut c);
+    export(&c, threads);
+}

@@ -103,6 +103,26 @@ fn require<T>(v: Option<T>, name: &str) -> Result<T, UsageError> {
     v.ok_or_else(|| UsageError(format!("missing required option {name}")))
 }
 
+/// Extracts the global `--threads N` option, installs it as the
+/// process-wide worker-thread budget for the parallel execution layer
+/// (`0`/absent = auto-detect; `1` = serial), and returns the remaining
+/// arguments for [`parse`]. Valid in any position with every
+/// subcommand; if given more than once the last occurrence wins.
+pub fn apply_global_threads(args: &[String]) -> Result<Vec<String>, UsageError> {
+    let mut rest = args.to_vec();
+    while let Some(i) = rest.iter().position(|a| a == "--threads") {
+        let Some(v) = rest.get(i + 1) else {
+            return Err(UsageError("--threads requires a value".into()));
+        };
+        let n: usize = v
+            .parse()
+            .map_err(|_| UsageError(format!("invalid value for --threads: {v:?}")))?;
+        rectpart_parallel::set_global_threads(n);
+        rest.drain(i..=i + 1);
+    }
+    Ok(rest)
+}
+
 /// Parses a full argument vector (excluding the binary name).
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let Some(cmd) = args.first() else {
@@ -221,7 +241,7 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
                 out.push_str(&format!("\n  owners        -> {}", path.display()));
             }
             if let Some(path) = save {
-                std::fs::write(&path, serde_json::to_string_pretty(&part)?)?;
+                std::fs::write(&path, rectpart_json::to_string_pretty(&part))?;
                 out.push_str(&format!("\n  partition     -> {}", path.display()));
             }
             Ok(out)
@@ -261,6 +281,11 @@ USAGE:
                      [--save PARTITION.json]
   rectpart evaluate  --input FILE.csv -m N [--algo NAME]
   rectpart algos
+
+GLOBAL OPTIONS:
+  --threads N    worker threads for the parallel execution layer
+                 (default: auto-detect; 1 = fully serial; results are
+                 identical at any thread count)
 "
     .to_string()
 }
@@ -389,7 +414,7 @@ mod tests {
         })
         .unwrap();
         let json = std::fs::read_to_string(&saved).unwrap();
-        let part: rectpart_core::Partition = serde_json::from_str(&json).unwrap();
+        let part: rectpart_core::Partition = rectpart_json::from_str(&json).unwrap();
         assert_eq!(part.parts(), 4);
         assert!(part.validate_dims(16, 16).is_ok());
         std::fs::remove_file(&input).ok();

@@ -3,6 +3,13 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match rectpart_cli::apply_global_threads(&args) {
+        Ok(rest) => rest,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", rectpart_cli::usage());
+            std::process::exit(2);
+        }
+    };
     match rectpart_cli::parse(&args) {
         Err(e) => {
             eprintln!("error: {e}\n\n{}", rectpart_cli::usage());

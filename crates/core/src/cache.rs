@@ -1,0 +1,217 @@
+//! Shared, thread-safe memoization for stripe subproblems.
+//!
+//! The optimal jagged algorithms solve the same 1D stripe subproblem —
+//! "optimally split rows `[lo, hi)` into `parts` intervals along the
+//! auxiliary dimension" — over and over: Nicol's parametric search probes
+//! each interval many times, `-BEST` runs two orientations, and the
+//! `JAG-M-OPT` literal DP revisits `(stripe, x)` states across processor
+//! counts. Historically each call sites kept a private
+//! `RefCell<HashMap>`, which is neither shareable across threads nor
+//! across the `-BEST` orientation pair.
+//!
+//! [`StripeCache`] replaces that: a sharded `Mutex<HashMap>` map keyed by
+//! `(axis, interval, parts)` that is `Send + Sync`, so one cache instance
+//! serves both orientations of a `-BEST` run and every parallel stripe
+//! evaluation inside them. Values are deterministic functions of the key
+//! (the optimal bottleneck of the stripe), so a racing duplicate compute
+//! is harmless — both writers insert the same value.
+//!
+//! The generic engine is [`ShardedMemo`]; `hier_opt` reuses it for its
+//! sub-rectangle DP states.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Mutex;
+
+use crate::geometry::Axis;
+
+/// Number of independently locked shards. A small power of two: the maps
+/// are consulted from at most a handful of worker threads, and the keys
+/// of one run spread evenly under the mixing function below.
+const SHARDS: usize = 16;
+
+/// A concurrent memo table sharded across [`SHARDS`] mutex-protected
+/// hash maps.
+///
+/// Lookups lock exactly one shard; the compute callback of
+/// [`get_or_insert_with`](ShardedMemo::get_or_insert_with) runs *outside*
+/// any lock so long-running solves never serialize unrelated queries.
+/// This is only sound for *deterministic* values: two threads may race on
+/// the same key and both compute it, and the table keeps whichever lands
+/// last. All users in this crate memoize pure functions of the key.
+#[derive(Debug)]
+pub struct ShardedMemo<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        // Fibonacci-mix the std hash down to a shard index.
+        use std::collections::hash_map::RandomState;
+        use std::hash::BuildHasher;
+        use std::sync::OnceLock;
+        static STATE: OnceLock<RandomState> = OnceLock::new();
+        let h = STATE.get_or_init(RandomState::new).hash_one(key);
+        &self.shards[(h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % SHARDS]
+    }
+
+    /// The cached value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().unwrap().get(key).cloned()
+    }
+
+    /// Inserts `value` for `key`, replacing any previous entry.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).lock().unwrap().insert(key, value);
+    }
+
+    /// Returns the cached value for `key`, computing and caching it with
+    /// `compute` on a miss. `compute` runs without holding any lock; on a
+    /// race the value that finishes last wins (all callers must compute
+    /// the same value for the same key).
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        if let Some(v) = shard.lock().unwrap().get(&key) {
+            return v.clone();
+        }
+        let v = compute();
+        shard.lock().unwrap().insert(key, v.clone());
+        v
+    }
+
+    /// Total number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// `true` if no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Default for ShardedMemo<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Key of one memoized stripe solution: the optimal bottleneck of
+/// splitting main-dimension interval `[lo, hi)` (of the orientation given
+/// by `axis`) into `parts` intervals along the auxiliary dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StripeKey {
+    /// Main (striped) dimension of the orientation that produced the
+    /// stripe; keeps the two orientations of a `-BEST` run from
+    /// colliding in the shared cache.
+    pub axis: Axis,
+    /// Start of the main-dimension interval (inclusive).
+    pub lo: usize,
+    /// End of the main-dimension interval (exclusive).
+    pub hi: usize,
+    /// Number of auxiliary intervals the stripe is split into.
+    pub parts: usize,
+}
+
+/// Shared memo of optimal stripe bottlenecks, keyed by [`StripeKey`].
+///
+/// One instance is created per `partition` call and shared across the
+/// `-BEST` orientation pair and all parallel stripe evaluations inside
+/// it (see the module docs).
+#[derive(Debug, Default)]
+pub struct StripeCache {
+    memo: ShardedMemo<StripeKey, u64>,
+}
+
+impl StripeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized optimal bottleneck of splitting `[lo, hi)` into
+    /// `parts` auxiliary intervals, computing it with `solve` on a miss.
+    pub fn bottleneck(
+        &self,
+        axis: Axis,
+        lo: usize,
+        hi: usize,
+        parts: usize,
+        solve: impl FnOnce() -> u64,
+    ) -> u64 {
+        self.memo.get_or_insert_with(
+            StripeKey {
+                axis,
+                lo,
+                hi,
+                parts,
+            },
+            solve,
+        )
+    }
+
+    /// Number of distinct stripe solutions cached so far.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// `true` if no stripe solution is cached.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn get_or_insert_computes_once_per_key() {
+        let memo: ShardedMemo<(usize, usize), u64> = ShardedMemo::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v = memo.get_or_insert_with((2, 5), || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                42
+            });
+            assert_eq!(v, 42);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.get(&(2, 5)), Some(42));
+        assert_eq!(memo.get(&(5, 2)), None);
+    }
+
+    #[test]
+    fn stripe_cache_distinguishes_axes() {
+        let cache = StripeCache::new();
+        let a = cache.bottleneck(Axis::Rows, 0, 4, 2, || 10);
+        let b = cache.bottleneck(Axis::Cols, 0, 4, 2, || 20);
+        assert_eq!((a, b), (10, 20));
+        assert_eq!(cache.len(), 2);
+        // Hits do not recompute.
+        assert_eq!(cache.bottleneck(Axis::Rows, 0, 4, 2, || 99), 10);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = StripeCache::new();
+        let results = rectpart_parallel::with_threads(4, || {
+            rectpart_parallel::map_range(64, |i| {
+                cache.bottleneck(Axis::Rows, i % 8, i % 8 + 1, 1, || (i % 8) as u64)
+            })
+        });
+        for (i, v) in results.into_iter().enumerate() {
+            assert_eq!(v, (i % 8) as u64);
+        }
+        assert_eq!(cache.len(), 8);
+    }
+}

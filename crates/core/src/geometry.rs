@@ -7,7 +7,6 @@
 /// stripe). `Axis::Rows` means the main dimension is the row dimension
 /// (`n1` in the paper) — the `-HOR` variants; `Axis::Cols` is `-VER`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Axis {
     /// Main dimension = rows (dimension 1, paper's `-HOR`).
     Rows,
@@ -28,7 +27,6 @@ impl Axis {
 /// An axis-aligned rectangle of cells: rows `[r0, r1)` × columns
 /// `[c0, c1)`, both half-open.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rect {
     /// First row (inclusive).
     pub r0: usize,

@@ -9,22 +9,27 @@
 //! every hierarchical heuristic from below and validates `HIER-RELAXED`'s
 //! derivation.
 
-use std::collections::HashMap;
-
+use crate::cache::ShardedMemo;
 use crate::geometry::{Axis, Rect};
 use crate::prefix::PrefixSum2D;
 use crate::solution::Partition;
 
 type Key = (usize, usize, usize, usize, usize);
 
+/// Concurrent memo over sub-rectangle × processor-count states. The DP
+/// values are pure functions of the state, so sharing one memo across
+/// worker tasks is sound (a racing duplicate solve inserts the same
+/// value) and lets the root-level candidates below proceed in parallel.
+type Memo = ShardedMemo<Key, u64>;
+
 /// Computes an optimal hierarchical bipartition of the whole matrix into
 /// `m` rectangles. Memoized over sub-rectangle × processor-count states;
 /// use on small instances only (the state space is `O(n1²n2²m)`).
 pub fn hier_opt(pfx: &PrefixSum2D, m: usize) -> (Partition, u64) {
     assert!(m >= 1);
-    let mut memo: HashMap<Key, u64> = HashMap::new();
+    let memo = Memo::new();
     let full = Rect::new(0, pfx.rows(), 0, pfx.cols());
-    let value = solve(pfx, &full, m, &mut memo);
+    let value = solve_root(pfx, &full, m, &memo);
     let mut rects = Vec::with_capacity(m);
     rebuild(pfx, &full, m, &memo, &mut rects);
     debug_assert_eq!(rects.len(), m);
@@ -35,16 +40,44 @@ pub fn hier_opt(pfx: &PrefixSum2D, m: usize) -> (Partition, u64) {
 
 /// Optimal hierarchical bottleneck value only.
 pub fn hier_opt_value(pfx: &PrefixSum2D, m: usize) -> u64 {
-    let mut memo = HashMap::new();
+    let memo = Memo::new();
     let full = Rect::new(0, pfx.rows(), 0, pfx.cols());
-    solve(pfx, &full, m, &mut memo)
+    solve_root(pfx, &full, m, &memo)
 }
 
 fn key(rect: &Rect, m: usize) -> Key {
     (rect.r0, rect.r1, rect.c0, rect.c1, m)
 }
 
-fn solve(pfx: &PrefixSum2D, rect: &Rect, m: usize, memo: &mut HashMap<Key, u64>) -> u64 {
+/// Root solve: the `(axis, j)` candidates of the top node explore
+/// largely disjoint families of subproblems, so they fan out across
+/// worker tasks against the shared memo. `min` is order-independent and
+/// every DP value is deterministic, so the result is identical to the
+/// serial nested loop. Deeper nodes stay serial ([`solve`]): their
+/// candidate loops are dominated by memo hits and would not amortize a
+/// task spawn.
+fn solve_root(pfx: &PrefixSum2D, rect: &Rect, m: usize, memo: &Memo) -> u64 {
+    if m == 1 || rect.area() <= 1 {
+        return pfx.load(rect);
+    }
+    let cands: Vec<(Axis, usize)> = [Axis::Rows, Axis::Cols]
+        .into_iter()
+        .filter(|&axis| {
+            let (lo, hi) = rect.extent(axis);
+            hi - lo >= 2
+        })
+        .flat_map(|axis| (1..m).map(move |j| (axis, j)))
+        .collect();
+    let best =
+        rectpart_parallel::map_slice(&cands, |&(axis, j)| candidate(pfx, rect, axis, j, m, memo))
+            .into_iter()
+            .min()
+            .unwrap_or(u64::MAX);
+    memo.insert(key(rect, m), best);
+    best
+}
+
+fn solve(pfx: &PrefixSum2D, rect: &Rect, m: usize, memo: &Memo) -> u64 {
     if m == 1 {
         return pfx.load(rect);
     }
@@ -52,7 +85,7 @@ fn solve(pfx: &PrefixSum2D, rect: &Rect, m: usize, memo: &mut HashMap<Key, u64>)
         // Unsplittable: the extra processors idle at load 0.
         return pfx.load(rect);
     }
-    if let Some(&v) = memo.get(&key(rect, m)) {
+    if let Some(v) = memo.get(&key(rect, m)) {
         return v;
     }
     let mut best = u64::MAX;
@@ -62,42 +95,44 @@ fn solve(pfx: &PrefixSum2D, rect: &Rect, m: usize, memo: &mut HashMap<Key, u64>)
             continue;
         }
         for j in 1..m {
-            // For fixed (axis, j), g(s) = max(solve(first, j),
-            // solve(second, m-j)) is bi-monotonic in the cut position s
-            // (first grows, second shrinks): binary search the crossing,
-            // exactly the refinement the paper describes in §3.3.
-            let (mut a, mut b) = (lo + 1, hi - 1);
-            while a < b {
-                let mid = a + (b - a) / 2;
-                let (r1, r2) = rect.split(axis, mid);
-                let v1 = solve(pfx, &r1, j, memo);
-                let v2 = solve(pfx, &r2, m - j, memo);
-                if v1 >= v2 {
-                    b = mid;
-                } else {
-                    a = mid + 1;
-                }
-            }
-            for s in [a, (a - 1).max(lo + 1)] {
-                let (r1, r2) = rect.split(axis, s);
-                let v1 = solve(pfx, &r1, j, memo);
-                let v2 = solve(pfx, &r2, m - j, memo);
-                best = best.min(v1.max(v2));
-            }
+            best = best.min(candidate(pfx, rect, axis, j, m, memo));
         }
     }
     memo.insert(key(rect, m), best);
     best
 }
 
+/// Best bottleneck for one `(axis, j)` candidate of a node: for fixed
+/// `(axis, j)`, `g(s) = max(solve(first, j), solve(second, m-j))` is
+/// bi-monotonic in the cut position `s` (first grows, second shrinks):
+/// binary search the crossing, exactly the refinement the paper
+/// describes in §3.3.
+fn candidate(pfx: &PrefixSum2D, rect: &Rect, axis: Axis, j: usize, m: usize, memo: &Memo) -> u64 {
+    let (lo, hi) = rect.extent(axis);
+    let (mut a, mut b) = (lo + 1, hi - 1);
+    while a < b {
+        let mid = a + (b - a) / 2;
+        let (r1, r2) = rect.split(axis, mid);
+        let v1 = solve(pfx, &r1, j, memo);
+        let v2 = solve(pfx, &r2, m - j, memo);
+        if v1 >= v2 {
+            b = mid;
+        } else {
+            a = mid + 1;
+        }
+    }
+    let mut best = u64::MAX;
+    for s in [a, (a - 1).max(lo + 1)] {
+        let (r1, r2) = rect.split(axis, s);
+        let v1 = solve(pfx, &r1, j, memo);
+        let v2 = solve(pfx, &r2, m - j, memo);
+        best = best.min(v1.max(v2));
+    }
+    best
+}
+
 /// Re-derives the optimal choices from the memo table to emit rectangles.
-fn rebuild(
-    pfx: &PrefixSum2D,
-    rect: &Rect,
-    m: usize,
-    memo: &HashMap<Key, u64>,
-    out: &mut Vec<Rect>,
-) {
+fn rebuild(pfx: &PrefixSum2D, rect: &Rect, m: usize, memo: &Memo, out: &mut Vec<Rect>) {
     if m == 1 {
         out.push(*rect);
         return;
@@ -107,12 +142,12 @@ fn rebuild(
         out.extend(std::iter::repeat_n(Rect::EMPTY, m - 1));
         return;
     }
-    let target = memo[&key(rect, m)];
+    let target = memo.get(&key(rect, m)).expect("root state memoized");
     let lookup = |r: &Rect, q: usize| -> u64 {
         if q == 1 || r.area() <= 1 {
             pfx.load(r)
         } else {
-            memo[&key(r, q)]
+            memo.get(&key(r, q)).expect("visited state memoized")
         }
     };
     for axis in [Axis::Rows, Axis::Cols] {

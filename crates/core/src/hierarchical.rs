@@ -14,6 +14,44 @@ use crate::prefix::PrefixSum2D;
 use crate::solution::Partition;
 use crate::traits::Partitioner;
 
+/// Minimum processors in a node before its two recursive halves are
+/// forked onto separate tasks. Below this the subtrees are too small to
+/// amortize a thread spawn; recursion inside a forked half keeps forking
+/// while its share stays above the threshold, so the fork depth tracks
+/// the thread budget (`join` halves it per level).
+const PARALLEL_PROCS_MIN: usize = 32;
+
+/// Recurse into the two halves of a bipartition node, forking onto
+/// separate tasks when `m` is large enough and threads are available.
+/// The first half's rectangles are always appended before the second
+/// half's, so the output order is bit-identical to serial recursion.
+fn recurse_halves(
+    out: &mut Vec<Rect>,
+    m: usize,
+    first: impl FnOnce(&mut Vec<Rect>) + Send,
+    second: impl FnOnce(&mut Vec<Rect>) + Send,
+) {
+    if m >= PARALLEL_PROCS_MIN && rectpart_parallel::current_threads() >= 2 {
+        let (a, b) = rectpart_parallel::join(
+            || {
+                let mut v = Vec::new();
+                first(&mut v);
+                v
+            },
+            || {
+                let mut v = Vec::new();
+                second(&mut v);
+                v
+            },
+        );
+        out.extend(a);
+        out.extend(b);
+    } else {
+        first(out);
+        second(out);
+    }
+}
+
 /// Dimension-selection policy for the hierarchical algorithms (§4.1).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum HierVariant {
@@ -144,8 +182,12 @@ fn rb_recurse(
     }
     let (_, axis, at, ma) = best.unwrap();
     let (a, b) = rect.split(axis, at);
-    rb_recurse(pfx, variant, a, ma, depth + 1, out);
-    rb_recurse(pfx, variant, b, m - ma, depth + 1, out);
+    recurse_halves(
+        out,
+        m,
+        |v| rb_recurse(pfx, variant, a, ma, depth + 1, v),
+        |v| rb_recurse(pfx, variant, b, m - ma, depth + 1, v),
+    );
 }
 
 /// The one or two ways to hand `⌊m/2⌋ + ⌈m/2⌉` processors to the halves.
@@ -301,8 +343,12 @@ fn relaxed_recurse(
     }
     let (_, axis, at, j) = best.unwrap();
     let (a, b) = rect.split(axis, at);
-    relaxed_recurse(pfx, variant, bias, a, j, depth + 1, out);
-    relaxed_recurse(pfx, variant, bias, b, m - j, depth + 1, out);
+    recurse_halves(
+        out,
+        m,
+        |v| relaxed_recurse(pfx, variant, bias, a, j, depth + 1, v),
+        |v| relaxed_recurse(pfx, variant, bias, b, m - j, depth + 1, v),
+    );
 }
 
 #[cfg(test)]
@@ -375,7 +421,7 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(seed);
                 LoadMatrix::from_fn(32, 32, |r, c| {
                     let d = ((r as f64 - 16.0).powi(2) + (c as f64 - 16.0).powi(2)).sqrt();
-                    (1000.0 / (d + 0.5)) as u32 + rng.gen_range(1..10)
+                    (1000.0 / (d + 0.5)) as u32 + rng.gen_range(1u32..10)
                 })
             };
             let pfx = PrefixSum2D::new(&mat);

@@ -9,7 +9,6 @@
 //! stripe loads, which Theorem 3 shows improves the worst case and §4
 //! shows dominates in practice.
 
-use rayon::prelude::*;
 use rectpart_onedim::{nicol, FnCost};
 
 use crate::geometry::{Axis, Rect};
@@ -53,8 +52,9 @@ impl JaggedVariant {
             JaggedVariant::Ver => f(pfx.view(Axis::Cols)),
             JaggedVariant::Best => {
                 // The two orientations are independent: evaluate them on
-                // separate rayon tasks (deterministic — both are pure).
-                let (a, b) = rayon::join(|| f(pfx.view(Axis::Rows)), || f(pfx.view(Axis::Cols)));
+                // separate tasks (deterministic — both are pure).
+                let (a, b) =
+                    rectpart_parallel::join(|| f(pfx.view(Axis::Rows)), || f(pfx.view(Axis::Cols)));
                 if a.lmax(pfx) <= b.lmax(pfx) {
                     a
                 } else {
@@ -97,10 +97,9 @@ impl Partitioner for JagPqHeur {
             let main = main_cuts(&view, p);
             let stripes: Vec<(usize, usize)> = main.intervals().filter(|(a, b)| a < b).collect();
             // Stripes are independent 1D problems (paper §3.2.1): fan out.
-            let rects: Vec<Rect> = stripes
-                .par_iter()
-                .flat_map_iter(|&(s0, s1)| stripe_rects(&view, s0, s1, q))
-                .collect();
+            let rects: Vec<Rect> = rectpart_parallel::flat_map_slice(&stripes, |&(s0, s1)| {
+                stripe_rects(&view, s0, s1, q)
+            });
             Partition::with_parts(rects, m)
         })
     }
@@ -194,11 +193,8 @@ pub(crate) fn jag_m_heur_view(view: &View<'_>, m: usize, p: usize) -> Vec<Rect> 
     let procs = allocate_processors(&loads, m, p.min(m));
     // Stripes are independent 1D problems (paper §3.2.1): fan out; the
     // in-order collect keeps the processor numbering deterministic.
-    stripes
-        .par_iter()
-        .zip(procs)
-        .flat_map_iter(|(&(s0, s1), qs)| stripe_rects(view, s0, s1, qs))
-        .collect()
+    let tasks: Vec<((usize, usize), usize)> = stripes.into_iter().zip(procs).collect();
+    rectpart_parallel::flat_map_slice(&tasks, |&((s0, s1), qs)| stripe_rects(view, s0, s1, qs))
 }
 
 /// Optimal 1D cuts of the main-dimension projection (no materialized

@@ -5,7 +5,10 @@
 //!   partition is an optimal 1D partition of the main dimension whose
 //!   interval "load" is the *optimal 1D bottleneck of the stripe* along
 //!   the auxiliary dimension. That stripe cost is monotone, so Nicol's
-//!   algorithm applies directly; stripe solutions are memoized.
+//!   algorithm applies directly; stripe solutions are memoized in a
+//!   shared, thread-safe [`StripeCache`] that serves both orientations of
+//!   a `-BEST` run (which execute concurrently) and the final parallel
+//!   per-stripe reconstruction.
 //! * `JAG-M-OPT` solves the paper's dynamic program. The production
 //!   implementation is a parametric search: binary search on the answer
 //!   `B` with an exact feasibility test (`min #processors to realise a
@@ -16,11 +19,11 @@
 //!   provably exact form. The literal DP formulation of the paper is also
 //!   provided ([`jag_m_opt_dp`]) and the test-suite checks both agree.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 
 use rectpart_onedim::{nicol, FnCost, IntervalCost};
 
+use crate::cache::StripeCache;
 use crate::geometry::Rect;
 use crate::jagged::{jag_m_heur_view, JaggedVariant};
 use crate::prefix::{PrefixSum2D, View};
@@ -47,43 +50,47 @@ impl Partitioner for JagPqOpt {
         assert!(m >= 1);
         let (p, q) = self.grid.unwrap_or_else(|| grid_dims(m));
         assert!(p * q <= m, "grid {p}x{q} exceeds {m} processors");
+        // One cache for the whole call: the `-BEST` orientation pair runs
+        // concurrently against it (entries are axis-keyed) and every
+        // stripe solution survives across all of Nicol's probes.
+        let cache = StripeCache::new();
         self.variant.run(pfx, |view| {
-            let rects = jag_pq_opt_view(&view, p, q);
+            let rects = jag_pq_opt_view(&view, p, q, &cache);
             Partition::with_parts(rects, m)
         })
     }
 }
 
 /// One-orientation `JAG-PQ-OPT` returning raw rectangles.
-fn jag_pq_opt_view(view: &View<'_>, p: usize, q: usize) -> Vec<Rect> {
+fn jag_pq_opt_view(view: &View<'_>, p: usize, q: usize, cache: &StripeCache) -> Vec<Rect> {
     let n_main = view.n_main();
     let n_aux = view.n_aux();
+    let axis = view.axis();
     // Memoized optimal stripe bottleneck S(a, b) = opt 1D split of rows
     // [a, b) into q parts along the auxiliary dimension.
-    let cache: RefCell<HashMap<(usize, usize), u64>> = RefCell::new(HashMap::new());
     let stripe_cost = FnCost::new(n_main, |a, b| {
         if a == b {
             return 0;
         }
-        if let Some(&v) = cache.borrow().get(&(a, b)) {
-            return v;
-        }
-        let aux = FnCost::additive(n_aux, |c, d| view.load(a, b, c, d));
-        let v = nicol(&aux, q).bottleneck;
-        cache.borrow_mut().insert((a, b), v);
-        v
+        cache.bottleneck(axis, a, b, q, || {
+            let aux = FnCost::additive(n_aux, |c, d| view.load(a, b, c, d));
+            nicol(&aux, q).bottleneck
+        })
     });
     let main = nicol(&stripe_cost, p).cuts;
-    let mut rects = Vec::with_capacity(p * q);
-    for (s0, s1) in main.intervals().filter(|(a, b)| a < b) {
+    // The chosen stripes are independent 1D problems: fan out, keeping
+    // the in-order collect so the rectangle order matches the serial
+    // loop exactly.
+    let stripes: Vec<(usize, usize)> = main.intervals().filter(|(a, b)| a < b).collect();
+    rectpart_parallel::flat_map_slice(&stripes, |&(s0, s1)| {
         let aux = FnCost::additive(n_aux, |c, d| view.load(s0, s1, c, d));
-        for (a0, a1) in nicol(&aux, q).cuts.intervals() {
-            if a0 < a1 {
-                rects.push(view.rect(s0, s1, a0, a1));
-            }
-        }
-    }
-    rects
+        nicol(&aux, q)
+            .cuts
+            .intervals()
+            .filter(|(a0, a1)| a0 < a1)
+            .map(|(a0, a1)| view.rect(s0, s1, a0, a1))
+            .collect::<Vec<_>>()
+    })
 }
 
 /// `JAG-M-OPT` — optimal m-way jagged partition (the paper's new class,
@@ -151,6 +158,12 @@ fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
 /// bottleneck ≤ `budget`? Computes `f[k]` = minimal processor count for
 /// the suffix of stripes starting at main index `k`; returns the chosen
 /// next stripe boundary per position on success.
+///
+/// Deliberately serial: `f[k]` reads every `f[i > k]`, and the inner
+/// loop's pruning (`break`/`continue` against the running `best`) is what
+/// makes the search fast — the parallelism lives in [`reconstruct`] and
+/// in the `-BEST` orientation pair running two `feasible` searches
+/// concurrently.
 // The `i` loop breaks early on a monotone bound and indexes `f` at two
 // offsets; an enumerate-based rewrite obscures that.
 #[allow(clippy::needless_range_loop)]
@@ -225,25 +238,32 @@ fn stripe_parts(view: &View<'_>, k: usize, i: usize, budget: u64, cap: usize) ->
 }
 
 /// Builds the rectangles of the optimal solution from the feasibility
-/// DP's stripe choices at the optimal budget.
+/// DP's stripe choices at the optimal budget. The chosen cut vector's
+/// stripes are independent, so each stripe's greedy auxiliary split runs
+/// on its own task; the in-order collect reproduces the serial rectangle
+/// order exactly.
 fn reconstruct(view: &View<'_>, budget: u64, choice: &[usize]) -> Vec<Rect> {
     let n = view.n_main();
     let n_aux = view.n_aux();
-    let mut rects = Vec::new();
+    let mut stripes = Vec::new();
     let mut k = 0usize;
     while k < n {
         let i = choice[k];
         debug_assert!(i > k);
+        stripes.push((k, i));
+        k = i;
+    }
+    rectpart_parallel::flat_map_slice(&stripes, |&(k, i)| {
         let cost = FnCost::additive(n_aux, |a, b| view.load(k, i, a, b));
+        let mut rects = Vec::new();
         let mut lo = 0usize;
         while lo < n_aux {
             let hi = cost.upper_bisect(lo, lo + 1, n_aux, budget);
             rects.push(view.rect(k, i, lo, hi));
             lo = hi;
         }
-        k = i;
-    }
-    rects
+        rects
+    })
 }
 
 /// The paper's literal dynamic-programming formulation of `JAG-M-OPT`
@@ -261,12 +281,16 @@ pub fn jag_m_opt_dp(pfx: &PrefixSum2D, axis: crate::geometry::Axis, m: usize) ->
     let n = view.n_main();
     let n_aux = view.n_aux();
     let mut memo: HashMap<(usize, usize), u64> = HashMap::new();
+    // The same stripe solution `nicol([k, i), x)` recurs across many
+    // `(i, q)` DP states; memoize it in the shared stripe cache.
+    let stripes = StripeCache::new();
     fn lmax(
         view: &View<'_>,
         n_aux: usize,
         i: usize,
         q: usize,
         memo: &mut HashMap<(usize, usize), u64>,
+        stripes: &StripeCache,
     ) -> u64 {
         if i == 0 {
             return 0;
@@ -280,9 +304,11 @@ pub fn jag_m_opt_dp(pfx: &PrefixSum2D, axis: crate::geometry::Axis, m: usize) ->
         let mut best = u64::MAX;
         for k in 0..i {
             for x in 1..=q {
-                let aux = FnCost::additive(n_aux, |a, b| view.load(k, i, a, b));
-                let stripe = nicol(&aux, x).bottleneck;
-                let rest = lmax(view, n_aux, k, q - x, memo);
+                let stripe = stripes.bottleneck(view.axis(), k, i, x, || {
+                    let aux = FnCost::additive(n_aux, |a, b| view.load(k, i, a, b));
+                    nicol(&aux, x).bottleneck
+                });
+                let rest = lmax(view, n_aux, k, q - x, memo, stripes);
                 if rest == u64::MAX {
                     continue;
                 }
@@ -292,7 +318,7 @@ pub fn jag_m_opt_dp(pfx: &PrefixSum2D, axis: crate::geometry::Axis, m: usize) ->
         memo.insert((i, q), best);
         best
     }
-    lmax(&view, n_aux, n, m, &mut memo)
+    lmax(&view, n_aux, n, m, &mut memo, &stripes)
 }
 
 #[cfg(test)]
@@ -404,6 +430,24 @@ mod tests {
         assert_eq!(stripe_parts(&view, 0, 1, 18, 100), Some(1));
         assert_eq!(stripe_parts(&view, 0, 1, 2, 100), None); // cell 3 > 2
         assert_eq!(stripe_parts(&view, 0, 1, 6, 3), None); // cap reached
+    }
+
+    #[test]
+    fn stripe_cache_is_shared_across_best_orientations() {
+        let pfx = random_pfx(10, 12, 2, false);
+        let cache = StripeCache::new();
+        let _ = jag_pq_opt_view(&pfx.view(Axis::Rows), 2, 2, &cache);
+        let rows_entries = cache.len();
+        assert!(rows_entries > 0);
+        let _ = jag_pq_opt_view(&pfx.view(Axis::Cols), 2, 2, &cache);
+        assert!(
+            cache.len() > rows_entries,
+            "Cols run must add axis-keyed entries"
+        );
+        // A repeated orientation is answered from the cache alone.
+        let before = cache.len();
+        let _ = jag_pq_opt_view(&pfx.view(Axis::Rows), 2, 2, &cache);
+        assert_eq!(cache.len(), before);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! JSON (de)serialization of the public data types, preserving the field
+//! layout of the repo's existing output files (`{"rects": [{"r0": ..}]}`
+//! etc.). Enabled with the `json` feature (the legacy `serde` feature is
+//! an alias).
+
+use rectpart_json::{Error, FromJson, Json, ToJson};
+
+use crate::geometry::{Axis, Rect};
+use crate::matrix::LoadMatrix;
+use crate::solution::Partition;
+
+impl ToJson for Rect {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("r0", self.r0.to_json()),
+            ("r1", self.r1.to_json()),
+            ("c0", self.c0.to_json()),
+            ("c1", self.c1.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Rect {
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        let field = |key| json.field(key).and_then(usize::from_json);
+        let (r0, r1) = (field("r0")?, field("r1")?);
+        let (c0, c1) = (field("c0")?, field("c1")?);
+        if r0 > r1 || c0 > c1 {
+            return Err(Error::decode("inverted rectangle bounds"));
+        }
+        Ok(Rect { r0, r1, c0, c1 })
+    }
+}
+
+impl ToJson for Axis {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Axis::Rows => "Rows",
+                Axis::Cols => "Cols",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for Axis {
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        match json.as_str() {
+            Some("Rows") => Ok(Axis::Rows),
+            Some("Cols") => Ok(Axis::Cols),
+            _ => Err(Error::decode("expected \"Rows\" or \"Cols\"")),
+        }
+    }
+}
+
+impl ToJson for Partition {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("rects", self.rects().to_vec().to_json())])
+    }
+}
+
+impl FromJson for Partition {
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        let rects: Vec<Rect> = Vec::from_json(json.field("rects")?)?;
+        if rects.is_empty() {
+            return Err(Error::decode("a partition needs at least one part"));
+        }
+        Ok(Partition::new(rects))
+    }
+}
+
+impl ToJson for LoadMatrix {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rows", self.rows().to_json()),
+            ("cols", self.cols().to_json()),
+            ("data", self.data().to_vec().to_json()),
+        ])
+    }
+}
+
+impl FromJson for LoadMatrix {
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        let rows = usize::from_json(json.field("rows")?)?;
+        let cols = usize::from_json(json.field("cols")?)?;
+        let data: Vec<u32> = Vec::from_json(json.field("data")?)?;
+        if data.len() != rows * cols {
+            return Err(Error::decode("row-major data length mismatch"));
+        }
+        Ok(LoadMatrix::from_vec(rows, cols, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_roundtrip_preserves_layout() {
+        let p = Partition::new(vec![Rect::new(0, 2, 0, 3), Rect::new(2, 4, 0, 3)]);
+        let text = rectpart_json::to_string_pretty(&p);
+        assert!(text.contains("\"rects\""));
+        assert!(text.contains("\"r0\""));
+        let back: Partition = rectpart_json::from_str(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = LoadMatrix::from_fn(3, 4, |r, c| (r * 4 + c) as u32);
+        let back: LoadMatrix =
+            rectpart_json::from_str(&rectpart_json::to_string_pretty(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn axis_roundtrip() {
+        for axis in [Axis::Rows, Axis::Cols] {
+            let back: Axis =
+                rectpart_json::from_str(&rectpart_json::to_string_pretty(&axis)).unwrap();
+            assert_eq!(back, axis);
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(rectpart_json::from_str::<Partition>("{\"rects\": []}").is_err());
+        assert!(rectpart_json::from_str::<Axis>("\"Diagonal\"").is_err());
+        assert!(
+            rectpart_json::from_str::<LoadMatrix>("{\"rows\": 2, \"cols\": 2, \"data\": [1]}")
+                .is_err()
+        );
+    }
+}

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod bounds;
+pub mod cache;
 mod exhaustive;
 mod geometry;
 mod hier_opt;
@@ -40,6 +41,8 @@ mod hierarchical;
 mod index;
 mod jagged;
 mod jagged_opt;
+#[cfg(feature = "json")]
+mod json_io;
 mod matrix;
 mod multilevel;
 mod prefix;
@@ -49,6 +52,7 @@ mod spiral;
 mod stats;
 mod traits;
 
+pub use cache::{ShardedMemo, StripeCache, StripeKey};
 pub use exhaustive::exhaustive_opt;
 pub use geometry::{Axis, Rect};
 pub use hier_opt::{hier_opt, hier_opt_value};
@@ -60,6 +64,10 @@ pub use matrix::LoadMatrix;
 pub use multilevel::Multilevel;
 pub use prefix::{PrefixSum2D, View};
 pub use rectilinear::{RectNicol, RectUniform};
+/// Thread-budget configuration for the parallel execution layer,
+/// re-exported so downstream users need not depend on
+/// `rectpart-parallel` directly.
+pub use rectpart_parallel::ParallelismConfig;
 pub use solution::{Partition, PartitionError};
 pub use spiral::{spiral_opt_value, Side, SpiralRelaxed};
 pub use stats::PartitionStats;

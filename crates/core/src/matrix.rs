@@ -9,7 +9,6 @@ use crate::geometry::Rect;
 /// §4.1) are sparse and contain many empty cells. Algorithms must cope
 /// with zero-load cells and do.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LoadMatrix {
     rows: usize,
     cols: usize,

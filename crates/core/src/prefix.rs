@@ -30,13 +30,41 @@ pub struct PrefixSum2D {
     min_cell: u32,
 }
 
+/// Below this many cells the serial single-pass construction wins over
+/// the two-pass parallel scan (thread spawn + extra memory sweep).
+const PARALLEL_CELLS_MIN: usize = 1 << 16;
+
 impl PrefixSum2D {
-    /// Builds Γ in one pass over the matrix.
+    /// Builds Γ. Uses a two-pass parallel scan (per-row prefix sums, then
+    /// a blocked column scan) when more than one thread is available and
+    /// the matrix is large enough; exact integer addition makes the
+    /// result bit-identical to the serial single pass at any thread
+    /// count.
     ///
     /// # Panics
     ///
-    /// Panics if the running sum overflows `u64`.
+    /// Panics if the running sum overflows `u64` (same condition on both
+    /// paths: overflow of any Γ entry).
     pub fn new(a: &LoadMatrix) -> Self {
+        let rows = a.rows();
+        let cols = a.cols();
+        if rectpart_parallel::current_threads() >= 2
+            && rows >= 2
+            && rows * cols >= PARALLEL_CELLS_MIN
+        {
+            return Self::new_parallel(a);
+        }
+        Self::new_serial(a)
+    }
+
+    /// Builds Γ under an explicit parallelism override; see
+    /// [`ParallelismConfig`](rectpart_parallel::ParallelismConfig).
+    pub fn with_config(a: &LoadMatrix, cfg: rectpart_parallel::ParallelismConfig) -> Self {
+        cfg.run(|| Self::new(a))
+    }
+
+    /// The original one-pass construction.
+    fn new_serial(a: &LoadMatrix) -> Self {
         let rows = a.rows();
         let cols = a.cols();
         let w = cols + 1;
@@ -58,6 +86,114 @@ impl PrefixSum2D {
         }
         if rows == 0 || cols == 0 {
             min_cell = 0;
+        }
+        let total = g[(rows + 1) * w - 1];
+        Self {
+            rows,
+            cols,
+            g,
+            total,
+            max_cell,
+            min_cell,
+        }
+    }
+
+    /// Two-pass blocked scan.
+    ///
+    /// 1. Every row `r` gets its 1D prefix sums written into Γ row `r+1`
+    ///    (parallel over rows; also collects per-row extrema).
+    /// 2. Rows are grouped into contiguous blocks. Each block accumulates
+    ///    its rows top-to-bottom (parallel over blocks); the running
+    ///    block offsets — the true Γ values of each block's last row —
+    ///    are then folded serially and added back to every row of the
+    ///    later blocks (parallel over blocks again).
+    ///
+    /// All sums are exact `u64` additions of non-negative values, so the
+    /// intermediate values never exceed the final Γ entries and the
+    /// checked additions panic exactly when the serial pass would.
+    fn new_parallel(a: &LoadMatrix) -> Self {
+        let rows = a.rows();
+        let cols = a.cols();
+        let w = cols + 1;
+        let mut g = vec![0u64; (rows + 1) * w];
+
+        // Pass 1: per-row prefix sums + extrema. Γ row r+1 is the chunk
+        // of length w starting at (r+1)*w; chunking g[w..] by w visits
+        // exactly the non-border rows.
+        let extrema: Vec<(u32, u32)> =
+            rectpart_parallel::map_chunks_mut(&mut g[w..], w, |r, grow| {
+                let src = a.row(r);
+                let mut row_sum = 0u64;
+                let mut mx = 0u32;
+                let mut mn = u32::MAX;
+                for c in 0..cols {
+                    let v = src[c];
+                    mx = mx.max(v);
+                    mn = mn.min(v);
+                    row_sum = row_sum
+                        .checked_add(v as u64)
+                        .expect("2D prefix sum overflow");
+                    grow[c + 1] = row_sum;
+                }
+                (mx, mn)
+            });
+        let (mut max_cell, mut min_cell) = extrema
+            .into_iter()
+            .fold((0u32, u32::MAX), |(mx, mn), (rmx, rmn)| {
+                (mx.max(rmx), mn.min(rmn))
+            });
+
+        // Pass 2a: block-local column accumulation.
+        let threads = rectpart_parallel::current_threads();
+        let block_rows = rows.div_ceil(threads.max(2)).max(1);
+        rectpart_parallel::map_chunks_mut(&mut g[w..], block_rows * w, |_, block| {
+            let n_rows = block.len() / w;
+            for r in 1..n_rows {
+                for c in 1..w {
+                    block[r * w + c] = block[r * w + c]
+                        .checked_add(block[(r - 1) * w + c])
+                        .expect("2D prefix sum overflow");
+                }
+            }
+        });
+
+        // Pass 2b: serial fold of block offsets. After 2a, each block's
+        // last row holds the block-local column sums, so the running
+        // prefix over those is the true Γ row at each block boundary —
+        // the offset the next block needs. O(threads · cols) work.
+        let n_blocks = rows.div_ceil(block_rows);
+        let mut offsets: Vec<Vec<u64>> = Vec::with_capacity(n_blocks.saturating_sub(1));
+        let mut running = vec![0u64; w];
+        for b in 0..n_blocks.saturating_sub(1) {
+            let last_row = (b + 1) * block_rows; // 1-based Γ row; never the final block
+            for c in 0..w {
+                running[c] = running[c]
+                    .checked_add(g[last_row * w + c])
+                    .expect("2D prefix sum overflow");
+            }
+            offsets.push(running.clone());
+        }
+
+        // Pass 2c: add each block's offset to all of its rows.
+        let offsets = &offsets;
+        rectpart_parallel::map_chunks_mut(&mut g[w..], block_rows * w, |b, block| {
+            if b == 0 {
+                return;
+            }
+            let off = &offsets[b - 1];
+            let n_rows = block.len() / w;
+            for r in 0..n_rows {
+                for c in 1..w {
+                    block[r * w + c] = block[r * w + c]
+                        .checked_add(off[c])
+                        .expect("2D prefix sum overflow");
+                }
+            }
+        });
+
+        if rows == 0 || cols == 0 {
+            min_cell = 0;
+            max_cell = 0;
         }
         let total = g[(rows + 1) * w - 1];
         Self {
@@ -252,6 +388,30 @@ mod tests {
         assert_eq!(vc.load(2, 4, 1, 3), direct);
         assert_eq!(vr.rect(1, 3, 2, 4), Rect::new(1, 3, 2, 4));
         assert_eq!(vc.rect(2, 4, 1, 3), Rect::new(1, 3, 2, 4));
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (rows, cols) in [(1, 7), (2, 2), (37, 53), (64, 1), (100, 257)] {
+            let m = LoadMatrix::from_fn(rows, cols, |_, _| rng.gen_range(0..1000));
+            let serial = PrefixSum2D::new_serial(&m);
+            for t in [1, 2, 3, 8] {
+                let par = rectpart_parallel::with_threads(t, || PrefixSum2D::new_parallel(&m));
+                assert_eq!(par.g, serial.g, "{rows}x{cols} threads={t}");
+                assert_eq!(par.max_cell, serial.max_cell);
+                assert_eq!(par.min_cell, serial.min_cell);
+                assert_eq!(par.total, serial.total);
+            }
+        }
+    }
+
+    #[test]
+    fn with_config_forces_thread_budget() {
+        let m = LoadMatrix::from_fn(12, 12, |r, c| (r + c) as u32);
+        let cfg = rectpart_parallel::ParallelismConfig::threads(4);
+        let p = PrefixSum2D::with_config(&m, cfg);
+        assert_eq!(p.total(), m.total());
     }
 
     #[test]

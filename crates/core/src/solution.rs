@@ -65,7 +65,6 @@ impl std::error::Error for PartitionError {}
 /// [`Partition::validate`] with the same O(m²) pairwise test the paper
 /// describes, plus the area-sum coverage test.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Partition {
     rects: Vec<Rect>,
 }

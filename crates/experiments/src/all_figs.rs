@@ -3,7 +3,6 @@
 
 use std::path::Path;
 
-use rayon::prelude::*;
 use rectpart_core::{
     standard_heuristics, HierRb, JagMHeur, JagPqHeur, JagPqOpt, LoadMatrix, Partition, Partitioner,
     PrefixSum2D, RectNicol,
@@ -158,16 +157,13 @@ pub fn fig12(instances: &Instances, out: &Path) {
         "load imbalance",
         columns,
     );
-    let cells: Vec<Vec<Option<f64>>> = trace
-        .par_iter()
-        .map(|snap| {
-            let pfx = PrefixSum2D::new(&snap.matrix);
-            algos
-                .iter()
-                .map(|a| Some(run_imbalance(a.as_ref(), &pfx, m)))
-                .collect()
-        })
-        .collect();
+    let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(trace, |snap| {
+        let pfx = PrefixSum2D::new(&snap.matrix);
+        algos
+            .iter()
+            .map(|a| Some(run_imbalance(a.as_ref(), &pfx, m)))
+            .collect()
+    });
     for (snap, values) in trace.iter().zip(cells) {
         table.push(snap.iteration as f64, values);
     }

@@ -4,9 +4,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use rayon::prelude::*;
 use rectpart_core::{Partition, Partitioner, PrefixSum2D};
-use serde::Serialize;
+use rectpart_json::{Json, ToJson};
 
 /// Experiment scale. Defaults to laptop-sized runs; `--full` switches to
 /// the paper's instance sizes and processor counts.
@@ -56,7 +55,7 @@ pub fn square_numbers(lo: usize, hi: usize) -> Vec<usize> {
 
 /// One experiment output: an x-column plus one named series per
 /// algorithm, mirroring the paper's figures.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     pub id: String,
     pub title: String,
@@ -68,10 +67,32 @@ pub struct Table {
 
 /// One x position and its per-series values (`None` = not measured, e.g.
 /// `JAG-M-OPT` beyond its processor cap).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     pub x: f64,
     pub values: Vec<Option<f64>>,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("x", self.x.to_json()),
+            ("values", self.values.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", self.id.to_json()),
+            ("title", self.title.to_json()),
+            ("xlabel", self.xlabel.to_json()),
+            ("ylabel", self.ylabel.to_json()),
+            ("columns", self.columns.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
 }
 
 impl Table {
@@ -143,7 +164,7 @@ impl Table {
         }
         fs::write(&csv, s)?;
         let json = out.join(format!("{}.json", self.id));
-        fs::write(&json, serde_json::to_string_pretty(self).unwrap())?;
+        fs::write(&json, rectpart_json::to_string_pretty(self))?;
         println!("    wrote {} and {}", csv.display(), json.display());
         Ok(())
     }
@@ -168,15 +189,12 @@ pub fn imbalance_sweep(
 ) -> Table {
     let columns: Vec<String> = algos.iter().map(|a| a.name()).collect();
     let mut table = Table::new(id, title, "m", "load imbalance", columns);
-    let cells: Vec<Vec<Option<f64>>> = ms
-        .par_iter()
-        .map(|&m| {
-            algos
-                .iter()
-                .map(|a| Some(run_imbalance(a, pfx, m)))
-                .collect()
-        })
-        .collect();
+    let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(ms, |&m| {
+        algos
+            .iter()
+            .map(|a| Some(run_imbalance(a, pfx, m)))
+            .collect()
+    });
     for (&m, values) in ms.iter().zip(cells) {
         table.push(m as f64, values);
     }

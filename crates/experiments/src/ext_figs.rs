@@ -3,7 +3,6 @@
 
 use std::path::Path;
 
-use rayon::prelude::*;
 use rectpart_core::{standard_heuristics, JagMHeur, JaggedVariant, PrefixSum2D, StripeCount};
 use rectpart_simexec::{dynamic_run, CommModel, RebalancePolicy, Simulator};
 use rectpart_workloads::uniform;
@@ -30,18 +29,15 @@ pub fn ext_a(instances: &Instances, out: &Path) {
         "halo cells per iteration",
         columns,
     );
-    let cells: Vec<Vec<Option<f64>>> = ms
-        .par_iter()
-        .map(|&m| {
-            algos
-                .iter()
-                .map(|a| {
-                    let p = a.partition(&pfx, m);
-                    Some(sim.evaluate(&pfx, &p).comm_volume_total as f64)
-                })
-                .collect()
-        })
-        .collect();
+    let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(&ms, |&m| {
+        algos
+            .iter()
+            .map(|a| {
+                let p = a.partition(&pfx, m);
+                Some(sim.evaluate(&pfx, &p).comm_volume_total as f64)
+            })
+            .collect()
+    });
     for (&m, values) in ms.iter().zip(cells) {
         table.push(m as f64, values);
     }
@@ -114,18 +110,15 @@ pub fn ext_c(instances: &Instances, out: &Path) {
         "speedup",
         columns,
     );
-    let cells: Vec<Vec<Option<f64>>> = ms
-        .par_iter()
-        .map(|&m| {
-            algos
-                .iter()
-                .map(|a| {
-                    let p = a.partition(&pfx, m);
-                    Some(sim.evaluate(&pfx, &p).speedup)
-                })
-                .collect()
-        })
-        .collect();
+    let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(&ms, |&m| {
+        algos
+            .iter()
+            .map(|a| {
+                let p = a.partition(&pfx, m);
+                Some(sim.evaluate(&pfx, &p).speedup)
+            })
+            .collect()
+    });
     for (&m, values) in ms.iter().zip(cells) {
         table.push(m as f64, values);
     }
@@ -153,10 +146,9 @@ pub fn ext_d(scale: Scale, out: &Path) {
         columns,
     );
     for &delta in &deltas {
-        let instances: Vec<PrefixSum2D> = (0..count as u64)
-            .into_par_iter()
-            .map(|seed| PrefixSum2D::new(&uniform(n, n, seed).delta(delta).build()))
-            .collect();
+        let instances: Vec<PrefixSum2D> = rectpart_parallel::map_range(count, |seed| {
+            PrefixSum2D::new(&uniform(n, n, seed as u64).delta(delta).build())
+        });
         let values = policies
             .iter()
             .map(|(_, stripes)| {
@@ -308,14 +300,11 @@ pub fn ext_h(instances: &Instances, out: &Path) {
         "iterations",
         vec!["514x514 uniform".into(), "PIC-MAG".into()],
     );
-    let cells: Vec<(usize, usize)> = ms
-        .par_iter()
-        .map(|&m| {
-            let (_, a) = RectNicol::default().partition_with_iterations(&uniform_pfx, m);
-            let (_, b) = RectNicol::default().partition_with_iterations(&pic_pfx, m);
-            (a, b)
-        })
-        .collect();
+    let cells: Vec<(usize, usize)> = rectpart_parallel::map_slice(&ms, |&m| {
+        let (_, a) = RectNicol::default().partition_with_iterations(&uniform_pfx, m);
+        let (_, b) = RectNicol::default().partition_with_iterations(&pic_pfx, m);
+        (a, b)
+    });
     let mut max_iters = 0;
     for (&m, (a, b)) in ms.iter().zip(cells) {
         max_iters = max_iters.max(a).max(b);

@@ -2,7 +2,6 @@
 
 use std::path::Path;
 
-use rayon::prelude::*;
 use rectpart_core::{HierRb, HierRelaxed, HierVariant, Partitioner, PrefixSum2D};
 use rectpart_workloads::{diagonal, multi_peak, peak};
 
@@ -46,15 +45,12 @@ fn synthetic_sweep(
 ) -> Table {
     let columns = algos.iter().map(|a| a.name()).collect();
     let mut table = Table::new(id, title, "m", "load imbalance", columns);
-    let cells: Vec<Vec<Option<f64>>> = ms
-        .par_iter()
-        .map(|&m| {
-            algos
-                .iter()
-                .map(|a| Some(aggregate_imbalance(instances, a.as_ref(), m)))
-                .collect()
-        })
-        .collect();
+    let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(ms, |&m| {
+        algos
+            .iter()
+            .map(|a| Some(aggregate_imbalance(instances, a.as_ref(), m)))
+            .collect()
+    });
     for (&m, values) in ms.iter().zip(cells) {
         table.push(m as f64, values);
     }
@@ -62,7 +58,7 @@ fn synthetic_sweep(
 }
 
 fn build_instances(build: impl Fn(u64) -> PrefixSum2D + Sync + Send, n: usize) -> Vec<PrefixSum2D> {
-    (0..n as u64).into_par_iter().map(build).collect()
+    rectpart_parallel::map_range(n, |i| build(i as u64))
 }
 
 /// Figure 3: the four `HIER-RB` variants on the Peak class
@@ -166,16 +162,13 @@ pub fn fig11(instances: &Instances, out: &Path) {
         "load imbalance",
         columns,
     );
-    let cells: Vec<Vec<Option<f64>>> = trace
-        .par_iter()
-        .map(|snap| {
-            let pfx = PrefixSum2D::new(&snap.matrix);
-            algos
-                .iter()
-                .map(|a| Some(crate::common::run_imbalance(a.as_ref(), &pfx, m)))
-                .collect()
-        })
-        .collect();
+    let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(trace, |snap| {
+        let pfx = PrefixSum2D::new(&snap.matrix);
+        algos
+            .iter()
+            .map(|a| Some(crate::common::run_imbalance(a.as_ref(), &pfx, m)))
+            .collect()
+    });
     for (snap, values) in trace.iter().zip(cells) {
         table.push(snap.iteration as f64, values);
     }

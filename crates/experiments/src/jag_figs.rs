@@ -2,7 +2,6 @@
 
 use std::path::Path;
 
-use rayon::prelude::*;
 use rectpart_core::{bounds, JagMHeur, JagMOpt, JagPqHeur, JagPqOpt, Partitioner, PrefixSum2D};
 use rectpart_workloads::uniform;
 
@@ -39,29 +38,26 @@ pub fn fig7(instances: &Instances, out: &Path) {
         "load imbalance",
         columns,
     );
-    let cells: Vec<Vec<Option<f64>>> = ms
-        .par_iter()
-        .map(|&m| {
-            let mut row: Vec<Option<f64>> = heuristics
-                .iter()
-                .enumerate()
-                .map(|(i, a)| {
-                    // JAG-PQ-OPT has its own runtime cap.
-                    if i == 1 && m > pq_opt_cap {
-                        None
-                    } else {
-                        Some(run_imbalance(a.as_ref(), &pfx, m))
-                    }
-                })
-                .collect();
-            row.push(if m <= m_opt_cap {
-                Some(run_imbalance(&m_opt, &pfx, m))
-            } else {
-                None
-            });
-            row
-        })
-        .collect();
+    let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(&ms, |&m| {
+        let mut row: Vec<Option<f64>> = heuristics
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                // JAG-PQ-OPT has its own runtime cap.
+                if i == 1 && m > pq_opt_cap {
+                    None
+                } else {
+                    Some(run_imbalance(a.as_ref(), &pfx, m))
+                }
+            })
+            .collect();
+        row.push(if m <= m_opt_cap {
+            Some(run_imbalance(&m_opt, &pfx, m))
+        } else {
+            None
+        });
+        row
+    });
     for (&m, values) in ms.iter().zip(cells) {
         table.push(m as f64, values);
     }
@@ -91,23 +87,20 @@ pub fn fig8(instances: &Instances, out: &Path) {
         "load imbalance",
         columns,
     );
-    let cells: Vec<Vec<Option<f64>>> = trace
-        .par_iter()
-        .map(|snap| {
-            let pfx = PrefixSum2D::new(&snap.matrix);
-            algos
-                .iter()
-                .enumerate()
-                .map(|(i, a)| {
-                    if i == 1 && m > pq_opt_cap {
-                        None
-                    } else {
-                        Some(run_imbalance(a.as_ref(), &pfx, m))
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(trace, |snap| {
+        let pfx = PrefixSum2D::new(&snap.matrix);
+        algos
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                if i == 1 && m > pq_opt_cap {
+                    None
+                } else {
+                    Some(run_imbalance(a.as_ref(), &pfx, m))
+                }
+            })
+            .collect()
+    });
     for (snap, values) in trace.iter().zip(cells) {
         table.push(snap.iteration as f64, values);
     }
@@ -140,18 +133,15 @@ pub fn fig9(scale: Scale, out: &Path) {
             "m-way jagged guarantee".into(),
         ],
     );
-    let cells: Vec<(f64, f64)> = ps
-        .par_iter()
-        .map(|&p| {
-            let measured = run_imbalance(&JagMHeur::with_stripes(p), &pfx, m);
-            let guarantee = if p < m {
-                bounds::jag_m_heur_ratio(delta, p, m, n, n) - 1.0
-            } else {
-                f64::NAN
-            };
-            (measured, guarantee)
-        })
-        .collect();
+    let cells: Vec<(f64, f64)> = rectpart_parallel::map_slice(&ps, |&p| {
+        let measured = run_imbalance(&JagMHeur::with_stripes(p), &pfx, m);
+        let guarantee = if p < m {
+            bounds::jag_m_heur_ratio(delta, p, m, n, n) - 1.0
+        } else {
+            f64::NAN
+        };
+        (measured, guarantee)
+    });
     for (&p, (meas, guar)) in ps.iter().zip(cells) {
         table.push(p as f64, vec![Some(meas), Some(guar)]);
     }

@@ -9,7 +9,7 @@
 //! Options:
 //!   --full        paper-scale instances and processor counts
 //!   --out <dir>   output directory (default: results/)
-//!   --threads <n> rayon thread count (default: all cores)
+//!   --threads <n> worker thread count (default: all cores)
 
 mod all_figs;
 mod common;
@@ -34,10 +34,7 @@ fn main() {
     }
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         if let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(n)
-                .build_global()
-                .expect("rayon pool already initialized");
+            rectpart_parallel::set_global_threads(n);
         }
     }
     let scale = Scale {

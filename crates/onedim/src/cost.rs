@@ -16,7 +16,13 @@
 /// required: the `RECT-NICOL` refinement feeds a max-over-stripes cost
 /// through the same algorithms. Algorithms that exploit additivity for
 /// their approximation guarantee ([`crate::direct_cut`]) document it.
-pub trait IntervalCost {
+///
+/// `Send + Sync` is a supertrait: the 2D algorithms evaluate independent
+/// stripes of one instance on worker threads, sharing the cost oracle by
+/// reference. Oracles are read-only views over prefix sums (plus, in the
+/// 2D crate, a sharded concurrent memo), so the bound costs nothing in
+/// practice.
+pub trait IntervalCost: Send + Sync {
     /// Number of items in the underlying sequence.
     fn len(&self) -> usize;
 
@@ -222,7 +228,7 @@ impl<F: Fn(usize, usize) -> u64> FnCost<F> {
     }
 }
 
-impl<F: Fn(usize, usize) -> u64> IntervalCost for FnCost<F> {
+impl<F: Fn(usize, usize) -> u64 + Send + Sync> IntervalCost for FnCost<F> {
     fn len(&self) -> usize {
         self.len
     }

@@ -1,6 +1,5 @@
 //! The per-iteration cost model and migration accounting.
 
-use rayon::prelude::*;
 use rectpart_core::{Partition, PrefixSum2D};
 
 /// Cost coefficients of one BSP iteration.
@@ -126,31 +125,28 @@ impl Simulator {
         }
         // Per-processor halo volume and neighbour count: O(m²) pairwise
         // shared-boundary scan, parallelized over processors.
-        let per_proc: Vec<(u64, usize, f64)> = rects
-            .par_iter()
-            .enumerate()
-            .map(|(i, r)| {
-                let mut volume = 0u64;
-                let mut neighbors = 0usize;
-                if !r.is_empty() {
-                    for (j, other) in rects.iter().enumerate() {
-                        if i == j {
-                            continue;
-                        }
-                        let shared = r.shared_boundary(other) as u64;
-                        if shared > 0 {
-                            volume += shared;
-                            neighbors += 1;
-                        }
+        let per_proc: Vec<(u64, usize, f64)> = rectpart_parallel::map_range(rects.len(), |i| {
+            let r = &rects[i];
+            let mut volume = 0u64;
+            let mut neighbors = 0usize;
+            if !r.is_empty() {
+                for (j, other) in rects.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let shared = r.shared_boundary(other) as u64;
+                    if shared > 0 {
+                        volume += shared;
+                        neighbors += 1;
                     }
                 }
-                let speed = self.speeds.as_ref().map_or(1.0, |s| s[i]);
-                let time = self.model.alpha * pfx.load(r) as f64 / speed
-                    + self.model.beta * volume as f64
-                    + self.model.latency * neighbors as f64;
-                (volume, neighbors, time)
-            })
-            .collect();
+            }
+            let speed = self.speeds.as_ref().map_or(1.0, |s| s[i]);
+            let time = self.model.alpha * pfx.load(r) as f64 / speed
+                + self.model.beta * volume as f64
+                + self.model.latency * neighbors as f64;
+            (volume, neighbors, time)
+        });
         let comm_volume_total: u64 = per_proc.iter().map(|p| p.0).sum();
         let comm_volume_max = per_proc.iter().map(|p| p.0).max().unwrap_or(0);
         let max_neighbors = per_proc.iter().map(|p| p.1).max().unwrap_or(0);
@@ -195,20 +191,19 @@ pub fn migration(pfx: &PrefixSum2D, prev: &Partition, next: &Partition) -> Migra
     let cols = pfx.cols();
     let a = prev.owner_map(rows, cols);
     let b = next.owner_map(rows, cols);
-    let (cells, load) = (0..rows)
-        .into_par_iter()
-        .map(|r| {
-            let mut cells = 0u64;
-            let mut load = 0u64;
-            for c in 0..cols {
-                if a[r * cols + c] != b[r * cols + c] {
-                    cells += 1;
-                    load += pfx.load4(r, r + 1, c, c + 1);
-                }
+    let (cells, load) = rectpart_parallel::map_range(rows, |r| {
+        let mut cells = 0u64;
+        let mut load = 0u64;
+        for c in 0..cols {
+            if a[r * cols + c] != b[r * cols + c] {
+                cells += 1;
+                load += pfx.load4(r, r + 1, c, c + 1);
             }
-            (cells, load)
-        })
-        .reduce(|| (0, 0), |x, y| (x.0 + y.0, x.1 + y.1));
+        }
+        (cells, load)
+    })
+    .into_iter()
+    .fold((0, 0), |x, y| (x.0 + y.0, x.1 + y.1));
     MigrationReport { cells, load }
 }
 

@@ -303,7 +303,7 @@ mod tests {
             let d =
                 ((x as f64 - 6.0).powi(2) + (y as f64 - 6.0).powi(2) + (z as f64 - 6.0).powi(2))
                     .sqrt();
-            (500.0 / (d + 0.5)) as u32 + rng.gen_range(1..5)
+            (500.0 / (d + 0.5)) as u32 + rng.gen_range(1u32..5)
         });
         let pfx = PrefixSum3D::new(&v);
         let m = 27;

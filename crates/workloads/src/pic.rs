@@ -17,7 +17,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use rectpart_core::LoadMatrix;
 
 /// Configuration of a PIC-MAG run.
@@ -128,19 +127,16 @@ impl PicSimulation {
     pub fn new(cfg: PicConfig) -> Self {
         assert!(cfg.rows > 0 && cfg.cols > 0 && cfg.particles > 0);
         let seed = cfg.seed;
-        let particles = (0..cfg.particles)
-            .into_par_iter()
-            .map(|i| {
-                let mut rng = particle_rng(seed, i as u64, 0);
-                Particle {
-                    x: rng.gen::<f64>(),
-                    y: rng.gen::<f64>(),
-                    vx: V_WIND + V_THERMAL * (rng.gen::<f64>() - 0.5),
-                    vy: V_THERMAL * (rng.gen::<f64>() - 0.5),
-                    reinjections: 0,
-                }
-            })
-            .collect();
+        let particles = rectpart_parallel::map_range(cfg.particles, |i| {
+            let mut rng = particle_rng(seed, i as u64, 0);
+            Particle {
+                x: rng.gen::<f64>(),
+                y: rng.gen::<f64>(),
+                vx: V_WIND + V_THERMAL * (rng.gen::<f64>() - 0.5),
+                vy: V_THERMAL * (rng.gen::<f64>() - 0.5),
+                reinjections: 0,
+            }
+        });
         Self {
             cfg,
             particles,
@@ -161,32 +157,29 @@ impl PicSimulation {
         let dt = self.cfg.dt;
         let (dx, dy) = self.dipole;
         let seed = self.cfg.seed;
-        self.particles
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(i, p)| {
-                // Out-of-plane dipole field: |B| ~ 1/d³, softened.
-                let rx = p.x - dx;
-                let ry = p.y - dy;
-                let d3 = (rx * rx + ry * ry).powf(1.5);
-                let b = B_SCALE / (d3 + B_SOFTEN);
-                // Exact rotation by θ = B·dt (Boris push for pure Bz).
-                let theta = b * dt;
-                let (sin, cos) = theta.sin_cos();
-                let (vx, vy) = (p.vx, p.vy);
-                p.vx = cos * vx - sin * vy;
-                p.vy = sin * vx + cos * vy;
-                p.x += p.vx * dt;
-                p.y += p.vy * dt;
-                if p.x < 0.0 || p.x >= 1.0 || p.y < 0.0 || p.y >= 1.0 {
-                    p.reinjections += 1;
-                    let mut rng = particle_rng(seed, i as u64, p.reinjections);
-                    p.x = 0.0;
-                    p.y = rng.gen::<f64>();
-                    p.vx = V_WIND + V_THERMAL * (rng.gen::<f64>() - 0.5);
-                    p.vy = V_THERMAL * (rng.gen::<f64>() - 0.5);
-                }
-            });
+        rectpart_parallel::for_each_indexed_mut(&mut self.particles, |i, p| {
+            // Out-of-plane dipole field: |B| ~ 1/d³, softened.
+            let rx = p.x - dx;
+            let ry = p.y - dy;
+            let d3 = (rx * rx + ry * ry).powf(1.5);
+            let b = B_SCALE / (d3 + B_SOFTEN);
+            // Exact rotation by θ = B·dt (Boris push for pure Bz).
+            let theta = b * dt;
+            let (sin, cos) = theta.sin_cos();
+            let (vx, vy) = (p.vx, p.vy);
+            p.vx = cos * vx - sin * vy;
+            p.vy = sin * vx + cos * vy;
+            p.x += p.vx * dt;
+            p.y += p.vy * dt;
+            if p.x < 0.0 || p.x >= 1.0 || p.y < 0.0 || p.y >= 1.0 {
+                p.reinjections += 1;
+                let mut rng = particle_rng(seed, i as u64, p.reinjections);
+                p.x = 0.0;
+                p.y = rng.gen::<f64>();
+                p.vx = V_WIND + V_THERMAL * (rng.gen::<f64>() - 0.5);
+                p.vy = V_THERMAL * (rng.gen::<f64>() - 0.5);
+            }
+        });
     }
 
     /// Deposits the particles onto the grid and returns the load matrix
@@ -194,10 +187,10 @@ impl PicSimulation {
     pub fn deposit(&self) -> LoadMatrix {
         let rows = self.cfg.rows;
         let cols = self.cfg.cols;
-        let counts = self
-            .particles
-            .par_chunks(8192)
-            .map(|chunk| {
+        let counts = rectpart_parallel::chunked_reduce(
+            &self.particles,
+            8192,
+            |_, chunk| {
                 let mut local = vec![0u32; rows * cols];
                 for p in chunk {
                     let r = ((p.y * rows as f64) as usize).min(rows - 1);
@@ -205,16 +198,15 @@ impl PicSimulation {
                     local[r * cols + c] += 1;
                 }
                 local
-            })
-            .reduce(
-                || vec![0u32; rows * cols],
-                |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
-                        *x += y;
-                    }
-                    a
-                },
-            );
+            },
+            vec![0u32; rows * cols],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
         let base = self.cfg.base_load;
         let w = self.cfg.particle_weight;
         LoadMatrix::from_fn(rows, cols, |r, c| base + w * counts[r * cols + c])

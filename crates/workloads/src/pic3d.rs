@@ -11,7 +11,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use rectpart_volume::LoadVolume;
 
 use crate::pic::PicConfig;
@@ -64,13 +63,10 @@ impl Pic3Simulation {
     pub fn new(cfg: Pic3Config) -> Self {
         let planar = crate::pic::PicSimulation::new(cfg.planar.clone());
         let seed = cfg.planar.seed ^ 0x5851_F42D_4C95_7F2D;
-        let depth_state = (0..cfg.planar.particles)
-            .into_par_iter()
-            .map(|i| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-                (rng.gen::<f64>(), cfg.vz_thermal * (rng.gen::<f64>() - 0.5))
-            })
-            .collect();
+        let depth_state = rectpart_parallel::map_range(cfg.planar.particles, |i| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            (rng.gen::<f64>(), cfg.vz_thermal * (rng.gen::<f64>() - 0.5))
+        });
         Self {
             cfg,
             planar,
@@ -83,7 +79,7 @@ impl Pic3Simulation {
     pub fn step(&mut self) {
         self.planar.step();
         let dt = self.cfg.planar.dt;
-        self.depth_state.par_iter_mut().for_each(|(z, vz)| {
+        rectpart_parallel::for_each_indexed_mut(&mut self.depth_state, |_, (z, vz)| {
             *z += *vz * dt;
             if *z < 0.0 {
                 *z = -*z;
@@ -103,10 +99,11 @@ impl Pic3Simulation {
         let cfg = &self.cfg.planar;
         let (rows, cols, depth) = (cfg.rows, cfg.cols, self.cfg.depth);
         let planar_pos = self.planar.positions();
-        let counts = planar_pos
-            .par_chunks(8192)
-            .zip(self.depth_state.par_chunks(8192))
-            .map(|(pchunk, zchunk)| {
+        let counts = rectpart_parallel::chunked_reduce(
+            &planar_pos,
+            8192,
+            |chunk_idx, pchunk| {
+                let zchunk = &self.depth_state[chunk_idx * 8192..][..pchunk.len()];
                 let mut local = vec![0u32; rows * cols * depth];
                 for (&(x, y), &(z, _)) in pchunk.iter().zip(zchunk) {
                     let r = ((y * rows as f64) as usize).min(rows - 1);
@@ -115,16 +112,15 @@ impl Pic3Simulation {
                     local[(r * cols + c) * depth + d] += 1;
                 }
                 local
-            })
-            .reduce(
-                || vec![0u32; rows * cols * depth],
-                |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
-                        *x += y;
-                    }
-                    a
-                },
-            );
+            },
+            vec![0u32; rows * cols * depth],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
         let base = cfg.base_load / depth as u32;
         let w = cfg.particle_weight;
         LoadVolume::from_fn(rows, cols, depth, |r, c, d| {

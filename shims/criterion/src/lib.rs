@@ -1,0 +1,286 @@
+//! Offline shim for the subset of the `criterion` crate API this
+//! workspace uses. See `shims/README.md` for the rationale.
+//!
+//! It measures real wall-clock time (adaptive warm-up, then
+//! `sample_size` samples of batched iterations) and prints mean/min/max
+//! per iteration. There is no statistical outlier analysis, no HTML
+//! report, and no baseline comparison. As an extension over upstream,
+//! finished measurements are retained on the [`Criterion`] value
+//! (`Criterion::results`) so harness-less benches can export them, e.g.
+//! to JSON.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One completed measurement, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub id: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted wherever upstream takes `impl Into<BenchmarkId>`-ish names.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MeasureConfig {
+    sample_size: usize,
+    warm_up: Duration,
+    target_sample: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            target_sample: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and
+/// times the workload.
+pub struct Bencher<'a> {
+    cfg: MeasureConfig,
+    id: String,
+    out: &'a mut Vec<BenchResult>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Adaptive warm-up: at least one call, until the warm-up budget
+        // is spent. Doubles as the per-iteration time estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.cfg.warm_up {
+                break;
+            }
+        }
+        let est_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        let iters_per_sample =
+            ((self.cfg.target_sample.as_nanos() as f64 / est_iter.max(1.0)) as u64).max(1);
+        let mut per_iter_ns = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter_ns.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:<50} time: [{} {} {}]  ({} samples x {} iters)",
+            self.id,
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            per_iter_ns.len(),
+            iters_per_sample,
+        );
+        self.out.push(BenchResult {
+            id: self.id.clone(),
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: per_iter_ns.len(),
+            iters_per_sample,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    cfg: MeasureConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(self.cfg, id.to_string(), &mut self.results, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg,
+            results: &mut self.results,
+        }
+    }
+
+    /// Shim extension: all measurements recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Upstream-compat no-op (CLI arg handling is not supported).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+fn run_one(
+    cfg: MeasureConfig,
+    id: String,
+    out: &mut Vec<BenchResult>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { cfg, id, out };
+    f(&mut b);
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: MeasureConfig,
+    results: &'a mut Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.cfg.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.target_sample = d / self.cfg.sample_size.max(1) as u32;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(self.cfg, full, self.results, f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(2));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sumn", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        drop(g);
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "t/sum");
+        assert_eq!(c.results()[1].id, "t/sumn/50");
+        assert!(c.results()[0].mean_ns > 0.0);
+    }
+}

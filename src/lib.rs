@@ -29,7 +29,7 @@
 //! ```
 //! use rectpart::prelude::*;
 //!
-//! // A 512x512 synthetic instance with a load peak (paper §4.1).
+//! // A 128x128 synthetic instance with a load peak (paper §4.1).
 //! let matrix = peak(128, 128, 7).build();
 //! let pfx = PrefixSum2D::new(&matrix);
 //!
@@ -37,8 +37,11 @@
 //! let partition = JagMHeur::best().partition(&pfx, 100);
 //! assert!(partition.validate(&pfx).is_ok());
 //!
-//! let imb = partition.load_imbalance(&pfx);
-//! assert!(imb >= 0.0 && imb < 1.0);
+//! // The bottleneck sits between the trivial lower bound (the heaviest
+//! // cell or the perfect average, whichever is larger) and 2x it.
+//! let lmax = partition.lmax(&pfx);
+//! assert!(lmax >= pfx.lower_bound(100));
+//! assert!(lmax < 2 * pfx.lower_bound(100));
 //! ```
 
 pub use rectpart_core as core;

@@ -15,8 +15,14 @@
 //! threads are available), so speedups must always be read against the
 //! recorded `host_cores`.
 
+//! With `--features obs` the same benchmarks run instrumented: one
+//! counter snapshot per workload (recorder reset → single run →
+//! snapshot) is embedded under `"stats"` and the document is written to
+//! `BENCH_obs.json` instead, preserving the uninstrumented baseline for
+//! the zero-overhead comparison.
+
 use criterion::{black_box, Criterion};
-use rectpart_core::{JagMHeur, Partitioner, PrefixSum2D};
+use rectpart_core::{JagMHeur, JagPqOpt, Partitioner, PrefixSum2D};
 use rectpart_json::Json;
 use rectpart_parallel::{current_threads, with_threads};
 use rectpart_workloads::uniform;
@@ -53,6 +59,54 @@ fn bench_jag_m_heur(c: &mut Criterion) {
     }
 }
 
+fn bench_jag_pq_opt(c: &mut Criterion) {
+    // Small enough for the optimal DP, large enough that the stripe
+    // cache sees thousands of lookups (hit rate lands near 35–40%).
+    let matrix = uniform(128, 128, 9).delta(1.2).build();
+    let pfx = PrefixSum2D::new(&matrix);
+    let algo = JagPqOpt::default();
+    let mut g = c.benchmark_group("jag-pq-opt");
+    g.sample_size(10);
+    g.bench_function("serial/128x128-m36", |b| {
+        b.iter(|| with_threads(1, || algo.partition(black_box(&pfx), 36)))
+    });
+    g.bench_function("parallel/128x128-m36", |b| {
+        b.iter(|| algo.partition(black_box(&pfx), 36))
+    });
+    g.finish();
+}
+
+/// One instrumented pass per workload, each against a freshly reset
+/// recorder, so the exported counters describe exactly one run of each
+/// case (criterion's warm-up iterations would otherwise multiply them).
+fn counter_snapshots() -> Json {
+    let rec = rectpart_obs::Recorder::global();
+    let mut per_case = Vec::new();
+    let mut snap = |case: &str, run: &dyn Fn()| {
+        rec.reset();
+        run();
+        per_case.push((case.to_string(), rec.snapshot().to_json()));
+    };
+    let g512 = uniform(512, 512, 11).delta(1.2).build();
+    snap("gamma/512x512", &|| drop(PrefixSum2D::new(&g512)));
+    let matrix = uniform(512, 512, 6).delta(1.2).build();
+    let pfx = PrefixSum2D::new(&matrix);
+    let heur = JagMHeur::best();
+    snap("jag-m-heur/512x512-m1000", &|| {
+        drop(heur.partition(&pfx, 1000))
+    });
+    let small = uniform(128, 128, 9).delta(1.2).build();
+    let spfx = PrefixSum2D::new(&small);
+    let opt = JagPqOpt::default();
+    snap("jag-pq-opt/128x128-m36", &|| drop(opt.partition(&spfx, 36)));
+    Json::obj(
+        per_case
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect(),
+    )
+}
+
 /// Splits `"<group>/serial/<case>"` into `(group, case)`; `None` for
 /// non-serial ids so each pair is exported exactly once.
 fn serial_case(id: &str) -> Option<(&str, &str)> {
@@ -84,10 +138,12 @@ fn export(c: &Criterion, threads: usize) {
             ("speedup", (r.mean_ns / p.mean_ns).to_json()),
         ]));
     }
+    let instrumented = rectpart_obs::Recorder::global().enabled();
     let doc = Json::obj(vec![
         ("benchmark", "parallel-execution-layer".to_json()),
         ("host_cores", num_cores().to_json()),
         ("parallel_threads", threads.to_json()),
+        ("instrumented", instrumented.to_json()),
         (
             "note",
             "parallel results are bit-identical to serial; speedup is only \
@@ -96,9 +152,17 @@ fn export(c: &Criterion, threads: usize) {
                 .to_json(),
         ),
         ("entries", Json::Arr(entries)),
+        ("stats", counter_snapshots()),
     ]);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
-    std::fs::write(path, rectpart_json::to_string_pretty(&doc)).expect("write BENCH_parallel.json");
+    // Instrumented runs get their own file so the uninstrumented timing
+    // baseline survives for the zero-overhead comparison.
+    let name = if instrumented {
+        "BENCH_obs.json"
+    } else {
+        "BENCH_parallel.json"
+    };
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, rectpart_json::to_string_pretty(&doc)).expect("write bench export");
     eprintln!("wrote {path}");
 }
 
@@ -113,5 +177,6 @@ fn main() {
     let mut c = Criterion::default().configure_from_args();
     bench_gamma(&mut c);
     bench_jag_m_heur(&mut c);
+    bench_jag_pq_opt(&mut c);
     export(&c, threads);
 }

@@ -42,7 +42,8 @@ pub enum Command {
         /// CSV destination.
         out: PathBuf,
     },
-    /// `rectpart partition --input F --algo A -m M [--owners F] [--save F]`
+    /// `rectpart partition --input F --algo A -m M [--owners F] [--save F]
+    /// [--stats [F]]`
     Partition {
         /// CSV load matrix to read.
         input: PathBuf,
@@ -54,8 +55,11 @@ pub enum Command {
         owners: Option<PathBuf>,
         /// Optional partition JSON destination.
         save: Option<PathBuf>,
+        /// Optional stats JSON destination (`-` = append to stdout
+        /// output). `None` falls back to the `RECTPART_STATS` env var.
+        stats: Option<String>,
     },
-    /// `rectpart evaluate --input F --algo A -m M`
+    /// `rectpart evaluate --input F --algo A -m M [--stats [F]]`
     Evaluate {
         /// CSV load matrix to read.
         input: PathBuf,
@@ -63,6 +67,8 @@ pub enum Command {
         algo: String,
         /// Processor count.
         m: usize,
+        /// Optional stats JSON destination (see `Partition::stats`).
+        stats: Option<String>,
     },
     /// `rectpart algos`
     Algos,
@@ -101,6 +107,16 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Optio
 
 fn require<T>(v: Option<T>, name: &str) -> Result<T, UsageError> {
     v.ok_or_else(|| UsageError(format!("missing required option {name}")))
+}
+
+/// A flag whose value is optional: `--stats` alone (or followed by
+/// another option) means stdout (`"-"`); `--stats FILE` names a file.
+fn optional_value_flag(args: &[String], name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1).map(String::as_str) {
+        Some(v) if v == "-" || !v.starts_with('-') => Some(v.to_string()),
+        _ => Some("-".to_string()),
+    }
 }
 
 /// Extracts the global `--threads N` option, installs it as the
@@ -147,6 +163,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             m: require(parse_flag(args, "-m")?, "-m")?,
             owners: flag(args, "--owners").map(PathBuf::from),
             save: flag(args, "--save").map(PathBuf::from),
+            stats: optional_value_flag(args, "--stats"),
         }),
         "evaluate" => Ok(Command::Evaluate {
             input: require(flag(args, "--input").map(PathBuf::from), "--input")?,
@@ -154,9 +171,59 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 .unwrap_or("JAG-M-HEUR-BEST")
                 .to_string(),
             m: require(parse_flag(args, "-m")?, "-m")?,
+            stats: optional_value_flag(args, "--stats"),
         }),
         other => Err(UsageError(format!("unknown subcommand {other:?}"))),
     }
+}
+
+/// Resolves where the stats report should go: the `--stats` flag wins,
+/// otherwise the `RECTPART_STATS` environment variable (non-empty) is
+/// honoured so instrumented runs need no command-line changes.
+fn stats_target(cli: Option<String>) -> Option<String> {
+    cli.or_else(|| {
+        std::env::var("RECTPART_STATS")
+            .ok()
+            .filter(|s| !s.is_empty())
+    })
+}
+
+/// Builds the stats block: solution summary plus the recorder report.
+fn stats_json(algo: &str, m: usize, summary: &rectpart_core::Summary) -> rectpart_json::Json {
+    use rectpart_json::Json;
+    let report = rectpart_obs::Recorder::global().snapshot();
+    Json::obj(vec![
+        ("algorithm", Json::Str(algo.to_string())),
+        ("m", Json::UInt(m as u64)),
+        (
+            "summary",
+            Json::obj(vec![
+                ("lmax", Json::UInt(summary.lmax)),
+                ("lavg", Json::Float(summary.lavg)),
+                ("imbalance", Json::Float(summary.imbalance)),
+                ("rect_count", Json::UInt(summary.rect_count as u64)),
+            ]),
+        ),
+        ("stats", report.to_json()),
+    ])
+}
+
+/// Appends the stats block to the report text (`"-"`) or writes it to a
+/// file and appends a pointer line.
+fn emit_stats(
+    out: &mut String,
+    target: &str,
+    json: &rectpart_json::Json,
+) -> Result<(), std::io::Error> {
+    let text = json.to_string_pretty();
+    if target == "-" {
+        out.push_str("\nstats:\n");
+        out.push_str(&text);
+    } else {
+        std::fs::write(target, text)?;
+        out.push_str(&format!("\n  stats         -> {target}"));
+    }
+    Ok(())
 }
 
 /// Generates an instance of the named class.
@@ -208,28 +275,46 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
             m,
             owners,
             save,
+            stats,
         } => {
-            let matrix = read_csv(&input)?;
+            let stats_dst = stats_target(stats);
+            // Reset only when a report was requested, so unrelated runs
+            // in the same process cannot wipe an in-flight recording.
+            if stats_dst.is_some() {
+                rectpart_obs::Recorder::global().reset();
+            }
+            let matrix = {
+                let _io = rectpart_obs::phase(rectpart_obs::Phase::Io);
+                read_csv(&input)?
+            };
             let pfx = PrefixSum2D::new(&matrix);
             let algorithm = algorithm_by_name(&algo).ok_or_else(|| {
                 UsageError(format!("unknown algorithm {algo:?}; see `rectpart algos`")).0
             })?;
-            let part = algorithm.partition(&pfx, m);
-            part.validate(&pfx)?;
-            let stats = PartitionStats::compute(&pfx, &part);
+            let part = {
+                let _p = rectpart_obs::phase(rectpart_obs::Phase::Partition);
+                algorithm.partition(&pfx, m)
+            };
+            {
+                let _v = rectpart_obs::phase(rectpart_obs::Phase::Validate);
+                part.validate(&pfx)?;
+            }
+            let summary = part.summary(&pfx);
+            let detail = PartitionStats::compute(&pfx, &part);
             let mut out = format!(
-                "{algo} on {}x{} with m={m}:\n  Lmax          = {}\n  lower bound   = {}\n  imbalance     = {:.4}\n  active parts  = {}\n  loads         = {}..{} (sd {:.1})\n  max aspect    = {:.2}\n  perimeter     = {}",
+                "{algo} on {}x{} with m={m}:\n  Lmax          = {}\n  lower bound   = {}\n  avg load      = {:.1}\n  imbalance     = {:.4}\n  active parts  = {}\n  loads         = {}..{} (sd {:.1})\n  max aspect    = {:.2}\n  perimeter     = {}",
                 matrix.rows(),
                 matrix.cols(),
-                part.lmax(&pfx),
+                summary.lmax,
                 pfx.lower_bound(m),
-                part.load_imbalance(&pfx),
-                part.active_parts(),
-                stats.lmin,
-                stats.lmax,
-                stats.stddev,
-                stats.max_aspect,
-                stats.total_perimeter,
+                summary.lavg,
+                summary.imbalance,
+                summary.rect_count,
+                detail.lmin,
+                detail.lmax,
+                detail.stddev,
+                detail.max_aspect,
+                detail.total_perimeter,
             );
             if let Some(path) = owners {
                 let owner_matrix = LoadMatrix::from_vec(
@@ -244,28 +329,56 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
                 std::fs::write(&path, rectpart_json::to_string_pretty(&part))?;
                 out.push_str(&format!("\n  partition     -> {}", path.display()));
             }
+            if let Some(dst) = stats_dst {
+                emit_stats(&mut out, &dst, &stats_json(&algo, m, &summary))?;
+            }
             Ok(out)
         }
-        Command::Evaluate { input, algo, m } => {
-            let matrix = read_csv(&input)?;
+        Command::Evaluate {
+            input,
+            algo,
+            m,
+            stats,
+        } => {
+            let stats_dst = stats_target(stats);
+            // Reset only when a report was requested, so unrelated runs
+            // in the same process cannot wipe an in-flight recording.
+            if stats_dst.is_some() {
+                rectpart_obs::Recorder::global().reset();
+            }
+            let matrix = {
+                let _io = rectpart_obs::phase(rectpart_obs::Phase::Io);
+                read_csv(&input)?
+            };
             let pfx = PrefixSum2D::new(&matrix);
             let algorithm = algorithm_by_name(&algo).ok_or_else(|| {
                 UsageError(format!("unknown algorithm {algo:?}; see `rectpart algos`")).0
             })?;
-            let part = algorithm.partition(&pfx, m);
-            part.validate(&pfx)?;
+            let part = {
+                let _p = rectpart_obs::phase(rectpart_obs::Phase::Partition);
+                algorithm.partition(&pfx, m)
+            };
+            {
+                let _v = rectpart_obs::phase(rectpart_obs::Phase::Validate);
+                part.validate(&pfx)?;
+            }
+            let summary = part.summary(&pfx);
             let rep = Simulator::new(CommModel::default()).evaluate(&pfx, &part);
-            Ok(format!(
+            let mut out = format!(
                 "{algo} on {}x{} with m={m}:\n  imbalance     = {:.4}\n  makespan      = {:.1}\n  halo volume   = {}\n  max neighbors = {}\n  speedup       = {:.2}\n  efficiency    = {:.1}%",
                 matrix.rows(),
                 matrix.cols(),
-                part.load_imbalance(&pfx),
+                summary.imbalance,
                 rep.makespan,
                 rep.comm_volume_total,
                 rep.max_neighbors,
                 rep.speedup,
                 100.0 * rep.efficiency,
-            ))
+            );
+            if let Some(dst) = stats_dst {
+                emit_stats(&mut out, &dst, &stats_json(&algo, m, &summary))?;
+            }
+            Ok(out)
         }
     }
 }
@@ -278,14 +391,21 @@ USAGE:
   rectpart generate --class <uniform|diagonal|peak|multi-peak|mesh>
                     --rows N --cols N [--seed S] [--delta D] --out FILE.csv
   rectpart partition --input FILE.csv -m N [--algo NAME] [--owners OUT.csv]
-                     [--save PARTITION.json]
-  rectpart evaluate  --input FILE.csv -m N [--algo NAME]
+                     [--save PARTITION.json] [--stats [OUT.json]]
+  rectpart evaluate  --input FILE.csv -m N [--algo NAME] [--stats [OUT.json]]
   rectpart algos
 
 GLOBAL OPTIONS:
   --threads N    worker threads for the parallel execution layer
                  (default: auto-detect; 1 = fully serial; results are
                  identical at any thread count)
+  --stats [F]    emit a JSON stats block (solution summary + counters,
+                 phase timers, cache statistics, convergence traces).
+                 With no FILE (or FILE = -) the block is appended to
+                 stdout output; otherwise it is written to FILE. The
+                 RECTPART_STATS env var names a default destination.
+                 Counters need a build with `--features obs`; without
+                 it the block reports {\"enabled\": false}.
 "
     .to_string()
 }
@@ -328,8 +448,40 @@ mod tests {
                 m: 16,
                 owners: None,
                 save: None,
+                stats: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_stats_flag_variants() {
+        // Bare flag → stdout sentinel.
+        let Command::Partition { stats, .. } =
+            parse(&argv("partition --input a.csv -m 4 --stats")).unwrap()
+        else {
+            panic!("expected partition");
+        };
+        assert_eq!(stats, Some("-".into()));
+        // Explicit "-" and a following option both mean stdout.
+        let Command::Partition { stats, .. } =
+            parse(&argv("partition --input a.csv --stats - -m 4")).unwrap()
+        else {
+            panic!("expected partition");
+        };
+        assert_eq!(stats, Some("-".into()));
+        let Command::Partition { stats, m, .. } =
+            parse(&argv("partition --input a.csv --stats -m 4")).unwrap()
+        else {
+            panic!("expected partition");
+        };
+        assert_eq!((stats, m), (Some("-".into()), 4));
+        // A filename is captured.
+        let Command::Evaluate { stats, .. } =
+            parse(&argv("evaluate --input a.csv -m 4 --stats s.json")).unwrap()
+        else {
+            panic!("expected evaluate");
+        };
+        assert_eq!(stats, Some("s.json".into()));
     }
 
     #[test]
@@ -376,6 +528,7 @@ mod tests {
             m: 9,
             owners: Some(owners.clone()),
             save: None,
+            stats: None,
         })
         .unwrap();
         assert!(msg.contains("imbalance"));
@@ -384,6 +537,7 @@ mod tests {
             input: input.clone(),
             algo: "JAG-M-HEUR-BEST".into(),
             m: 9,
+            stats: None,
         })
         .unwrap();
         assert!(msg.contains("speedup"));
@@ -411,6 +565,7 @@ mod tests {
             m: 4,
             owners: None,
             save: Some(saved.clone()),
+            stats: None,
         })
         .unwrap();
         let json = std::fs::read_to_string(&saved).unwrap();
@@ -432,9 +587,73 @@ mod tests {
             m: 2,
             owners: None,
             save: None,
+            stats: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown algorithm"));
         std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn stats_block_is_emitted_to_stdout_and_file() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("rectpart-cli-stats-in-{}.csv", std::process::id()));
+        let stats_file = dir.join(format!("rectpart-cli-stats-{}.json", std::process::id()));
+        run(Command::Generate {
+            class: "peak".into(),
+            rows: 20,
+            cols: 20,
+            seed: 5,
+            delta: 1.2,
+            out: input.clone(),
+        })
+        .unwrap();
+        // Stdout sentinel: the block rides along in the report text.
+        let msg = run(Command::Partition {
+            input: input.clone(),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 6,
+            owners: None,
+            save: None,
+            stats: Some("-".into()),
+        })
+        .unwrap();
+        let (_, json_text) = msg.split_once("stats:\n").expect("stats block present");
+        let json = rectpart_json::parse(json_text).unwrap();
+        assert_eq!(
+            json.get("algorithm").and_then(|j| j.as_str()),
+            Some("JAG-M-HEUR-BEST")
+        );
+        assert!(json.get("summary").and_then(|s| s.get("lmax")).is_some());
+        let recorder = json.get("stats").expect("recorder report present");
+        let enabled = recorder
+            .get("enabled")
+            .and_then(|j| j.as_bool())
+            .expect("enabled flag");
+        assert_eq!(enabled, cfg!(feature = "obs"));
+        if enabled {
+            // Acceptance floor: at least 10 distinct counters in the block.
+            let counters = recorder.get("counters").expect("counters present");
+            let rectpart_json::Json::Obj(pairs) = counters else {
+                panic!("counters must be an object");
+            };
+            assert!(pairs.len() >= 10, "only {} counters", pairs.len());
+        }
+        // File destination: same block written to disk.
+        let msg = run(Command::Evaluate {
+            input: input.clone(),
+            algo: "RECT-NICOL".into(),
+            m: 6,
+            stats: Some(stats_file.display().to_string()),
+        })
+        .unwrap();
+        assert!(msg.contains("stats         ->"));
+        let json = rectpart_json::parse(&std::fs::read_to_string(&stats_file).unwrap()).unwrap();
+        assert_eq!(
+            json.get("algorithm").and_then(|j| j.as_str()),
+            Some("RECT-NICOL")
+        );
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&stats_file).ok();
     }
 }

@@ -18,9 +18,36 @@
 //!
 //! The generic engine is [`ShardedMemo`]; `hier_opt` reuses it for its
 //! sub-rectangle DP states.
+//!
+//! # Sharding key scheme
+//!
+//! A key is routed to one of [`ShardedMemo::shard_count`] (= 16) shards
+//! by hashing its `Hash` impl with a **fixed-seed FNV-1a** 64-bit hasher,
+//! Fibonacci-multiplying the result (`h · 2⁶⁴/φ`) to spread entropy into
+//! the high bits, and taking the top bits modulo the shard count:
+//!
+//! ```text
+//! shard(k) = (fnv1a(k) · 0x9E3779B97F4A7C15) >> 60  mod 16
+//! ```
+//!
+//! The hasher is deliberately *not* `RandomState`: a fixed seed makes the
+//! shard assignment — and therefore per-shard occupancy statistics
+//! reported by [`ShardedMemo::shard_lens`] and the `obs` layer —
+//! reproducible across runs and thread counts. Keys are not attacker
+//! controlled, so HashDoS hardening buys nothing here.
+//!
+//! # Instrumentation
+//!
+//! With the `obs` feature enabled, [`StripeCache::bottleneck`] records
+//! one `core.stripe_cache.lookups` per query and one
+//! `core.stripe_cache.misses` per *first insert* of a distinct key (plus
+//! the per-shard insert tally). Counting first-inserts rather than
+//! "compute ran" keeps the numbers deterministic at any thread count:
+//! when two threads race on the same key both may solve it, but exactly
+//! one performs the first insert.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
 use crate::geometry::Axis;
@@ -29,6 +56,28 @@ use crate::geometry::Axis;
 /// are consulted from at most a handful of worker threads, and the keys
 /// of one run spread evenly under the mixing function below.
 const SHARDS: usize = 16;
+
+/// Fixed-seed FNV-1a, so shard routing is deterministic across runs (see
+/// the module docs).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
 
 /// A concurrent memo table sharded across [`SHARDS`] mutex-protected
 /// hash maps.
@@ -52,14 +101,16 @@ impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
         }
     }
 
+    /// The shard index `key` routes to (see the module docs for the
+    /// scheme). Deterministic across runs and thread counts.
+    pub fn shard_index(&self, key: &K) -> usize {
+        let mut hasher = Fnv1a(Fnv1a::OFFSET_BASIS);
+        key.hash(&mut hasher);
+        (hasher.finish().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % SHARDS
+    }
+
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
-        // Fibonacci-mix the std hash down to a shard index.
-        use std::collections::hash_map::RandomState;
-        use std::hash::BuildHasher;
-        use std::sync::OnceLock;
-        static STATE: OnceLock<RandomState> = OnceLock::new();
-        let h = STATE.get_or_init(RandomState::new).hash_one(key);
-        &self.shards[(h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % SHARDS]
+        &self.shards[self.shard_index(key)]
     }
 
     /// The cached value for `key`, if present.
@@ -72,17 +123,32 @@ impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
         self.shard(&key).lock().unwrap().insert(key, value);
     }
 
+    /// Inserts `value` only if `key` is absent; returns `true` when this
+    /// call performed the first insert. Exactly one of several racing
+    /// inserters of the same key observes `true`, which is what makes
+    /// first-insert counting deterministic (see the module docs).
+    pub fn insert_if_absent(&self, key: K, value: V) -> bool {
+        let mut shard = self.shard(&key).lock().unwrap();
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(value);
+                true
+            }
+        }
+    }
+
     /// Returns the cached value for `key`, computing and caching it with
     /// `compute` on a miss. `compute` runs without holding any lock; on a
-    /// race the value that finishes last wins (all callers must compute
-    /// the same value for the same key).
+    /// race the value computed first is kept (all callers must compute
+    /// the same value for the same key, so which write lands is
+    /// unobservable).
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
-        let shard = self.shard(&key);
-        if let Some(v) = shard.lock().unwrap().get(&key) {
-            return v.clone();
+        if let Some(v) = self.get(&key) {
+            return v;
         }
         let v = compute();
-        shard.lock().unwrap().insert(key, v.clone());
+        self.insert_if_absent(key, v.clone());
         v
     }
 
@@ -94,6 +160,21 @@ impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
     /// `true` if no entry is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of shards (the capacity of the lock partition, not of the
+    /// maps themselves — each shard grows unbounded).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Entry count of every shard, in shard order. Deterministic across
+    /// runs thanks to the fixed-seed sharding scheme.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .collect()
     }
 }
 
@@ -146,15 +227,22 @@ impl StripeCache {
         parts: usize,
         solve: impl FnOnce() -> u64,
     ) -> u64 {
-        self.memo.get_or_insert_with(
-            StripeKey {
-                axis,
-                lo,
-                hi,
-                parts,
-            },
-            solve,
-        )
+        let key = StripeKey {
+            axis,
+            lo,
+            hi,
+            parts,
+        };
+        rectpart_obs::incr(rectpart_obs::Counter::StripeCacheLookups);
+        if let Some(v) = self.memo.get(&key) {
+            return v;
+        }
+        let v = solve();
+        if self.memo.insert_if_absent(key, v) {
+            rectpart_obs::incr(rectpart_obs::Counter::StripeCacheMisses);
+            rectpart_obs::record_shard_insert(self.memo.shard_index(&key));
+        }
+        v
     }
 
     /// Number of distinct stripe solutions cached so far.
@@ -165,6 +253,17 @@ impl StripeCache {
     /// `true` if no stripe solution is cached.
     pub fn is_empty(&self) -> bool {
         self.memo.is_empty()
+    }
+
+    /// Number of lock shards backing the cache.
+    pub fn shard_count(&self) -> usize {
+        self.memo.shard_count()
+    }
+
+    /// Entry count of every shard, in shard order (deterministic; see
+    /// the module docs).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.memo.shard_lens()
     }
 }
 
@@ -199,6 +298,43 @@ mod tests {
         assert_eq!(cache.len(), 2);
         // Hits do not recompute.
         assert_eq!(cache.bottleneck(Axis::Rows, 0, 4, 2, || 99), 10);
+    }
+
+    #[test]
+    fn insert_if_absent_reports_first_insert_only() {
+        let memo: ShardedMemo<u64, u64> = ShardedMemo::new();
+        assert!(memo.insert_if_absent(7, 1));
+        assert!(!memo.insert_if_absent(7, 2));
+        assert_eq!(memo.get(&7), Some(1));
+    }
+
+    #[test]
+    fn shard_accessors_and_deterministic_routing() {
+        let memo: ShardedMemo<u64, u64> = ShardedMemo::new();
+        assert_eq!(memo.shard_count(), 16);
+        for k in 0..100u64 {
+            memo.insert(k, k);
+        }
+        let lens = memo.shard_lens();
+        assert_eq!(lens.len(), memo.shard_count());
+        assert_eq!(lens.iter().sum::<usize>(), memo.len());
+        // Routing is a pure function of the key: a fresh map with a
+        // fresh hasher routes identically.
+        let fresh: ShardedMemo<u64, u64> = ShardedMemo::new();
+        for k in 0..100u64 {
+            assert!(memo.shard_index(&k) < memo.shard_count());
+            assert_eq!(memo.shard_index(&k), fresh.shard_index(&k));
+        }
+    }
+
+    #[test]
+    fn stripe_cache_exposes_shard_occupancy() {
+        let cache = StripeCache::new();
+        for lo in 0..10 {
+            cache.bottleneck(Axis::Rows, lo, lo + 1, 2, || lo as u64);
+        }
+        assert_eq!(cache.shard_count(), 16);
+        assert_eq!(cache.shard_lens().iter().sum::<usize>(), cache.len());
     }
 
     #[test]

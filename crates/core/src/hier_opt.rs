@@ -73,7 +73,9 @@ fn solve_root(pfx: &PrefixSum2D, rect: &Rect, m: usize, memo: &Memo) -> u64 {
             .into_iter()
             .min()
             .unwrap_or(u64::MAX);
-    memo.insert(key(rect, m), best);
+    if memo.insert_if_absent(key(rect, m), best) {
+        rectpart_obs::incr(rectpart_obs::Counter::HierOptMemoStates);
+    }
     best
 }
 
@@ -98,7 +100,12 @@ fn solve(pfx: &PrefixSum2D, rect: &Rect, m: usize, memo: &Memo) -> u64 {
             best = best.min(candidate(pfx, rect, axis, j, m, memo));
         }
     }
-    memo.insert(key(rect, m), best);
+    // First-insert counting stays deterministic under racing duplicate
+    // solves: the set of visited states is thread-independent even though
+    // a state may be solved more than once.
+    if memo.insert_if_absent(key(rect, m), best) {
+        rectpart_obs::incr(rectpart_obs::Counter::HierOptMemoStates);
+    }
     best
 }
 

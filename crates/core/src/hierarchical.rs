@@ -31,6 +31,8 @@ fn recurse_halves(
     first: impl FnOnce(&mut Vec<Rect>) + Send,
     second: impl FnOnce(&mut Vec<Rect>) + Send,
 ) {
+    // One bipartition node regardless of whether its halves fork.
+    rectpart_obs::incr(rectpart_obs::Counter::HierBisections);
     if m >= PARALLEL_PROCS_MIN && rectpart_parallel::current_threads() >= 2 {
         let (a, b) = rectpart_parallel::join(
             || {

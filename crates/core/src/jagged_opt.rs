@@ -138,8 +138,16 @@ fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
         lb = ub;
     }
     // Binary search the smallest feasible bottleneck.
+    let mut probe_idx = 0u64;
     while lb < ub {
         let mid = lb + (ub - lb) / 2;
+        rectpart_obs::trace_point(
+            rectpart_obs::TraceId::JagMOptBudget,
+            view.axis() as u64,
+            probe_idx,
+            mid,
+        );
+        probe_idx += 1;
         if feasible(view, m, mid).is_some() {
             ub = mid;
         } else {
@@ -168,6 +176,7 @@ fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
 // offsets; an enumerate-based rewrite obscures that.
 #[allow(clippy::needless_range_loop)]
 fn feasible(view: &View<'_>, m: usize, budget: u64) -> Option<Vec<usize>> {
+    rectpart_obs::incr(rectpart_obs::Counter::JagMFeasibilityChecks);
     let n = view.n_main();
     let n_aux = view.n_aux();
     const INF: usize = usize::MAX;
@@ -194,11 +203,15 @@ fn feasible(view: &View<'_>, m: usize, budget: u64) -> Option<Vec<usize>> {
             };
             if cheap >= best {
                 // `cheap` is non-decreasing in i: nothing further helps.
+                // Candidates i..=n are all avoided.
+                rectpart_obs::add(rectpart_obs::Counter::JagMLazySkips, (n - i + 1) as u64);
                 break;
             }
             if cheap.saturating_add(f[i]) >= best {
+                rectpart_obs::incr(rectpart_obs::Counter::JagMLazySkips);
                 continue;
             }
+            rectpart_obs::incr(rectpart_obs::Counter::JagMLazyEvals);
             if let Some(pn) = stripe_parts(view, k, i, budget, best - f[i]) {
                 if pn + f[i] < best {
                     best = pn + f[i];

@@ -68,7 +68,7 @@ pub use rectilinear::{RectNicol, RectUniform};
 /// re-exported so downstream users need not depend on
 /// `rectpart-parallel` directly.
 pub use rectpart_parallel::ParallelismConfig;
-pub use solution::{Partition, PartitionError};
+pub use solution::{Partition, PartitionError, Summary};
 pub use spiral::{spiral_opt_value, Side, SpiralRelaxed};
 pub use stats::PartitionStats;
 pub use traits::Partitioner;

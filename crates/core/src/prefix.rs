@@ -46,6 +46,8 @@ impl PrefixSum2D {
     /// Panics if the running sum overflows `u64` (same condition on both
     /// paths: overflow of any Γ entry).
     pub fn new(a: &LoadMatrix) -> Self {
+        rectpart_obs::incr(rectpart_obs::Counter::GammaBuilds);
+        let _timer = rectpart_obs::phase(rectpart_obs::Phase::Gamma);
         let rows = a.rows();
         let cols = a.cols();
         if rectpart_parallel::current_threads() >= 2

@@ -78,12 +78,21 @@ impl RectNicol {
         let mut cols = refine(pfx, &rows, Axis::Cols, q).cuts;
         let mut best = grid_lmax(pfx, &rows, &cols);
         let mut iterations = 1; // the initial row+column refinement
+        rectpart_obs::incr(rectpart_obs::Counter::RectNicolRefineIters);
+        rectpart_obs::trace_point(rectpart_obs::TraceId::RectNicolLmax, 0, 0, best);
 
         for _ in 0..self.max_iters {
             let new_rows = refine(pfx, &cols, Axis::Rows, p);
             let new_cols = refine(pfx, &new_rows.cuts, Axis::Cols, q);
             let lmax = grid_lmax(pfx, &new_rows.cuts, &new_cols.cuts);
             iterations += 1;
+            rectpart_obs::incr(rectpart_obs::Counter::RectNicolRefineIters);
+            rectpart_obs::trace_point(
+                rectpart_obs::TraceId::RectNicolLmax,
+                0,
+                iterations as u64 - 1,
+                lmax,
+            );
             if lmax >= best {
                 break;
             }

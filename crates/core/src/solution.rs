@@ -58,6 +58,20 @@ impl fmt::Display for PartitionError {
 
 impl std::error::Error for PartitionError {}
 
+/// Headline quality numbers of a partition, as returned by
+/// [`Partition::summary`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Load of the most loaded processor.
+    pub lmax: u64,
+    /// Perfect-balance average load `total / m`.
+    pub lavg: f64,
+    /// The paper's quality metric `Lmax / Lavg − 1` (0 = perfect).
+    pub imbalance: f64,
+    /// Number of non-empty rectangles.
+    pub rect_count: usize,
+}
+
 /// A rectangle-per-processor partition of the load matrix.
 ///
 /// Holds exactly `m` rectangles; idle processors hold [`Rect::EMPTY`].
@@ -123,6 +137,17 @@ impl Partition {
             return 0.0;
         }
         self.lmax(pfx) as f64 / lavg - 1.0
+    }
+
+    /// The headline quality numbers in one struct — what the CLI prints
+    /// and the stats JSON embeds.
+    pub fn summary(&self, pfx: &PrefixSum2D) -> Summary {
+        Summary {
+            lmax: self.lmax(pfx),
+            lavg: pfx.average_load(self.parts()),
+            imbalance: self.load_imbalance(pfx),
+            rect_count: self.active_parts(),
+        }
     }
 
     /// Checks that the rectangles tile the matrix exactly (§2.1).
@@ -217,6 +242,18 @@ impl Partition {
 mod tests {
     use super::*;
     use crate::matrix::LoadMatrix;
+
+    #[test]
+    fn summary_agrees_with_individual_metrics() {
+        let m = LoadMatrix::from_fn(4, 4, |r, c| (r * 4 + c) as u32);
+        let p = PrefixSum2D::new(&m);
+        let part = Partition::with_parts(vec![Rect::new(0, 2, 0, 4), Rect::new(2, 4, 0, 4)], 3);
+        let s = part.summary(&p);
+        assert_eq!(s.lmax, part.lmax(&p));
+        assert_eq!(s.lavg, p.average_load(3));
+        assert_eq!(s.imbalance, part.load_imbalance(&p));
+        assert_eq!(s.rect_count, 2);
+    }
 
     fn pfx(rows: usize, cols: usize) -> PrefixSum2D {
         PrefixSum2D::new(&LoadMatrix::from_fn(rows, cols, |r, c| (r + c) as u32 + 1))

@@ -1,0 +1,124 @@
+//! Differential test for the instrumentation layer: every *work* counter
+//! (the `counters` section of the obs report, plus the per-shard insert
+//! tallies and the convergence traces) must be **bit-identical** at any
+//! thread count. Only execution stats and phase timers may differ.
+//!
+//! The whole file is a single `#[test]` on purpose: obs counters are
+//! process-wide, so a second concurrently running test in this binary
+//! would pollute the snapshots.
+
+#![cfg(feature = "obs")]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rectpart_core::{
+    HierRb, HierRelaxed, JagMHeur, JagMOpt, JagPqHeur, JagPqOpt, LoadMatrix, Partitioner,
+    PrefixSum2D, RectNicol, RectUniform,
+};
+use rectpart_obs::Recorder;
+use rectpart_parallel::with_threads;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64, zeros: bool) -> LoadMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    LoadMatrix::from_fn(rows, cols, |_, _| {
+        if zeros && rng.gen_bool(0.15) {
+            0
+        } else {
+            rng.gen_range(1..100)
+        }
+    })
+}
+
+/// Runs `f` with the recorder freshly reset under the given thread budget
+/// and returns the deterministic view of the snapshot.
+fn counters_under<T>(threads: usize, f: impl Fn() -> T) -> rectpart_obs::DeterministicView {
+    let rec = Recorder::global();
+    rec.reset();
+    let _ = with_threads(threads, f);
+    rec.snapshot().deterministic_view()
+}
+
+#[test]
+fn work_counters_are_thread_invariant_across_all_families() {
+    assert!(
+        Recorder::global().enabled(),
+        "this test binary must be built with --features obs"
+    );
+
+    let pfx = PrefixSum2D::new(&random_matrix(24, 20, 7, true));
+    let small = PrefixSum2D::new(&random_matrix(10, 9, 11, false));
+
+    // (label, closure) per partitioner family; the optimal algorithms run
+    // on the smaller instance.
+    type Family = Box<dyn Fn()>;
+    let families: Vec<(&str, Family)> = vec![
+        ("RECT-UNIFORM", {
+            let p = pfx.clone();
+            Box::new(move || drop(RectUniform::default().partition(&p, 12)))
+        }),
+        ("RECT-NICOL", {
+            let p = pfx.clone();
+            Box::new(move || drop(RectNicol::default().partition(&p, 12)))
+        }),
+        ("JAG-PQ-HEUR-BEST", {
+            let p = pfx.clone();
+            Box::new(move || drop(JagPqHeur::best().partition(&p, 12)))
+        }),
+        ("JAG-M-HEUR-BEST", {
+            let p = pfx.clone();
+            Box::new(move || drop(JagMHeur::best().partition(&p, 12)))
+        }),
+        ("JAG-PQ-OPT-BEST", {
+            let p = small.clone();
+            Box::new(move || drop(JagPqOpt::default().partition(&p, 6)))
+        }),
+        ("JAG-M-OPT-BEST", {
+            let p = small.clone();
+            Box::new(move || drop(JagMOpt::default().partition(&p, 6)))
+        }),
+        ("HIER-RB-LOAD", {
+            let p = pfx.clone();
+            // Above PARALLEL_PROCS_MIN so the forking recursion engages.
+            Box::new(move || drop(HierRb::load().partition(&p, 40)))
+        }),
+        ("HIER-RELAXED-LOAD", {
+            let p = pfx.clone();
+            Box::new(move || drop(HierRelaxed::load().partition(&p, 40)))
+        }),
+        ("HIER-OPT", {
+            let p = small.clone();
+            Box::new(move || drop(rectpart_core::hier_opt(&p, 4)))
+        }),
+        ("GAMMA-BUILD", {
+            let m = random_matrix(300, 260, 3, false);
+            Box::new(move || drop(PrefixSum2D::new(&m)))
+        }),
+    ];
+
+    for (label, run) in &families {
+        let serial = counters_under(1, run);
+        // Work happened at all. RECT-UNIFORM is exempt: its cuts are pure
+        // arithmetic (no probes, no caches), so all-zero is correct.
+        if *label != "RECT-UNIFORM" {
+            assert!(
+                serial.0.iter().any(|&(_, v)| v > 0),
+                "{label}: no counter recorded under the serial run"
+            );
+        }
+        for threads in [2, 4, 8] {
+            let parallel = counters_under(threads, run);
+            assert_eq!(
+                serial.0, parallel.0,
+                "{label} threads={threads}: work counters diverged"
+            );
+            assert_eq!(
+                serial.1, parallel.1,
+                "{label} threads={threads}: per-shard inserts diverged"
+            );
+            assert_eq!(
+                serial.2, parallel.2,
+                "{label} threads={threads}: traces diverged"
+            );
+        }
+    }
+}

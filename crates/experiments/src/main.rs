@@ -17,6 +17,7 @@ mod ext_figs;
 mod hier_figs;
 mod instances;
 mod jag_figs;
+mod trace_figs;
 
 use common::{out_dir, Scale};
 use instances::Instances;
@@ -24,6 +25,7 @@ use instances::Instances;
 const FIGURES: &[&str] = &[
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig13", "fig14", "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH",
+    "trace",
 ];
 
 fn main() {
@@ -90,6 +92,7 @@ fn main() {
             "extF" => ext_figs::ext_f(&inst, &out),
             "extG" => ext_figs::ext_g(&inst, &out),
             "extH" => ext_figs::ext_h(&inst, &out),
+            "trace" => trace_figs::trace(scale, &out),
             _ => unreachable!(),
         }
         println!("    [{fig} done in {:.1}s]", t.elapsed().as_secs_f64());
@@ -102,7 +105,8 @@ fn main() {
 
 fn usage() {
     println!(
-        "usage: figures [all | fig1..fig14 | extA..extD]... [--full] [--out DIR] [--threads N]"
+        "usage: figures [all | fig1..fig14 | extA..extH | trace]... [--full] [--out DIR] [--threads N]"
     );
+    println!("  trace needs --features obs for populated counter/trace sections");
     println!("figures: {}", FIGURES.join(" "));
 }

@@ -1,0 +1,78 @@
+//! `trace` — per-algorithm convergence traces and work counters.
+//!
+//! Runs the two algorithms with an iterative structure worth plotting —
+//! RECT-NICOL (Lmax per refinement iteration) and JAG-M-OPT (binary
+//! search over the stripe budget, one series per axis) — each against a
+//! freshly reset recorder, and dumps one JSON file per algorithm with
+//! the full counter report alongside the solution quality.
+//!
+//! The traces are only populated when the harness is built with
+//! `--features obs`; without it each file still appears but its report
+//! reads `"enabled": false`.
+
+use std::path::Path;
+
+use rectpart_core::{JagMOpt, Partitioner, PrefixSum2D, RectNicol};
+use rectpart_json::{Json, ToJson};
+use rectpart_obs::Recorder;
+use rectpart_workloads::{multi_peak, uniform};
+
+use crate::common::Scale;
+
+pub fn trace(scale: Scale, out: &Path) {
+    std::fs::create_dir_all(out).expect("create output dir");
+    let rec = Recorder::global();
+    if !rec.enabled() {
+        eprintln!(
+            "  [trace] note: built without --features obs; \
+             counter and trace sections will be empty"
+        );
+    }
+
+    // RECT-NICOL refines on a mid-sized instance; the optimal m-way
+    // jagged DP needs a small one.
+    let nicol_n = scale.pick(128, 512);
+    let nicol_m = scale.pick(25, 100);
+    let opt_n = scale.pick(48, 96);
+    let opt_m = scale.pick(12, 25);
+
+    type Run = Box<dyn Fn() -> (u64, usize, usize)>;
+    let runs: Vec<(&str, Run)> = vec![
+        // A skewed instance: on near-uniform loads the refinement
+        // converges immediately and the trace is flat.
+        ("RECT-NICOL", {
+            let pfx = PrefixSum2D::new(&multi_peak(nicol_n, nicol_n, 5).build());
+            Box::new(move || {
+                let p = RectNicol::default().partition(&pfx, nicol_m);
+                (p.lmax(&pfx), nicol_n, nicol_m)
+            })
+        }),
+        ("JAG-M-OPT", {
+            let pfx = PrefixSum2D::new(&uniform(opt_n, opt_n, 5).delta(1.2).build());
+            Box::new(move || {
+                let p = JagMOpt::default().partition(&pfx, opt_m);
+                (p.lmax(&pfx), opt_n, opt_m)
+            })
+        }),
+    ];
+
+    for (name, run) in &runs {
+        rec.reset();
+        let (lmax, n, m) = run();
+        let report = rec.snapshot();
+        let trace_len: usize = report.traces.iter().map(|(_, pts)| pts.len()).sum();
+        let doc = Json::obj(vec![
+            ("algorithm", name.to_json()),
+            ("instance", format!("{n}x{n}").to_json()),
+            ("m", m.to_json()),
+            ("lmax", lmax.to_json()),
+            ("stats", report.to_json()),
+        ]);
+        let path = out.join(format!("trace_{name}.json"));
+        std::fs::write(&path, rectpart_json::to_string_pretty(&doc)).expect("write trace json");
+        println!(
+            "  trace {name}: lmax={lmax}, {trace_len} trace points -> {}",
+            path.display()
+        );
+    }
+}

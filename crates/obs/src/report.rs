@@ -1,0 +1,144 @@
+//! Structured snapshot of the recorder state, serializable via
+//! `rectpart-json`.
+
+use rectpart_json::Json;
+
+use crate::TracePoint;
+
+/// The determinism-covered sections of a [`Report`]:
+/// `(counters, shard_inserts, traces)`.
+pub type DeterministicView = (
+    Vec<(&'static str, u64)>,
+    Vec<u64>,
+    Vec<(&'static str, Vec<TracePoint>)>,
+);
+
+/// A point-in-time snapshot of every observable, as produced by
+/// [`Recorder::snapshot`](crate::Recorder::snapshot).
+///
+/// The `counters`, `shard_inserts`, and `traces` sections are covered by
+/// the determinism contract (bit-identical at any thread count); `exec`
+/// and `phases_ns` are thread- and wall-clock-dependent.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Whether the `obs` feature was compiled in.
+    pub enabled: bool,
+    /// Work counters as `(name, value)` in [`crate::Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Execution stats as `(name, value)` in [`crate::ExecStat::ALL`] order.
+    pub exec: Vec<(&'static str, u64)>,
+    /// Phase timers in nanoseconds, in [`crate::Phase::ALL`] order.
+    pub phases_ns: Vec<(&'static str, u64)>,
+    /// Stripe-cache first-inserts per shard, trailing zeros trimmed.
+    pub shard_inserts: Vec<u64>,
+    /// Convergence traces as `(name, sorted points)` in
+    /// [`crate::TraceId::ALL`] order.
+    pub traces: Vec<(&'static str, Vec<TracePoint>)>,
+}
+
+impl Report {
+    /// True when nothing was recorded — in particular, always true for
+    /// snapshots taken with the `obs` feature disabled.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.exec.is_empty()
+            && self.phases_ns.is_empty()
+            && self.shard_inserts.is_empty()
+            && self.traces.is_empty()
+    }
+
+    /// Look up a counter, exec stat, or phase timer by its JSON name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .chain(&self.exec)
+            .chain(&self.phases_ns)
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Just the deterministic sections, for differential comparison.
+    /// Timing-free by construction: exec stats and phase timers are
+    /// excluded.
+    pub fn deterministic_view(&self) -> DeterministicView {
+        (
+            self.counters.clone(),
+            self.shard_inserts.clone(),
+            self.traces.clone(),
+        )
+    }
+
+    /// Stripe-cache hit rate over `[0, 1]`, or `None` before any lookup.
+    pub fn stripe_cache_hit_rate(&self) -> Option<f64> {
+        let lookups = self.get("core.stripe_cache.lookups")?;
+        let misses = self.get("core.stripe_cache.misses")?;
+        if lookups == 0 {
+            return None;
+        }
+        Some((lookups - misses) as f64 / lookups as f64)
+    }
+
+    /// Serialize to the stats JSON schema documented in DESIGN.md §10.
+    pub fn to_json(&self) -> Json {
+        if !self.enabled {
+            return Json::obj(vec![("enabled", Json::Bool(false))]);
+        }
+        let section = |pairs: &[(&'static str, u64)]| {
+            Json::Obj(
+                pairs
+                    .iter()
+                    .map(|&(k, v)| (k.to_string(), Json::UInt(v)))
+                    .collect(),
+            )
+        };
+        let mut derived = Vec::new();
+        let lookups = self.get("core.stripe_cache.lookups").unwrap_or(0);
+        let misses = self.get("core.stripe_cache.misses").unwrap_or(0);
+        derived.push(("core.stripe_cache.hits", Json::UInt(lookups - misses)));
+        if let Some(rate) = self.stripe_cache_hit_rate() {
+            derived.push(("core.stripe_cache.hit_rate", Json::Float(rate)));
+        }
+        Json::obj(vec![
+            ("enabled", Json::Bool(true)),
+            ("counters", section(&self.counters)),
+            ("derived", Json::obj(derived)),
+            ("execution", section(&self.exec)),
+            ("timing_ns", section(&self.phases_ns)),
+            (
+                "stripe_cache_shard_inserts",
+                Json::Arr(self.shard_inserts.iter().map(|&n| Json::UInt(n)).collect()),
+            ),
+            (
+                "traces",
+                Json::Obj(
+                    self.traces
+                        .iter()
+                        .map(|(name, points)| {
+                            (
+                                name.to_string(),
+                                Json::Arr(
+                                    points
+                                        .iter()
+                                        .map(|&(series, step, value)| {
+                                            Json::Arr(vec![
+                                                Json::UInt(series),
+                                                Json::UInt(step),
+                                                Json::UInt(value),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl rectpart_json::ToJson for Report {
+    fn to_json(&self) -> Json {
+        Report::to_json(self)
+    }
+}

@@ -20,6 +20,7 @@ pub fn dp_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
     // table[p][i] — optimal bottleneck of [0, i) in p+1 parts.
     let mut table: Vec<Vec<u64>> = Vec::with_capacity(m);
     let first: Vec<u64> = (0..=n).map(|i| c.cost(0, i)).collect();
+    rectpart_obs::add(rectpart_obs::Counter::DpCells, first.len() as u64);
     table.push(first);
     for p in 1..m {
         let prev = &table[p - 1];
@@ -27,6 +28,7 @@ pub fn dp_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
         for (i, slot) in row.iter_mut().enumerate() {
             *slot = best_split(c, prev, i).1;
         }
+        rectpart_obs::add(rectpart_obs::Counter::DpCells, row.len() as u64);
         table.push(row);
     }
     let bottleneck = table[m - 1][n];

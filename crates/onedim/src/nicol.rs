@@ -45,6 +45,7 @@ pub struct OneDimResult {
 /// ```
 pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
     assert!(m >= 1);
+    rectpart_obs::incr(rectpart_obs::Counter::NicolCalls);
     let n = c.len();
     if n == 0 {
         return OneDimResult {
@@ -76,6 +77,7 @@ pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
         // Smallest e with Probe(cost(low, e)) feasible on [e, n) in r-1 parts.
         let (mut a, mut b) = (elo, n);
         while a < b {
+            rectpart_obs::incr(rectpart_obs::Counter::NicolSearchSteps);
             let mid = a + (b - a) / 2;
             if probe_suffix_feasible(c, mid, r - 1, c.cost(low, mid)) {
                 b = mid;
@@ -127,6 +129,7 @@ pub fn parametric_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
     let mut lo = c.partition_lower_bound(0, m).max(c.max_unit_cost());
     let mut hi = recursive_bisection(c, m).bottleneck(c);
     while lo < hi {
+        rectpart_obs::incr(rectpart_obs::Counter::ParametricSteps);
         let mid = lo + (hi - lo) / 2;
         if probe_feasible(c, m, mid) {
             hi = mid;

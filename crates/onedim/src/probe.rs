@@ -17,6 +17,7 @@ use crate::cuts::Cuts;
 /// argument this means no partition does.
 pub fn probe<C: IntervalCost>(c: &C, m: usize, budget: u64) -> Option<Cuts> {
     assert!(m >= 1);
+    rectpart_obs::incr(rectpart_obs::Counter::ProbeCalls);
     let n = c.len();
     let mut points = Vec::with_capacity(m + 1);
     points.push(0usize);
@@ -54,6 +55,7 @@ pub fn probe_suffix_feasible<C: IntervalCost>(
     parts: usize,
     budget: u64,
 ) -> bool {
+    rectpart_obs::incr(rectpart_obs::Counter::ProbeCalls);
     let n = c.len();
     debug_assert!(start <= n);
     if parts == 0 {

@@ -142,6 +142,7 @@ where
     RA: Send,
     RB: Send,
 {
+    rectpart_obs::exec_add(rectpart_obs::ExecStat::Joins, 1);
     let threads = current_threads();
     if threads < 2 {
         return (a(), b());
@@ -150,15 +151,21 @@ where
     {
         let b_budget = threads / 2;
         let a_budget = threads - b_budget;
+        rectpart_obs::exec_add(rectpart_obs::ExecStat::TasksSpawned, 1);
         std::thread::scope(|scope| {
             let handle = scope.spawn(move || {
                 let _guard = ScopedGuard::set(b_budget);
-                b()
+                let busy = rectpart_obs::StopWatch::start();
+                let rb = b();
+                busy.stop(rectpart_obs::ExecStat::WorkerBusyNs);
+                rb
             });
             let ra = with_threads(a_budget, a);
+            let wait = rectpart_obs::StopWatch::start();
             let rb = handle
                 .join()
                 .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            wait.stop(rectpart_obs::ExecStat::JoinWaitNs);
             (ra, rb)
         })
     }
@@ -176,6 +183,7 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    rectpart_obs::exec_add(rectpart_obs::ExecStat::ParallelOps, 1);
     let threads = current_threads();
     if threads < 2 || n < 2 {
         return (0..n).map(f).collect();
@@ -183,6 +191,7 @@ where
     #[cfg(feature = "threads")]
     {
         let workers = threads.min(n);
+        rectpart_obs::exec_add(rectpart_obs::ExecStat::TasksSpawned, workers as u64);
         let f = &f;
         let mut blocks: Vec<Vec<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -191,17 +200,23 @@ where
                     let hi = (w + 1) * n / workers;
                     scope.spawn(move || {
                         let _guard = ScopedGuard::set(1);
-                        (lo..hi).map(f).collect::<Vec<R>>()
+                        let busy = rectpart_obs::StopWatch::start();
+                        let block = (lo..hi).map(f).collect::<Vec<R>>();
+                        busy.stop(rectpart_obs::ExecStat::WorkerBusyNs);
+                        block
                     })
                 })
                 .collect();
-            handles
+            let wait = rectpart_obs::StopWatch::start();
+            let blocks: Vec<Vec<R>> = handles
                 .into_iter()
                 .map(|h| {
                     h.join()
                         .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
                 })
-                .collect()
+                .collect();
+            wait.stop(rectpart_obs::ExecStat::JoinWaitNs);
+            blocks
         });
         let mut out = Vec::with_capacity(n);
         for block in &mut blocks {
@@ -242,11 +257,15 @@ where
 
 /// Applies `f(index, &mut item)` to every element, splitting the slice
 /// into contiguous blocks across workers.
+// Without `threads` the cfg block below vanishes and the serial path's
+// early `return` becomes the tail statement.
+#[cfg_attr(not(feature = "threads"), allow(clippy::needless_return))]
 pub fn for_each_indexed_mut<T, F>(items: &mut [T], f: F)
 where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
+    rectpart_obs::exec_add(rectpart_obs::ExecStat::ParallelOps, 1);
     let n = items.len();
     let threads = current_threads();
     if threads < 2 || n < 2 {
@@ -258,6 +277,7 @@ where
     #[cfg(feature = "threads")]
     {
         let workers = threads.min(n);
+        rectpart_obs::exec_add(rectpart_obs::ExecStat::TasksSpawned, workers as u64);
         let f = &f;
         std::thread::scope(|scope| {
             let mut rest = items;
@@ -271,15 +291,19 @@ where
                 offset = hi;
                 handles.push(scope.spawn(move || {
                     let _guard = ScopedGuard::set(1);
+                    let busy = rectpart_obs::StopWatch::start();
                     for (i, item) in block.iter_mut().enumerate() {
                         f(base + i, item);
                     }
+                    busy.stop(rectpart_obs::ExecStat::WorkerBusyNs);
                 }));
             }
+            let wait = rectpart_obs::StopWatch::start();
             for h in handles {
                 h.join()
                     .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
             }
+            wait.stop(rectpart_obs::ExecStat::JoinWaitNs);
         });
     }
 }
@@ -295,6 +319,7 @@ where
     F: Fn(usize, &mut [T]) -> R + Sync,
 {
     assert!(chunk > 0, "chunk size must be positive");
+    rectpart_obs::exec_add(rectpart_obs::ExecStat::ParallelOps, 1);
     let n = items.len();
     let n_chunks = n.div_ceil(chunk);
     let threads = current_threads();
@@ -308,6 +333,7 @@ where
     #[cfg(feature = "threads")]
     {
         let workers = threads.min(n_chunks);
+        rectpart_obs::exec_add(rectpart_obs::ExecStat::TasksSpawned, workers as u64);
         let f = &f;
         let mut blocks: Vec<Vec<R>> = std::thread::scope(|scope| {
             let mut rest = items;
@@ -324,20 +350,26 @@ where
                 chunk_offset = hi_chunk;
                 handles.push(scope.spawn(move || {
                     let _guard = ScopedGuard::set(1);
-                    block
+                    let busy = rectpart_obs::StopWatch::start();
+                    let out = block
                         .chunks_mut(chunk)
                         .enumerate()
                         .map(|(i, c)| f(base + i, c))
-                        .collect::<Vec<R>>()
+                        .collect::<Vec<R>>();
+                    busy.stop(rectpart_obs::ExecStat::WorkerBusyNs);
+                    out
                 }));
             }
-            handles
+            let wait = rectpart_obs::StopWatch::start();
+            let blocks: Vec<Vec<R>> = handles
                 .into_iter()
                 .map(|h| {
                     h.join()
                         .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
                 })
-                .collect()
+                .collect();
+            wait.stop(rectpart_obs::ExecStat::JoinWaitNs);
+            blocks
         });
         let mut out = Vec::with_capacity(n_chunks);
         for block in &mut blocks {

@@ -45,6 +45,7 @@
 //! ```
 
 pub use rectpart_core as core;
+pub use rectpart_obs as obs;
 pub use rectpart_onedim as onedim;
 pub use rectpart_simexec as simexec;
 pub use rectpart_volume as volume;

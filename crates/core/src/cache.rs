@@ -48,7 +48,7 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::geometry::Axis;
 
@@ -79,7 +79,7 @@ impl Hasher for Fnv1a {
     }
 }
 
-/// A concurrent memo table sharded across [`SHARDS`] mutex-protected
+/// A concurrent memo table sharded across `SHARDS` mutex-protected
 /// hash maps.
 ///
 /// Lookups lock exactly one shard; the compute callback of
@@ -113,14 +113,22 @@ impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
         &self.shards[self.shard_index(key)]
     }
 
+    /// Locks a shard, shrugging off poisoning: every write is a plain
+    /// insert of a value that is a pure function of its key, so a map
+    /// abandoned mid-panic is still internally consistent and safe to
+    /// keep using.
+    fn lock(shard: &Mutex<HashMap<K, V>>) -> MutexGuard<'_, HashMap<K, V>> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The cached value for `key`, if present.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.shard(key).lock().unwrap().get(key).cloned()
+        Self::lock(self.shard(key)).get(key).cloned()
     }
 
     /// Inserts `value` for `key`, replacing any previous entry.
     pub fn insert(&self, key: K, value: V) {
-        self.shard(&key).lock().unwrap().insert(key, value);
+        Self::lock(self.shard(&key)).insert(key, value);
     }
 
     /// Inserts `value` only if `key` is absent; returns `true` when this
@@ -128,7 +136,7 @@ impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
     /// inserters of the same key observes `true`, which is what makes
     /// first-insert counting deterministic (see the module docs).
     pub fn insert_if_absent(&self, key: K, value: V) -> bool {
-        let mut shard = self.shard(&key).lock().unwrap();
+        let mut shard = Self::lock(self.shard(&key));
         match shard.entry(key) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(slot) => {
@@ -154,7 +162,7 @@ impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
 
     /// Total number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| Self::lock(s).len()).sum()
     }
 
     /// `true` if no entry is cached.
@@ -171,10 +179,7 @@ impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
     /// Entry count of every shard, in shard order. Deterministic across
     /// runs thanks to the fixed-seed sharding scheme.
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().len())
-            .collect()
+        self.shards.iter().map(|s| Self::lock(s).len()).collect()
     }
 }
 

@@ -68,8 +68,11 @@ fn search(
     }
     let rows = pfx.rows();
     let cols = pfx.cols();
-    // Top-left-most uncovered cell.
-    let idx = (0..rows * cols).find(|&i| mask & (1u64 << i) == 0).unwrap();
+    // Top-left-most uncovered cell; `remaining_cells > 0` guarantees one
+    // exists, and an (impossible) full mask simply prunes this branch.
+    let Some(idx) = (0..rows * cols).find(|&i| mask & (1u64 << i) == 0) else {
+        return;
+    };
     let (r, c) = (idx / cols, idx % cols);
     // Average-based pruning: the remaining load cannot be spread better
     // than evenly over the remaining parts.

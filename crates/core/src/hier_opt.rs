@@ -149,12 +149,17 @@ fn rebuild(pfx: &PrefixSum2D, rect: &Rect, m: usize, memo: &Memo, out: &mut Vec<
         out.extend(std::iter::repeat_n(Rect::EMPTY, m - 1));
         return;
     }
-    let target = memo.get(&key(rect, m)).expect("root state memoized");
+    // lint:allow(panic) -- invariant: `solve` memoized the root state before `rebuild` runs
+    let target = memo
+        .get(&key(rect, m))
+        .expect("invariant: root state memoized");
     let lookup = |r: &Rect, q: usize| -> u64 {
         if q == 1 || r.area() <= 1 {
             pfx.load(r)
         } else {
-            memo.get(&key(r, q)).expect("visited state memoized")
+            // lint:allow(panic) -- invariant: rebuild replays exactly the states `solve` visited
+            memo.get(&key(r, q))
+                .expect("invariant: visited state memoized")
         }
     };
     for axis in [Axis::Rows, Axis::Cols] {
@@ -185,7 +190,8 @@ fn rebuild(pfx: &PrefixSum2D, rect: &Rect, m: usize, memo: &Memo, out: &mut Vec<
             }
         }
     }
-    unreachable!("memoized optimum must be reproducible");
+    // lint:allow(panic) -- invariant: the memoized optimum was produced by one of these splits
+    unreachable!("invariant: memoized optimum must be reproducible");
 }
 
 #[cfg(test)]

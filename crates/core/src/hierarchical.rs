@@ -182,7 +182,8 @@ fn rb_recurse(
             }
         }
     }
-    let (_, axis, at, ma) = best.unwrap();
+    // lint:allow(panic) -- invariant: `candidates` is non-empty (checked above) and every candidate yields a keyed split
+    let (_, axis, at, ma) = best.expect("invariant: non-empty candidates produce a best split");
     let (a, b) = rect.split(axis, at);
     recurse_halves(
         out,
@@ -343,7 +344,8 @@ fn relaxed_recurse(
             }
         }
     }
-    let (_, axis, at, j) = best.unwrap();
+    // lint:allow(panic) -- invariant: m >= 2 makes j = m/2 a valid first candidate, so the scan always keys at least one split
+    let (_, axis, at, j) = best.expect("invariant: the relaxed scan keys at least one split");
     let (a, b) = rect.split(axis, at);
     recurse_halves(
         out,

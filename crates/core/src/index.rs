@@ -83,11 +83,14 @@ impl JaggedIndex {
                 continue;
             }
             runs.sort_unstable();
-            let mut prev = runs
+            let Some(mut prev) = runs
                 .iter()
                 .map(|&(_, p)| aux(&partition.rects()[p as usize]).0)
                 .min()
-                .unwrap();
+            else {
+                // A stripe with no rectangles is not a jagged layout.
+                return None;
+            };
             for &(end, p) in runs.iter() {
                 let r = &partition.rects()[p as usize];
                 if aux(r).0 != prev {

@@ -35,6 +35,7 @@ impl LoadMatrix {
                     sum += self.get(fr, fc) as u64;
                 }
             }
+            // lint:allow(panic) -- overflow guard: a coarse block summing past u32 must abort with an actionable message, not truncate loads
             u32::try_from(sum).expect("coarse block load exceeds u32")
         })
     }

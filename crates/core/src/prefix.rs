@@ -82,8 +82,9 @@ impl PrefixSum2D {
                 min_cell = min_cell.min(v);
                 row_sum += v as u64;
                 let above = g[r * w + (c + 1)];
-                g[(r + 1) * w + (c + 1)] =
-                    above.checked_add(row_sum).expect("2D prefix sum overflow");
+                g[(r + 1) * w + (c + 1)] = above
+                    .checked_add(row_sum) // lint:allow(panic) -- overflow guard: an actionable abort on a u64-overflowing input beats silent wraparound
+                    .expect("2D prefix sum overflow");
             }
         }
         if rows == 0 || cols == 0 {
@@ -134,6 +135,7 @@ impl PrefixSum2D {
                     mn = mn.min(v);
                     row_sum = row_sum
                         .checked_add(v as u64)
+                        // lint:allow(panic) -- overflow guard: an actionable abort on a u64-overflowing input beats silent wraparound
                         .expect("2D prefix sum overflow");
                     grow[c + 1] = row_sum;
                 }
@@ -154,6 +156,7 @@ impl PrefixSum2D {
                 for c in 1..w {
                     block[r * w + c] = block[r * w + c]
                         .checked_add(block[(r - 1) * w + c])
+                        // lint:allow(panic) -- overflow guard: an actionable abort on a u64-overflowing input beats silent wraparound
                         .expect("2D prefix sum overflow");
                 }
             }
@@ -171,6 +174,7 @@ impl PrefixSum2D {
             for c in 0..w {
                 running[c] = running[c]
                     .checked_add(g[last_row * w + c])
+                    // lint:allow(panic) -- overflow guard: an actionable abort on a u64-overflowing input beats silent wraparound
                     .expect("2D prefix sum overflow");
             }
             offsets.push(running.clone());
@@ -188,6 +192,7 @@ impl PrefixSum2D {
                 for c in 1..w {
                     block[r * w + c] = block[r * w + c]
                         .checked_add(off[c])
+                        // lint:allow(panic) -- overflow guard: an actionable abort on a u64-overflowing input beats silent wraparound
                         .expect("2D prefix sum overflow");
                 }
             }

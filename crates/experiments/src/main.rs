@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `figures` — regenerates every figure of the IPDPS 2011 evaluation
 //! (and the extension experiments) as CSV series + printed tables.
 //!
@@ -7,9 +8,12 @@
 //! ```
 //!
 //! Options:
-//!   --full        paper-scale instances and processor counts
-//!   --out <dir>   output directory (default: results/)
-//!   --threads <n> worker thread count (default: all cores)
+//!
+//! ```text
+//! --full        paper-scale instances and processor counts
+//! --out <dir>   output directory (default: results/)
+//! --threads <n> worker thread count (default: all cores)
+//! ```
 
 mod all_figs;
 mod common;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Dependency-free JSON support for the rectpart workspace.
 //!
 //! This replaces `serde`/`serde_json` (unavailable in the offline build
@@ -230,7 +231,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), Error> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), Error> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -263,7 +264,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, Error> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -274,7 +275,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value()?;
             fields.push((key, value));
             self.skip_ws();
@@ -290,7 +291,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, Error> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -312,7 +313,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, Error> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             let start = self.pos;
@@ -356,7 +357,11 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 character (multi-byte safe).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| Error::parse("invalid UTF-8", start))?;
-                    let ch = rest.chars().next().unwrap();
+                    // `peek()` returned a byte, so `rest` is non-empty;
+                    // an (unreachable) empty tail is a truncated string.
+                    let Some(ch) = rest.chars().next() else {
+                        return Err(Error::parse("unterminated string", start));
+                    };
                     s.push(ch);
                     self.pos += ch.len_utf8();
                 }

@@ -1,0 +1,47 @@
+//! Clean fixture: deliberately brushes against every rule's pattern
+//! space without violating any rule. Must produce zero diagnostics when
+//! linted as library code of a panic-free, non-timing crate.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Mentions of panic!, .unwrap() and std::thread::spawn in a doc
+/// comment are not code.
+pub fn error_handling(v: Option<u32>) -> Result<u32, String> {
+    // Strings may talk about .expect( and Instant::now freely.
+    v.ok_or_else(|| "call .unwrap() elsewhere; panic! is banned".to_string())
+}
+
+pub fn ordered_iteration(m: &BTreeMap<u64, u64>) -> u64 {
+    // BTreeMap iteration order is deterministic; not a hash map.
+    m.values().sum()
+}
+
+pub fn keyed_lookup(memo: &HashMap<u64, u64>, k: u64) -> Option<u64> {
+    // Point lookups on a HashMap are fine; only iteration is flagged.
+    memo.get(&k).copied()
+}
+
+#[cfg(feature = "obs")]
+pub fn declared_feature_gate() {}
+
+pub fn unwrap_or_is_not_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap_or(0).saturating_add(1)
+}
+
+pub fn lifetime_not_char<'a>(s: &'a str) -> &'a str {
+    let _ = 'l: loop {
+        break 'l 1;
+    };
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        let t = std::time::Instant::now();
+        Some(1u32).unwrap();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+    }
+}

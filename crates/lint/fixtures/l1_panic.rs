@@ -1,0 +1,33 @@
+//! L1 fixture: every panic construct the rule bans, in library code.
+//! Linted as library code of a panic-free crate; must trigger L1 only.
+
+pub fn hits(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("boom");
+    if a == 0 {
+        panic!("zero");
+    }
+    if b == 0 {
+        unreachable!();
+    }
+    a + b
+}
+
+pub fn waived(v: Option<u32>) -> u32 {
+    // lint:allow(panic) -- fixture: a justified waiver must silence the rule
+    v.expect("invariant: fixture value present")
+}
+
+pub fn strings_and_comments_do_not_fire() -> &'static str {
+    // panic! .unwrap() .expect( unreachable! -- comments are stripped
+    "panic! .unwrap() .expect( unreachable!"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        Some(1u32).unwrap();
+        std::panic::catch_unwind(|| panic!("tests may panic")).ok();
+    }
+}

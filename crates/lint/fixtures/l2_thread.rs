@@ -1,0 +1,14 @@
+//! L2 fixture: thread spawns outside `crates/parallel`.
+//! Linted as library code of a non-parallel crate; must trigger L2 only.
+
+pub fn hits() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}
+
+pub fn also_scoped() {
+    std::thread::scope(|s| {
+        // lint:allow(thread) -- fixture: a justified waiver must silence the rule
+        s.spawn(|| ());
+    });
+}

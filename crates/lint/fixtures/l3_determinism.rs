@@ -1,0 +1,28 @@
+//! L3 fixture: wall clocks, unseeded RNG and hash-order iteration.
+//! Linted as library code of a non-timing crate; must trigger L3 only.
+
+use std::collections::HashMap;
+
+pub fn clock() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn entropy() -> u64 {
+    let rng = rand::thread_rng();
+    let _ = rng;
+    0
+}
+
+pub fn hash_order(counts: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in counts.keys() {
+        out.push(k.clone());
+    }
+    out
+}
+
+pub fn waived_fold(weights: HashMap<u64, u64>) -> u64 {
+    // lint:allow(determinism) -- fixture: order-insensitive sum, waiver must silence the rule
+    weights.values().sum()
+}

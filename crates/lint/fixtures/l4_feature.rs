@@ -1,0 +1,12 @@
+//! L4 fixture: a `cfg` gate naming a feature the manifest never
+//! declares — the gated code is silently dead. Must trigger L4 only.
+
+#[cfg(feature = "telemetry")]
+pub fn dead_code() {}
+
+#[cfg(all(feature = "obs", feature = "turbo_mode"))]
+pub fn half_dead_code() {}
+
+pub fn declared_gate_is_fine() -> bool {
+    cfg!(feature = "obs")
+}

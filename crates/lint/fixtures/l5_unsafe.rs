@@ -1,0 +1,11 @@
+//! L5 fixture: `unsafe` outside the audited simexec stencil island.
+//! Must trigger L5 only.
+
+pub fn hits(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+// lint:allow(unsafe) -- fixture: a justified waiver must silence the rule
+pub unsafe fn waived(p: *const u8) -> u8 {
+    unsafe { *p } // lint:allow(unsafe) -- fixture: same-line waiver form
+}

@@ -1,0 +1,393 @@
+//! A minimal Rust lexer that classifies every character of a source file
+//! as code, string-literal content, or comment.
+//!
+//! The rule engine ([`crate::rules`]) matches textual patterns, so the
+//! lexer's job is to make that sound: `panic!` inside a doc comment or an
+//! error message must not trigger L1, while `lint:allow(...)` markers
+//! live *only* in comments. The lexer therefore splits each physical line
+//! into three channels:
+//!
+//! * [`Line::code`] — source with comments removed and string-literal
+//!   bodies blanked to spaces (quote characters are kept so token
+//!   boundaries survive);
+//! * [`Line::text`] — source with comments removed but string bodies
+//!   intact (needed by L4, which must read feature *names* out of
+//!   `cfg(feature = "...")` attributes);
+//! * [`Line::comment`] — the concatenated comment content of the line
+//!   (where `lint:allow` markers and `# Safety` contracts are found).
+//!
+//! It handles the lexical constructs that matter for soundness: nested
+//! block comments, string escapes, raw strings (`r#"..."#`, any hash
+//! count), byte strings, char literals, and the char-literal/lifetime
+//! ambiguity (`'a'` vs `'static`).
+//!
+//! On top of the channel split, the lexer tracks `#[cfg(test)]` /
+//! `#[cfg(all(test, ...))]` modules and `#[test]` functions by brace
+//! counting and marks their lines [`Line::in_test`], so rules that exempt
+//! test code (L1, L2, L3) can skip them without parsing items.
+
+/// One physical source line, split into channels (see module docs).
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Comment-free source with string bodies blanked.
+    pub code: String,
+    /// Comment-free source with string bodies intact.
+    pub text: String,
+    /// Comment content of the line (no `//` / `/*` delimiters).
+    pub comment: String,
+    /// `true` if the line lies inside a `#[cfg(test)]` item or `#[test]`
+    /// function body.
+    pub in_test: bool,
+}
+
+/// Lexed view of a whole file: one [`Line`] per physical line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Lines in file order; index 0 is line 1.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    /// Inside `"..."`; payload: `true` while the next char is escaped.
+    Str,
+    /// Inside a raw string; payload: number of `#` marks to close.
+    RawStr(u32),
+    /// Inside `'...'`; payload: `true` while the next char is escaped.
+    Char,
+}
+
+/// Matches the tail of the whitespace-normalized code stream against the
+/// test-region openers.
+fn is_test_marker(window: &str) -> bool {
+    window.ends_with("#[cfg(test)]")
+        || window.ends_with("#[cfg(all(test")
+        || window.ends_with("#[test]")
+}
+
+/// Lexes `source` into per-line channels and test-region flags.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut state = State::Code;
+    let mut escaped = false;
+
+    // Test-region tracking over the code channel: `depth` counts braces,
+    // `armed` is set when a test marker was just seen (waiting for the
+    // region's opening `{`), `test_floor` is the depth at which the
+    // active test region closes.
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut test_floor: Option<i64> = None;
+    // Rolling, whitespace-free tail of recent code chars for marker
+    // matching (attributes may be spread over spaces, never over tokens).
+    let mut window = String::new();
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(Line::default());
+            i += 1;
+            continue;
+        }
+        let in_test = test_floor.is_some();
+        let line = lines
+            .last_mut()
+            .expect("lines starts non-empty and only grows");
+        line.in_test |= in_test;
+        match state {
+            State::Code => {
+                // Comment openers.
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw / byte string openers: r"", r#""#, br"", b"".
+                if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    if let Some(hashes) = raw_string_open(&chars, i) {
+                        // Push the prefix (r/b/br + hashes + quote) to
+                        // both code channels, then enter the raw string.
+                        let mut j = i;
+                        while chars[j] != '"' {
+                            line.code.push(chars[j]);
+                            line.text.push(chars[j]);
+                            j += 1;
+                        }
+                        line.code.push('"');
+                        line.text.push('"');
+                        push_window(&mut window, 'r');
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        line.code.push('b');
+                        line.text.push('b');
+                        line.code.push('"');
+                        line.text.push('"');
+                        i += 2;
+                        state = State::Str;
+                        escaped = false;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    line.code.push('"');
+                    line.text.push('"');
+                    state = State::Str;
+                    escaped = false;
+                    i += 1;
+                    continue;
+                }
+                // `b'{'` byte literals matter here: an unlexed `{` or
+                // `}` would corrupt the brace-depth tracking below.
+                let byte_char_prefix =
+                    i > 0 && chars[i - 1] == 'b' && !prev_is_ident(&chars, i - 1);
+                if c == '\'' && (!prev_is_ident(&chars, i) || byte_char_prefix) {
+                    // Char literal vs lifetime: a literal is either an
+                    // escape (`'\n'`) or a single char followed by `'`.
+                    let next = chars.get(i + 1);
+                    let after = chars.get(i + 2);
+                    if next == Some(&'\\') || (next.is_some() && after == Some(&'\'')) {
+                        line.code.push('\'');
+                        line.text.push('\'');
+                        state = State::Char;
+                        escaped = false;
+                        i += 1;
+                        continue;
+                    }
+                    // Lifetime / loop label: plain code.
+                }
+                line.code.push(c);
+                line.text.push(c);
+                push_window(&mut window, c);
+                if is_test_marker(&window) && test_floor.is_none() {
+                    armed = true;
+                }
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if armed {
+                            armed = false;
+                            test_floor = Some(depth - 1);
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if let Some(floor) = test_floor {
+                            if depth <= floor {
+                                test_floor = None;
+                            }
+                        }
+                    }
+                    // `#[cfg(test)] mod tests;` declares the module in
+                    // another file; nothing to bracket here.
+                    ';' if armed && test_floor.is_none() => {
+                        armed = false;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(d) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    if d == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(d - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(d + 1);
+                    line.comment.push_str("/*");
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if escaped {
+                    escaped = false;
+                    line.code.push(' ');
+                    line.text.push(c);
+                    i += 1;
+                } else if c == '\\' {
+                    escaped = true;
+                    line.code.push(' ');
+                    line.text.push(c);
+                    i += 1;
+                } else if c == '"' {
+                    line.code.push('"');
+                    line.text.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    line.code.push(' ');
+                    line.text.push(c);
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    line.code.push('"');
+                    line.text.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    line.code.push(' ');
+                    line.text.push(c);
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if escaped {
+                    escaped = false;
+                    line.code.push(' ');
+                    line.text.push(c);
+                    i += 1;
+                } else if c == '\\' {
+                    escaped = true;
+                    line.code.push(' ');
+                    line.text.push(c);
+                    i += 1;
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    line.text.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    line.code.push(' ');
+                    line.text.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    Lexed { lines }
+}
+
+/// `true` if the char before `i` can belong to an identifier (so the
+/// `r` / `b` / `'` at `i` is not a literal prefix).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If a raw-string opener (`r`, `br` + hashes + `"`) starts at `i`,
+/// returns its hash count.
+fn raw_string_open(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return None;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// `true` if the `"` at `i` is followed by enough `#` to close a raw
+/// string with `hashes` marks.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Appends a non-space code char to the rolling marker window, bounding
+/// its length.
+fn push_window(window: &mut String, c: char) {
+    if c.is_whitespace() {
+        return;
+    }
+    window.push(c);
+    if window.len() > 32 {
+        let cut = window.len() - 32;
+        // Window chars are pushed one at a time; find a char boundary.
+        let mut at = cut;
+        while !window.is_char_boundary(at) {
+            at += 1;
+        }
+        window.drain(..at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_leave_code_channel() {
+        let l = lex("let x = \"panic!\"; // panic! here\nlet y = 1; /* unwrap() */ let z = 2;\n");
+        assert!(!l.lines[0].code.contains("panic!"));
+        assert!(l.lines[0].comment.contains("panic! here"));
+        assert!(l.lines[0].text.contains("panic!"), "text keeps strings");
+        assert!(!l.lines[1].code.contains("unwrap"));
+        assert!(l.lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let l =
+            lex("let s = r#\"a \"quoted\" panic!\"#; let c = 'x'; let lt: &'static str = \"\";");
+        assert!(!l.lines[0].code.contains("panic!"));
+        assert!(l.lines[0].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let a = 1;");
+        assert!(l.lines[0].code.contains("let a = 1"));
+        assert!(!l.lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn cfg_test_region_marks_lines() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let l = lex(src);
+        assert!(!l.lines[0].in_test);
+        assert!(l.lines[3].in_test);
+        assert!(!l.lines[5].in_test);
+    }
+
+    #[test]
+    fn test_attr_on_fn_marks_body() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    boom.unwrap();\n}\nfn b() {}\n";
+        let l = lex(src);
+        assert!(l.lines[3].in_test);
+        assert!(!l.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_outline_module_does_not_arm() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() { x() }\n";
+        let l = lex(src);
+        assert!(!l.lines[2].in_test);
+    }
+}

@@ -1,0 +1,49 @@
+#![forbid(unsafe_code)]
+
+//! `rectpart-lint` binary: lints the workspace and exits nonzero on any
+//! violation. `--root <path>` overrides the workspace root (defaults to
+//! the workspace this binary was built from).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = rectpart_lint::default_root();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "rectpart-lint: workspace invariant linter (rules L1-L5)\n\
+                     usage: cargo run -p rectpart-lint [-- --root <path>]\n\
+                     see DESIGN.md section 11 for the rule catalog"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match rectpart_lint::lint_workspace(&root) {
+        Ok(diags) => {
+            if rectpart_lint::report(&diags) == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("rectpart-lint: I/O error walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! A deliberately small `Cargo.toml` reader — just enough TOML to
+//! answer the two questions the linter asks: *which features does this
+//! crate declare* (L4) and *what is the package's repository URL* (the
+//! workspace hygiene check). No external TOML dependency, consistent
+//! with the workspace's shims-only policy.
+
+use std::collections::BTreeSet;
+
+/// Feature names a crate declares: explicit `[features]` keys plus the
+/// implicit feature every `optional = true` dependency creates (unless
+/// it is only referenced through `dep:` syntax — over-approximating by
+/// including it is fine for a linter that checks *usage* names).
+pub fn declared_features(manifest: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut section = String::new();
+    for raw in manifest.lines() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.starts_with('[') {
+            section = line.clone();
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim().trim_matches('"').to_string();
+        if key.is_empty() {
+            continue;
+        }
+        if section == "[features]" {
+            out.insert(key);
+        } else if section.ends_with("dependencies]")
+            && line.contains("optional")
+            && line.contains("true")
+        {
+            // `foo = { version = "...", optional = true }`
+            out.insert(key);
+        }
+    }
+    out
+}
+
+/// The `repository = "..."` value of the first `[package]` /
+/// `[workspace.package]` section, if present.
+pub fn repository_url(manifest: &str) -> Option<String> {
+    let mut in_pkg = false;
+    for raw in manifest.lines() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.starts_with('[') {
+            in_pkg = line == "[package]" || line == "[workspace.package]";
+            continue;
+        }
+        if !in_pkg {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("repository") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let v = rest.trim().trim_matches('"');
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Drops a `#` comment unless the `#` sits inside a quoted string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_feature_keys_and_optional_deps() {
+        let m = r#"
+[package]
+name = "x"
+repository = "https://example.com/x"
+
+[features]
+default = ["parallel"] # comment
+parallel = []
+obs = ["dep:obs"]
+
+[dependencies]
+obs = { path = "../obs", optional = true }
+serde = { version = "1", optional = false }
+"#;
+        let f = declared_features(m);
+        assert!(f.contains("default") && f.contains("parallel") && f.contains("obs"));
+        assert!(!f.contains("serde"));
+        assert_eq!(repository_url(m).as_deref(), Some("https://example.com/x"));
+    }
+
+    #[test]
+    fn no_features_section() {
+        assert!(declared_features("[package]\nname = \"y\"\n").is_empty());
+    }
+}

@@ -1,0 +1,601 @@
+//! The lint catalog: rules L1–L5 over a lexed file.
+//!
+//! Each rule guards an invariant the compiler cannot check (see
+//! DESIGN.md §11). Every diagnostic can be waived at the offending line
+//! with a justified escape hatch in a comment on the same line or the
+//! line directly above:
+//!
+//! ```text
+//! // lint:allow(<slug>) -- <reason>
+//! ```
+//!
+//! The reason is mandatory: an allow marker without ` -- <reason>` is
+//! itself a diagnostic, as is one naming an unknown rule.
+
+use crate::lexer::{lex, Lexed};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The rule catalog. Slugs (used in `lint:allow(...)`) are in
+/// [`Rule::slug`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1 — panic-freedom in library code of the algorithmic crates.
+    Panic,
+    /// L2 — thread spawns confined to `crates/parallel`.
+    Thread,
+    /// L3 — no wall clocks, unseeded RNG, or hash-order iteration in
+    /// deterministic code.
+    Determinism,
+    /// L4 — every `cfg(feature = "...")` name is declared in the crate's
+    /// `Cargo.toml`.
+    Feature,
+    /// L5 — `unsafe` confined to the audited `simexec` stencil block;
+    /// everything else forbids it.
+    Unsafe,
+    /// Malformed or unknown `lint:allow` marker.
+    AllowSyntax,
+}
+
+impl Rule {
+    /// Short identifier used in diagnostics (`L1`..`L5`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Panic => "L1",
+            Rule::Thread => "L2",
+            Rule::Determinism => "L3",
+            Rule::Feature => "L4",
+            Rule::Unsafe => "L5",
+            Rule::AllowSyntax => "L0",
+        }
+    }
+
+    /// Slug accepted by the `lint:allow(<slug>)` escape hatch.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Thread => "thread",
+            Rule::Determinism => "determinism",
+            Rule::Feature => "feature",
+            Rule::Unsafe => "unsafe",
+            Rule::AllowSyntax => "allow-syntax",
+        }
+    }
+
+    /// All waivable rules.
+    pub const WAIVABLE: [Rule; 5] = [
+        Rule::Panic,
+        Rule::Thread,
+        Rule::Determinism,
+        Rule::Feature,
+        Rule::Unsafe,
+    ];
+}
+
+/// One `file:line` finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} ({}): {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.rule.slug(),
+            self.message
+        )
+    }
+}
+
+/// Where a file sits in the workspace; decides which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Crate directory name (`core`, `onedim`, ... `rectpart` for the
+    /// root package).
+    pub crate_name: String,
+    /// Workspace-relative path used in diagnostics and path allowlists.
+    pub rel_path: String,
+    /// `true` for files under the crate's `src/` (library code);
+    /// `false` for `tests/`, `benches/`, `examples/`.
+    pub is_library: bool,
+    /// Feature names declared in the crate's `Cargo.toml`.
+    pub declared_features: BTreeSet<String>,
+    /// Vendored dependency shims: only the unsafe audit (L5) applies.
+    pub is_shim: bool,
+}
+
+/// Crates whose library code must be panic-free (L1).
+const PANIC_FREE_CRATES: [&str; 5] = ["core", "onedim", "parallel", "obs", "json"];
+
+/// Crates allowed to touch wall clocks (L3): the instrumentation layer,
+/// the execution layer's busy/wait accounting, and the measurement
+/// binaries themselves.
+const CLOCK_CRATES: [&str; 5] = ["obs", "parallel", "experiments", "simexec", "bench"];
+
+/// The single audited `unsafe` island (L5).
+const UNSAFE_ALLOWLIST: [&str; 1] = ["crates/simexec/src/stencil.rs"];
+
+/// The lint crate's own sources mention feature-attribute syntax inside
+/// pattern strings and the `lint:allow` marker inside doc comments; L4
+/// (which reads the `text` channel, strings intact) and the marker
+/// syntax check skip this crate to stay self-clean. The fixtures and
+/// the golden self-test still exercise both rules in isolation.
+const SELF_EXEMPT: [&str; 1] = ["lint"];
+
+/// Lints one file. `source` is the raw file content.
+pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let mut out = Vec::new();
+    check_allow_syntax(ctx, &lexed, &mut out);
+    if !ctx.is_shim {
+        check_panic(ctx, &lexed, &mut out);
+        check_thread(ctx, &lexed, &mut out);
+        check_determinism(ctx, &lexed, &mut out);
+        check_feature(ctx, &lexed, &mut out);
+    }
+    check_unsafe(ctx, &lexed, &mut out);
+    out.sort();
+    out
+}
+
+/// `true` if line `idx` (0-based) carries a `lint:allow(slug)` waiver:
+/// on the line itself, or above it within the same statement (rustfmt
+/// may push a chained call several lines below its comment, so the scan
+/// walks up through continuation lines until a statement boundary —
+/// a line containing `;`, `{` or `}` — or an 8-line cap).
+fn allowed(lexed: &Lexed, idx: usize, rule: Rule) -> bool {
+    let marker = format!("lint:allow({})", rule.slug());
+    if lexed.lines[idx].comment.contains(&marker) {
+        return true;
+    }
+    let mut i = idx;
+    for _ in 0..8 {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        let line = &lexed.lines[i];
+        if line.comment.contains(&marker) {
+            return true;
+        }
+        if line.code.contains([';', '{', '}']) {
+            return false;
+        }
+    }
+    false
+}
+
+fn push(
+    ctx: &FileContext,
+    out: &mut Vec<Diagnostic>,
+    lexed: &Lexed,
+    idx: usize,
+    rule: Rule,
+    message: String,
+) {
+    if rule != Rule::AllowSyntax && allowed(lexed, idx, rule) {
+        return;
+    }
+    out.push(Diagnostic {
+        file: ctx.rel_path.clone(),
+        line: idx + 1,
+        rule,
+        message,
+    });
+}
+
+/// Finds `pat` in `hay` at non-identifier boundaries (so `todo!` does
+/// not fire inside `my_todo!`-like names), returning `true` on a hit.
+fn word_hit(hay: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(off) = hay[from..].find(pat) {
+        let at = from + off;
+        let pre_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if pre_ok {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}
+
+/// L0 — every `lint:allow` marker must name a known rule and carry a
+/// ` -- <reason>` justification.
+fn check_allow_syntax(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    if SELF_EXEMPT.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let mut from = 0;
+        while let Some(off) = line.comment[from..].find("lint:allow(") {
+            let at = from + off + "lint:allow(".len();
+            let rest = &line.comment[at..];
+            let Some(close) = rest.find(')') else {
+                push(
+                    ctx,
+                    out,
+                    lexed,
+                    idx,
+                    Rule::AllowSyntax,
+                    "unterminated lint:allow marker".into(),
+                );
+                break;
+            };
+            let slug = &rest[..close];
+            if !Rule::WAIVABLE.iter().any(|r| r.slug() == slug) {
+                push(
+                    ctx,
+                    out,
+                    lexed,
+                    idx,
+                    Rule::AllowSyntax,
+                    format!("lint:allow names unknown rule `{slug}`"),
+                );
+            }
+            let after = &rest[close + 1..];
+            if !after.trim_start().starts_with("--")
+                || after
+                    .trim_start()
+                    .trim_start_matches("--")
+                    .trim()
+                    .is_empty()
+            {
+                push(
+                    ctx,
+                    out,
+                    lexed,
+                    idx,
+                    Rule::AllowSyntax,
+                    "lint:allow requires a justification: `-- <reason>`".into(),
+                );
+            }
+            from = at + close;
+        }
+    }
+}
+
+/// L1 — panic-freedom.
+fn check_panic(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_library || !PANIC_FREE_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    const CALLS: [&str; 2] = [".unwrap()", ".expect("];
+    const MACROS: [&str; 4] = ["panic!", "unreachable!", "unimplemented!", "todo!"];
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in CALLS {
+            if line.code.contains(pat) {
+                push(
+                    ctx,
+                    out,
+                    lexed,
+                    idx,
+                    Rule::Panic,
+                    format!("`{pat}..` can panic in library code"),
+                );
+            }
+        }
+        for pat in MACROS {
+            if word_hit(&line.code, pat) {
+                push(
+                    ctx,
+                    out,
+                    lexed,
+                    idx,
+                    Rule::Panic,
+                    format!("`{pat}` in library code"),
+                );
+            }
+        }
+    }
+}
+
+/// L2 — thread confinement.
+fn check_thread(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_library || ctx.crate_name == "parallel" {
+        return;
+    }
+    const PATTERNS: [&str; 3] = ["std::thread", "thread::spawn", ".spawn("];
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in PATTERNS {
+            if line.code.contains(pat) {
+                push(
+                    ctx,
+                    out,
+                    lexed,
+                    idx,
+                    Rule::Thread,
+                    format!("`{pat}` outside crates/parallel breaks the serial-build guarantee"),
+                );
+            }
+        }
+    }
+}
+
+/// L3 — determinism: wall clocks, unseeded RNG, hash-order iteration.
+fn check_determinism(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_library {
+        return;
+    }
+    let clocks_ok = CLOCK_CRATES.contains(&ctx.crate_name.as_str());
+    const CLOCKS: [&str; 2] = ["Instant::now", "SystemTime"];
+    const RNG: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
+    // Identifiers bound to a HashMap/HashSet anywhere in the file.
+    let tracked = hash_bindings(lexed);
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if !clocks_ok {
+            for pat in CLOCKS {
+                if line.code.contains(pat) {
+                    push(
+                        ctx,
+                        out,
+                        lexed,
+                        idx,
+                        Rule::Determinism,
+                        format!("wall clock `{pat}` outside the timing crates"),
+                    );
+                }
+            }
+        }
+        for pat in RNG {
+            if word_hit(&line.code, pat) {
+                push(
+                    ctx,
+                    out,
+                    lexed,
+                    idx,
+                    Rule::Determinism,
+                    format!("unseeded randomness `{pat}`"),
+                );
+            }
+        }
+        for ident in &tracked {
+            if hash_iteration(&line.code, ident) {
+                push(
+                    ctx,
+                    out,
+                    lexed,
+                    idx,
+                    Rule::Determinism,
+                    format!(
+                        "iteration over hash-ordered `{ident}` can leak nondeterministic order"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` values: `let x =
+/// HashMap::new()`, `x: HashMap<..>` (params, fields), `x: &mut
+/// HashMap<..>`.
+fn hash_bindings(lexed: &Lexed) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in &lexed.lines {
+        let code = &line.code;
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(off) = code[from..].find(ty) {
+                let at = from + off;
+                from = at + ty.len();
+                let pre_ident = code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if pre_ident {
+                    continue;
+                }
+                let before = code[..at].trim_end();
+                // `name: HashMap<...>` — strip reference/mutability.
+                let before_ty = before
+                    .trim_end_matches("&mut")
+                    .trim_end_matches('&')
+                    .trim_end();
+                if let Some(b) = before_ty.strip_suffix(':') {
+                    if let Some(name) = last_ident(b) {
+                        out.insert(name);
+                        continue;
+                    }
+                }
+                // `let [mut] name ... = ... HashMap...`
+                if let Some(let_pos) = before.rfind("let ") {
+                    let binding = &before[let_pos + 4..];
+                    if binding.contains('=') {
+                        let lhs = binding.split('=').next().unwrap_or("");
+                        let lhs = lhs.split(':').next().unwrap_or("");
+                        let lhs = lhs.trim().trim_start_matches("mut ").trim();
+                        if !lhs.is_empty() && lhs.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                            out.insert(lhs.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Trailing identifier of `s`, if any.
+fn last_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let tail: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let ident: String = tail.chars().rev().collect();
+    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_numeric())).then_some(ident)
+}
+
+/// `true` if `code` iterates `ident` in hash order.
+fn hash_iteration(code: &str, ident: &str) -> bool {
+    const METHODS: [&str; 8] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+        ".retain(",
+    ];
+    for m in METHODS {
+        let pat = format!("{ident}{m}");
+        if word_hit(code, &pat) {
+            return true;
+        }
+    }
+    // `for x in [&[mut]] ident` with the loop body or newline following.
+    for pre in ["in ", "in &", "in &mut "] {
+        let pat = format!("{pre}{ident}");
+        let mut from = 0;
+        while let Some(off) = code[from..].find(&pat) {
+            let at = from + off;
+            from = at + pat.len();
+            let end = at + pat.len();
+            let next = code[end..].chars().next();
+            let boundary_ok = next.is_none_or(|c| c == ' ' || c == '{');
+            let pre_ok = at == 0
+                || !code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if boundary_ok && pre_ok && code.contains("for ") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// L4 — feature hygiene: `cfg(feature = "name")` names must be declared.
+fn check_feature(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    if SELF_EXEMPT.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        for name in feature_names(&line.text) {
+            if !ctx.declared_features.contains(&name) {
+                push(
+                    ctx,
+                    out,
+                    lexed,
+                    idx,
+                    Rule::Feature,
+                    format!(
+                        "feature `{name}` is not declared in this crate's Cargo.toml \
+                         (the cfg-gated code is silently dead)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Extracts every `feature = "<name>"` occurrence from comment-stripped
+/// source text.
+fn feature_names(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(off) = text[from..].find("feature") {
+        let at = from + off;
+        from = at + "feature".len();
+        let rest = text[from..].trim_start();
+        let Some(rest) = rest.strip_prefix('=') else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('"') else {
+            continue;
+        };
+        if let Some(close) = rest.find('"') {
+            let name = &rest[..close];
+            if !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || "_-".contains(c))
+            {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// L5 — unsafe audit.
+fn check_unsafe(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    if UNSAFE_ALLOWLIST.contains(&ctx.rel_path.as_str()) {
+        // The audited island: `unsafe` is expected, but the safety
+        // contract must be written down.
+        let documented = lexed
+            .lines
+            .iter()
+            .any(|l| l.comment.contains("# Safety") || l.comment.contains("SAFETY:"));
+        if !documented {
+            push(
+                ctx,
+                out,
+                lexed,
+                0,
+                Rule::Unsafe,
+                "audited unsafe block lost its `# Safety` contract comment".into(),
+            );
+        }
+        return;
+    }
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if word_hit(&line.code, "unsafe") && !line.code.contains("forbid(unsafe_code)") {
+            push(
+                ctx,
+                out,
+                lexed,
+                idx,
+                Rule::Unsafe,
+                "`unsafe` outside the audited simexec stencil block".into(),
+            );
+        }
+    }
+}
+
+/// L5 (workspace half) — every crate root except `simexec` must carry
+/// `#![forbid(unsafe_code)]`.
+pub fn check_forbid_attr(ctx: &FileContext, source: &str) -> Option<Diagnostic> {
+    if ctx.crate_name == "simexec" {
+        return None;
+    }
+    let lexed = lex(source);
+    let found = lexed
+        .lines
+        .iter()
+        .any(|l| l.code.replace(' ', "").contains("#![forbid(unsafe_code)]"));
+    (!found).then(|| Diagnostic {
+        file: ctx.rel_path.clone(),
+        line: 1,
+        rule: Rule::Unsafe,
+        message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+    })
+}

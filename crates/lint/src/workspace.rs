@@ -1,0 +1,186 @@
+//! Workspace walker: enumerates every crate (including the root package
+//! and the vendored shims), reads its manifest, and runs the rule
+//! catalog over each `.rs` file.
+
+use crate::manifest;
+use crate::rules::{check_forbid_attr, lint_file, Diagnostic, FileContext};
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The workspace root this binary was compiled inside (two levels above
+/// `crates/lint`).
+pub fn default_root() -> PathBuf {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    here.ancestors()
+        .nth(2)
+        .unwrap_or(Path::new("."))
+        .to_path_buf()
+}
+
+/// One crate to lint: its directory, display name, and shim-ness.
+struct CrateDir {
+    name: String,
+    dir: PathBuf,
+    is_shim: bool,
+    /// Subdirectories to walk, relative to `dir`. `None` walks the whole
+    /// crate directory (the usual case); the root package restricts the
+    /// walk so it does not descend into `crates/` and `target/`.
+    subdirs: Option<&'static [&'static str]>,
+}
+
+/// Lints the whole workspace rooted at `root`; diagnostics come back
+/// sorted by file and line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut crates = Vec::new();
+    // Root package (`rectpart`): only its own source trees.
+    crates.push(CrateDir {
+        name: "rectpart".into(),
+        dir: root.to_path_buf(),
+        is_shim: false,
+        subdirs: Some(&["src", "tests", "examples"]),
+    });
+    for (parent, is_shim) in [("crates", false), ("shims", true)] {
+        let base = root.join(parent);
+        let mut entries: Vec<_> = fs::read_dir(&base)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            crates.push(CrateDir {
+                name,
+                dir,
+                is_shim,
+                subdirs: None,
+            });
+        }
+    }
+
+    let mut out = Vec::new();
+    for krate in &crates {
+        let manifest_text = fs::read_to_string(krate.dir.join("Cargo.toml"))?;
+        let features = manifest::declared_features(&manifest_text);
+        lint_crate(root, krate, &features, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn lint_crate(
+    root: &Path,
+    krate: &CrateDir,
+    features: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) -> io::Result<()> {
+    let mut files = Vec::new();
+    match krate.subdirs {
+        Some(dirs) => {
+            for d in dirs {
+                let p = krate.dir.join(d);
+                if p.is_dir() {
+                    collect_rs(&p, &mut files)?;
+                }
+            }
+        }
+        None => collect_rs(&krate.dir, &mut files)?,
+    }
+    files.sort();
+
+    for file in &files {
+        let rel = rel_path(root, file);
+        // Fixture files intentionally violate the rules; the golden
+        // self-test (tests/self_test.rs) lints them in isolation.
+        if rel.contains("/fixtures/") {
+            continue;
+        }
+        let source = fs::read_to_string(file)?;
+        let ctx = FileContext {
+            crate_name: krate.name.clone(),
+            rel_path: rel.clone(),
+            is_library: rel_within(krate, root, file).starts_with("src/"),
+            declared_features: features.clone(),
+            is_shim: krate.is_shim,
+        };
+        out.extend(lint_file(&ctx, &source));
+    }
+
+    // Crate-root forbid(unsafe_code) presence (the workspace half of L5).
+    let root_file = ["src/lib.rs", "src/main.rs"]
+        .iter()
+        .map(|p| krate.dir.join(p))
+        .find(|p| p.is_file());
+    if let Some(root_file) = root_file {
+        let source = fs::read_to_string(&root_file)?;
+        let ctx = FileContext {
+            crate_name: krate.name.clone(),
+            rel_path: rel_path(root, &root_file),
+            is_library: true,
+            declared_features: features.clone(),
+            is_shim: krate.is_shim,
+        };
+        out.extend(check_forbid_attr(&ctx, &source));
+    }
+    Ok(())
+}
+
+/// Path of `file` relative to the workspace root, with `/` separators.
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Path of `file` relative to the crate directory.
+fn rel_within(krate: &CrateDir, _root: &Path, file: &Path) -> String {
+    file.strip_prefix(&krate.dir)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target/`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders diagnostics and returns the process exit code (0 = clean).
+pub fn report(diags: &[Diagnostic]) -> i32 {
+    for d in diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("rectpart-lint: workspace clean (rules L1-L5)");
+        0
+    } else {
+        let rules: BTreeSet<&str> = diags.iter().map(|d| d.rule.id()).collect();
+        println!(
+            "rectpart-lint: {} violation(s) across {:?}",
+            diags.len(),
+            rules
+        );
+        1
+    }
+}

@@ -1,0 +1,166 @@
+//! Golden self-test for the linter.
+//!
+//! Two halves:
+//!
+//! 1. `workspace_is_clean` runs the full workspace walk — this is the
+//!    `#[test]` wiring that makes `cargo test` enforce L1–L5 on every
+//!    run, not just when the binary is invoked.
+//! 2. The fixture tests lint each file under `fixtures/` in isolation
+//!    and assert it triggers exactly its own rule (and that the
+//!    `lint:allow` escape hatch behaves).
+
+use rectpart_lint::{default_root, lint_file, lint_workspace, Diagnostic, FileContext, Rule};
+use std::collections::BTreeSet;
+
+/// A synthetic context standing in for library code of a crate that is
+/// subject to every rule: panic-free (L1), non-parallel (L2),
+/// non-timing (L3), with a known feature set (L4) and outside the
+/// unsafe allowlist (L5).
+fn strict_ctx() -> FileContext {
+    FileContext {
+        crate_name: "core".into(),
+        rel_path: "crates/core/src/fixture.rs".into(),
+        is_library: true,
+        declared_features: ["default", "obs", "parallel"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        is_shim: false,
+    }
+}
+
+/// Asserts every diagnostic is `rule` and the flagged 1-based lines are
+/// exactly `lines`.
+fn assert_only(diags: &[Diagnostic], rule: Rule, lines: &[usize]) {
+    assert!(
+        !diags.is_empty(),
+        "fixture for {rule:?} produced no diagnostics"
+    );
+    for d in diags {
+        assert_eq!(
+            d.rule, rule,
+            "fixture for {rule:?} leaked a foreign diagnostic: {d}"
+        );
+    }
+    let got: BTreeSet<usize> = diags.iter().map(|d| d.line).collect();
+    let want: BTreeSet<usize> = lines.iter().copied().collect();
+    assert_eq!(got, want, "flagged lines diverged for {rule:?}");
+}
+
+#[test]
+fn workspace_is_clean() {
+    let diags = lint_workspace(&default_root()).expect("workspace walk failed");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fixture_l1_panic() {
+    let diags = lint_file(&strict_ctx(), include_str!("../fixtures/l1_panic.rs"));
+    // unwrap, expect, panic!, unreachable! — the waived expect, the
+    // string/comment mentions, and the #[cfg(test)] module stay silent.
+    assert_only(&diags, Rule::Panic, &[5, 6, 8, 11]);
+}
+
+#[test]
+fn fixture_l2_thread() {
+    let diags = lint_file(&strict_ctx(), include_str!("../fixtures/l2_thread.rs"));
+    // spawn and scope entry are flagged; the waived `s.spawn(` is not.
+    assert_only(&diags, Rule::Thread, &[5, 10]);
+}
+
+#[test]
+fn fixture_l3_determinism() {
+    let diags = lint_file(&strict_ctx(), include_str!("../fixtures/l3_determinism.rs"));
+    // Instant::now, thread_rng, hash-order `counts.keys()`; the waived
+    // order-insensitive fold stays silent.
+    assert_only(&diags, Rule::Determinism, &[7, 12, 19]);
+}
+
+#[test]
+fn fixture_l4_feature() {
+    let diags = lint_file(&strict_ctx(), include_str!("../fixtures/l4_feature.rs"));
+    // `telemetry` and `turbo_mode` are undeclared; `obs` is declared.
+    assert_only(&diags, Rule::Feature, &[4, 7]);
+    assert!(diags[0].message.contains("telemetry"));
+    assert!(diags[1].message.contains("turbo_mode"));
+}
+
+#[test]
+fn fixture_l5_unsafe() {
+    let diags = lint_file(&strict_ctx(), include_str!("../fixtures/l5_unsafe.rs"));
+    // The bare block is flagged; both waiver forms stay silent.
+    assert_only(&diags, Rule::Unsafe, &[5]);
+}
+
+#[test]
+fn fixture_clean_has_no_false_positives() {
+    let diags = lint_file(&strict_ctx(), include_str!("../fixtures/clean.rs"));
+    assert!(
+        diags.is_empty(),
+        "clean fixture produced false positives:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn allow_with_reason_waives() {
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n\
+               \x20   v.unwrap() // lint:allow(panic) -- test: justified waiver\n\
+               }\n";
+    assert!(lint_file(&strict_ctx(), src).is_empty());
+}
+
+#[test]
+fn allow_without_reason_is_a_violation() {
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n\
+               \x20   v.unwrap() // lint:allow(panic)\n\
+               }\n";
+    let diags = lint_file(&strict_ctx(), src);
+    // The panic itself is waived, but the bare marker is flagged.
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, Rule::AllowSyntax);
+}
+
+#[test]
+fn allow_unknown_rule_is_a_violation() {
+    let src = "// lint:allow(everything) -- nice try\npub fn f() {}\n";
+    let diags = lint_file(&strict_ctx(), src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, Rule::AllowSyntax);
+}
+
+#[test]
+fn allow_above_multiline_statement_waives() {
+    // rustfmt pushes chained calls below the comment; the waiver must
+    // still attach through continuation lines.
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n\
+               \x20   // lint:allow(panic) -- test: invariant documented here\n\
+               \x20   v\n\
+               \x20       .map(|x| x + 1)\n\
+               \x20       .expect(\"invariant\")\n\
+               }\n";
+    assert!(lint_file(&strict_ctx(), src).is_empty());
+}
+
+#[test]
+fn forbid_attr_is_required_outside_simexec() {
+    use rectpart_lint::rules::check_forbid_attr;
+    let mut ctx = strict_ctx();
+    ctx.rel_path = "crates/core/src/lib.rs".into();
+    assert!(check_forbid_attr(&ctx, "//! docs\npub fn f() {}\n").is_some());
+    assert!(check_forbid_attr(&ctx, "#![forbid(unsafe_code)]\npub fn f() {}\n").is_none());
+    ctx.crate_name = "simexec".into();
+    assert!(check_forbid_attr(&ctx, "//! docs\npub fn f() {}\n").is_none());
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Zero-cost instrumentation for the rectpart workspace.
 //!
 //! The crate exposes a small recording API — work [`Counter`]s, execution
@@ -240,6 +241,15 @@ mod imp {
     pub static SHARD_INSERTS: [AtomicU64; MAX_SHARDS] = [const { AtomicU64::new(0) }; MAX_SHARDS];
     pub static TRACES: [Mutex<Vec<TracePoint>>; TRACE_COUNT] =
         [const { Mutex::new(Vec::new()) }; TRACE_COUNT];
+
+    /// Locks one trace buffer, shrugging off poisoning: appends are the
+    /// only writes, so a buffer abandoned mid-panic is still a valid
+    /// (possibly truncated) point list worth reporting.
+    pub fn lock_trace(id: usize) -> std::sync::MutexGuard<'static, Vec<TracePoint>> {
+        TRACES[id]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// Add `n` to a work counter. Free function so hot paths stay terse.
@@ -281,10 +291,7 @@ pub fn record_shard_insert(shard: usize) {
 #[inline(always)]
 pub fn trace_point(id: TraceId, series: u64, step: u64, value: u64) {
     #[cfg(feature = "obs")]
-    imp::TRACES[id as usize]
-        .lock()
-        .expect("obs trace lock poisoned")
-        .push((series, step, value));
+    imp::lock_trace(id as usize).push((series, step, value));
     #[cfg(not(feature = "obs"))]
     let _ = (id, series, step, value);
 }
@@ -390,8 +397,8 @@ impl Recorder {
             for c in &imp::SHARD_INSERTS {
                 c.store(0, Relaxed);
             }
-            for t in &imp::TRACES {
-                t.lock().expect("obs trace lock poisoned").clear();
+            for t in 0..imp::TRACES.len() {
+                imp::lock_trace(t).clear();
             }
         }
     }
@@ -427,10 +434,7 @@ impl Recorder {
                 report.shard_inserts.pop();
             }
             for t in TraceId::ALL {
-                let mut points = imp::TRACES[t as usize]
-                    .lock()
-                    .expect("obs trace lock poisoned")
-                    .clone();
+                let mut points = imp::lock_trace(t as usize).clone();
                 points.sort_unstable();
                 report.traces.push((t.name(), points));
             }

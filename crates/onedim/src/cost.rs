@@ -144,6 +144,7 @@ impl PrefixCosts {
         let mut max_unit = 0u64;
         for &l in loads {
             let l: u64 = l.into();
+            // lint:allow(panic) -- overflow guard: aborting on a u64-overflowing load sum beats silently wrapping costs
             acc = acc.checked_add(l).expect("prefix sum overflow");
             max_unit = max_unit.max(l);
             prefix.push(acc);

@@ -42,7 +42,9 @@ impl Cuts {
 
     /// Total number of items partitioned.
     pub fn n(&self) -> usize {
-        *self.points.last().unwrap()
+        // Constructors always materialize `0..=n`, so the vector is
+        // non-empty; an (unreachable) empty cut set partitions nothing.
+        self.points.last().copied().unwrap_or(0)
     }
 
     /// The half-open interval `[lo, hi)` of part `j`.

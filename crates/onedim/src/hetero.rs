@@ -101,7 +101,8 @@ pub fn hetero_optimal<C: IntervalCost>(c: &C, speeds: &[f64]) -> HeteroResult {
             lo = mid;
         }
     }
-    let cuts = hetero_probe(c, speeds, hi).expect("upper bound must stay feasible");
+    // lint:allow(panic) -- invariant: the bisection never moves `hi` onto an infeasible makespan
+    let cuts = hetero_probe(c, speeds, hi).expect("invariant: upper bound must stay feasible");
     let makespan = cuts
         .intervals()
         .zip(speeds)

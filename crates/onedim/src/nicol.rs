@@ -91,7 +91,8 @@ pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
         low = if a > low { a - 1 } else { low };
     }
 
-    let cuts = probe(c, m, best).expect("Nicol bottleneck must be feasible");
+    // lint:allow(panic) -- invariant: `best` was returned feasible by the search above; re-probing at it cannot fail
+    let cuts = probe(c, m, best).expect("invariant: Nicol bottleneck must be feasible");
     debug_assert_eq!(cuts.bottleneck(c), best, "probe must attain the optimum");
     OneDimResult {
         cuts,
@@ -137,7 +138,8 @@ pub fn parametric_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
             lo = mid + 1;
         }
     }
-    let cuts = probe(c, m, hi).expect("bisection result must be feasible");
+    // lint:allow(panic) -- invariant: bisection keeps `hi` feasible at every step, starting from a constructed feasible bound
+    let cuts = probe(c, m, hi).expect("invariant: bisection result must be feasible");
     OneDimResult {
         cuts,
         bottleneck: hi,

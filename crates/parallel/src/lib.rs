@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic fork-join execution layer for rectpart.
 //!
 //! Every operation here has a serial fallback that produces the exact

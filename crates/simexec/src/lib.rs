@@ -15,7 +15,8 @@
 //! * **migration accounting** between successive partitions of a dynamic
 //!   run (cells and load changing owners);
 //! * a **dynamic-run driver** that repartitions a matrix time series
-//!   (e.g. the PIC-MAG trace) with any [`Partitioner`] and reports
+//!   (e.g. the PIC-MAG trace) with any [`Partitioner`](rectpart_core::Partitioner)
+//!   and reports
 //!   imbalance, makespan, speedup and migration per step;
 //! * a **real threaded stencil mini-app** ([`run_stencil`]) that executes
 //!   a partitioned Jacobi relaxation with one OS thread per processor and

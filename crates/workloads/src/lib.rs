@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Load-matrix generators for the `rectpart` evaluation (paper §4.1).

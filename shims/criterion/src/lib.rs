@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline shim for the subset of the `criterion` crate API this
 //! workspace uses. See `shims/README.md` for the rationale.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline shim for the subset of the `proptest` crate API this
 //! workspace uses. See `shims/README.md` for the rationale.
 //!
@@ -144,8 +145,8 @@ impl_tuple_strategy!(A, B, C, D, E);
 pub mod collection {
     use super::*;
 
-    /// Anything usable as the size argument of [`vec`]: a fixed size or
-    /// a half-open range of sizes.
+    /// Anything usable as the size argument of [`vec()`]: a fixed size
+    /// or a half-open range of sizes.
     pub trait SizeRange {
         fn pick(&self, rng: &mut StdRng) -> usize;
     }

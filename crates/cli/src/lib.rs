@@ -14,13 +14,14 @@
 //! All logic lives in this library so it is unit-testable; `main.rs` is a
 //! thin wrapper.
 
-mod registry;
-
-pub use registry::{algorithm_by_name, algorithm_names};
+// The name → algorithm registry lives in rectpart-core (shared with the
+// fault-tolerant driver); re-exported here for backwards compatibility.
+pub use rectpart_core::{algorithm_by_name, algorithm_names};
 
 use std::path::PathBuf;
 
-use rectpart_core::{LoadMatrix, PartitionStats, PrefixSum2D};
+use rectpart_core::{LoadMatrix, PartitionError, PartitionStats, PrefixSum2D, RectpartError};
+use rectpart_robust::{DriverFailure, SolverDriver, DEFAULT_LADDER};
 use rectpart_simexec::{CommModel, Simulator};
 use rectpart_workloads::io::{read_csv, write_csv};
 use rectpart_workloads::{diagonal, multi_peak, peak, slac_like, uniform};
@@ -59,6 +60,11 @@ pub enum Command {
         /// Optional stats JSON destination (`-` = append to stdout
         /// output). `None` falls back to the `RECTPART_STATS` env var.
         stats: Option<String>,
+        /// Deterministic work budget for the fault-tolerant driver.
+        budget: Option<u64>,
+        /// Fallback ladder: `Some("-")` = default ladder, otherwise a
+        /// comma-separated algorithm list. `None` = direct solve.
+        fallback: Option<String>,
     },
     /// `rectpart evaluate --input F --algo A -m M [--stats [F]]`
     Evaluate {
@@ -88,6 +94,93 @@ impl std::fmt::Display for UsageError {
 }
 
 impl std::error::Error for UsageError {}
+
+/// A classified command failure; each class maps to a distinct nonzero
+/// exit code so scripts can tell a bad invocation from bad data from an
+/// exhausted budget (see [`CliError::exit_code`]).
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed command line (exit 2).
+    Usage(UsageError),
+    /// Well-formed command, unusable data: unreadable/ragged CSV,
+    /// degenerate matrix, infeasible `m` (exit 3).
+    Input(String),
+    /// The work budget ran out before any ladder rung could be
+    /// admitted (exit 4).
+    Budget(String),
+    /// Everything else — an algorithm bug or environment failure
+    /// (exit 1).
+    Internal(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Budget(_) => 4,
+            CliError::Internal(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Input(m) | CliError::Budget(m) | CliError::Internal(m) => {
+                write!(f, "{m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<UsageError> for CliError {
+    fn from(e: UsageError) -> Self {
+        CliError::Usage(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        // Every path the CLI reads or writes was named by the user.
+        CliError::Input(e.to_string())
+    }
+}
+
+impl From<PartitionError> for CliError {
+    fn from(e: PartitionError) -> Self {
+        CliError::Internal(format!("algorithm produced an invalid partition: {e}"))
+    }
+}
+
+impl From<RectpartError> for CliError {
+    fn from(e: RectpartError) -> Self {
+        if e.is_input_error() {
+            CliError::Input(e.to_string())
+        } else if matches!(e, RectpartError::BudgetExhausted { .. }) {
+            CliError::Budget(e.to_string())
+        } else {
+            CliError::Internal(e.to_string())
+        }
+    }
+}
+
+impl From<DriverFailure> for CliError {
+    fn from(f: DriverFailure) -> Self {
+        // Attach the degradation report so the user sees how far the
+        // ladder got before classifying the terminal error.
+        let detail = format!("{}\n{}", f.error, f.report);
+        match &f.error {
+            e if e.is_input_error() => CliError::Input(detail),
+            RectpartError::BudgetExhausted { .. } => CliError::Budget(detail),
+            _ => CliError::Internal(detail),
+        }
+    }
+}
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -165,6 +258,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             owners: flag(args, "--owners").map(PathBuf::from),
             save: flag(args, "--save").map(PathBuf::from),
             stats: optional_value_flag(args, "--stats"),
+            budget: parse_flag(args, "--budget")?,
+            fallback: optional_value_flag(args, "--fallback"),
         }),
         "evaluate" => Ok(Command::Evaluate {
             input: require(flag(args, "--input").map(PathBuf::from), "--input")?,
@@ -247,8 +342,31 @@ pub fn generate_matrix(
     }
 }
 
+/// Builds the fallback ladder for a driver run: an explicit
+/// `--fallback a,b,c` list wins; otherwise the requested algorithm
+/// followed by the default ladder (minus duplicates), so `--budget`
+/// alone still tries the user's algorithm first.
+fn ladder_from(algo: &str, fallback: Option<&str>) -> Vec<String> {
+    match fallback {
+        Some(spec) if spec != "-" => spec
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        _ => {
+            let mut ladder = vec![algo.to_string()];
+            for name in DEFAULT_LADDER {
+                if !ladder.iter().any(|l| l.eq_ignore_ascii_case(name)) {
+                    ladder.push(name.to_string());
+                }
+            }
+            ladder
+        }
+    }
+}
+
 /// Executes a parsed command; returns the text to print.
-pub fn run(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
+pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(usage()),
         Command::Algos => Ok(algorithm_names().join("\n")),
@@ -277,6 +395,8 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
             owners,
             save,
             stats,
+            budget,
+            fallback,
         } => {
             let stats_dst = stats_target(stats);
             // Reset only when a report was requested, so unrelated runs
@@ -288,18 +408,37 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
                 let _io = rectpart_obs::phase(rectpart_obs::Phase::Io);
                 read_csv(&input)?
             };
+            RectpartError::check_problem(matrix.rows(), matrix.cols(), m)?;
             let pfx = PrefixSum2D::new(&matrix);
-            let algorithm = algorithm_by_name(&algo).ok_or_else(|| {
-                UsageError(format!("unknown algorithm {algo:?}; see `rectpart algos`")).0
-            })?;
-            let part = {
+            let (part, degradation) = if budget.is_some() || fallback.is_some() {
+                // Fault-tolerant path: walk the fallback ladder under
+                // the (optional) deterministic work budget.
+                let mut driver =
+                    SolverDriver::new().with_ladder(ladder_from(&algo, fallback.as_deref()));
+                if let Some(units) = budget {
+                    driver = driver.with_budget(units);
+                }
                 let _p = rectpart_obs::phase(rectpart_obs::Phase::Partition);
-                algorithm.partition(&pfx, m)
+                let outcome = driver.try_solve(&matrix, m)?;
+                (outcome.partition, Some(outcome.report))
+            } else {
+                let algorithm = algorithm_by_name(&algo).ok_or_else(|| {
+                    UsageError(format!("unknown algorithm {algo:?}; see `rectpart algos`"))
+                })?;
+                let part = {
+                    let _p = rectpart_obs::phase(rectpart_obs::Phase::Partition);
+                    algorithm.partition(&pfx, m)
+                };
+                {
+                    let _v = rectpart_obs::phase(rectpart_obs::Phase::Validate);
+                    part.validate(&pfx)?;
+                }
+                (part, None)
             };
-            {
-                let _v = rectpart_obs::phase(rectpart_obs::Phase::Validate);
-                part.validate(&pfx)?;
-            }
+            let algo = degradation
+                .as_ref()
+                .and_then(|r| r.answered_by.clone())
+                .unwrap_or(algo);
             let summary = part.summary(&pfx);
             let detail = PartitionStats::compute(&pfx, &part);
             let mut out = format!(
@@ -330,6 +469,10 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
                 std::fs::write(&path, rectpart_json::to_string_pretty(&part))?;
                 out.push_str(&format!("\n  partition     -> {}", path.display()));
             }
+            if let Some(report) = degradation {
+                out.push_str("\nfallback:\n");
+                out.push_str(&report.to_string());
+            }
             if let Some(dst) = stats_dst {
                 emit_stats(&mut out, &dst, &stats_json(&algo, m, &summary))?;
             }
@@ -351,9 +494,10 @@ pub fn run(cmd: Command) -> Result<String, Box<dyn std::error::Error>> {
                 let _io = rectpart_obs::phase(rectpart_obs::Phase::Io);
                 read_csv(&input)?
             };
+            RectpartError::check_problem(matrix.rows(), matrix.cols(), m)?;
             let pfx = PrefixSum2D::new(&matrix);
             let algorithm = algorithm_by_name(&algo).ok_or_else(|| {
-                UsageError(format!("unknown algorithm {algo:?}; see `rectpart algos`")).0
+                UsageError(format!("unknown algorithm {algo:?}; see `rectpart algos`"))
             })?;
             let part = {
                 let _p = rectpart_obs::phase(rectpart_obs::Phase::Partition);
@@ -393,6 +537,7 @@ USAGE:
                     --rows N --cols N [--seed S] [--delta D] --out FILE.csv
   rectpart partition --input FILE.csv -m N [--algo NAME] [--owners OUT.csv]
                      [--save PARTITION.json] [--stats [OUT.json]]
+                     [--budget UNITS] [--fallback [A,B,...]]
   rectpart evaluate  --input FILE.csv -m N [--algo NAME] [--stats [OUT.json]]
   rectpart algos
 
@@ -407,6 +552,26 @@ GLOBAL OPTIONS:
                  RECTPART_STATS env var names a default destination.
                  Counters need a build with `--features obs`; without
                  it the block reports {\"enabled\": false}.
+  --budget N     run through the fault-tolerant driver under a
+                 deterministic work budget of N units (not wall-clock
+                 time: the same budget admits the same algorithms on
+                 every machine and at every thread count). Rungs whose
+                 a-priori estimate exceeds the remaining budget are
+                 skipped; the degradation report is printed after the
+                 partition report.
+  --fallback [L] run the fallback ladder through the fault-tolerant
+                 driver. With no value: the requested --algo followed by
+                 JAG-M-OPT-BEST,JAG-M-HEUR-BEST,RECT-UNIFORM. With a
+                 value: a comma-separated algorithm list, tried in
+                 order; a rung that panics or returns an invalid cover
+                 demotes to the next.
+
+EXIT CODES:
+  0  success
+  1  internal error (an algorithm bug or environment failure)
+  2  usage error (malformed command line)
+  3  invalid input (unreadable/ragged CSV, empty matrix, infeasible m)
+  4  work budget exhausted before any algorithm could run
 "
     .to_string()
 }
@@ -450,8 +615,125 @@ mod tests {
                 owners: None,
                 save: None,
                 stats: None,
+                budget: None,
+                fallback: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_budget_and_fallback() {
+        let Command::Partition {
+            budget, fallback, ..
+        } = parse(&argv(
+            "partition --input a.csv -m 4 --budget 5000 --fallback JAG-M-HEUR-BEST,RECT-UNIFORM",
+        ))
+        .unwrap()
+        else {
+            panic!("expected partition");
+        };
+        assert_eq!(budget, Some(5000));
+        assert_eq!(fallback, Some("JAG-M-HEUR-BEST,RECT-UNIFORM".into()));
+        // Bare --fallback (value position held by another option)
+        // selects the default ladder.
+        let Command::Partition {
+            budget, fallback, ..
+        } = parse(&argv("partition --input a.csv --fallback -m 4")).unwrap()
+        else {
+            panic!("expected partition");
+        };
+        assert_eq!((budget, fallback), (None, Some("-".into())));
+        assert!(parse(&argv("partition --input a.csv -m 4 --budget lots")).is_err());
+    }
+
+    #[test]
+    fn ladder_construction_rules() {
+        // --budget alone: the requested algorithm heads the default
+        // ladder, duplicates removed.
+        assert_eq!(
+            ladder_from("JAG-M-OPT-BEST", None),
+            vec!["JAG-M-OPT-BEST", "JAG-M-HEUR-BEST", "RECT-UNIFORM"]
+        );
+        assert_eq!(
+            ladder_from("RECT-NICOL", Some("-")),
+            vec![
+                "RECT-NICOL",
+                "JAG-M-OPT-BEST",
+                "JAG-M-HEUR-BEST",
+                "RECT-UNIFORM"
+            ]
+        );
+        // Explicit list wins; whitespace and empty segments dropped.
+        assert_eq!(ladder_from("X", Some("a, b ,,c")), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn driver_path_prints_fallback_report_and_classifies_errors() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("rectpart-cli-driver-{}.csv", std::process::id()));
+        run(Command::Generate {
+            class: "peak".into(),
+            rows: 12,
+            cols: 12,
+            seed: 2,
+            delta: 1.2,
+            out: input.clone(),
+        })
+        .unwrap();
+        let base = Command::Partition {
+            input: input.clone(),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 4,
+            owners: None,
+            save: None,
+            stats: None,
+            budget: Some(1_000_000),
+            fallback: Some("-".into()),
+        };
+        let msg = run(base).unwrap();
+        assert!(msg.contains("fallback:"), "{msg}");
+        assert!(msg.contains("answered"), "{msg}");
+        // A budget too small for Γ construction exhausts: exit code 4.
+        let err = run(Command::Partition {
+            input: input.clone(),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 4,
+            owners: None,
+            save: None,
+            stats: None,
+            budget: Some(3),
+            fallback: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("budget"), "{err}");
+        // Infeasible m is an input error: exit code 3 (driver or not).
+        let err = run(Command::Partition {
+            input: input.clone(),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 0,
+            owners: None,
+            save: None,
+            stats: None,
+            budget: None,
+            fallback: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        // Missing input file is an input error too.
+        let err = run(Command::Partition {
+            input: dir.join("rectpart-definitely-missing.csv"),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 4,
+            owners: None,
+            save: None,
+            stats: None,
+            budget: None,
+            fallback: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        std::fs::remove_file(&input).ok();
     }
 
     #[test]
@@ -530,6 +812,8 @@ mod tests {
             owners: Some(owners.clone()),
             save: None,
             stats: None,
+            budget: None,
+            fallback: None,
         })
         .unwrap();
         assert!(msg.contains("imbalance"));
@@ -567,6 +851,8 @@ mod tests {
             owners: None,
             save: Some(saved.clone()),
             stats: None,
+            budget: None,
+            fallback: None,
         })
         .unwrap();
         let json = std::fs::read_to_string(&saved).unwrap();
@@ -589,6 +875,8 @@ mod tests {
             owners: None,
             save: None,
             stats: None,
+            budget: None,
+            fallback: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown algorithm"));
@@ -617,6 +905,8 @@ mod tests {
             owners: None,
             save: None,
             stats: Some("-".into()),
+            budget: None,
+            fallback: None,
         })
         .unwrap();
         let (_, json_text) = msg.split_once("stats:\n").expect("stats block present");

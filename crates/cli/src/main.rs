@@ -19,7 +19,7 @@ fn main() {
             Ok(text) => println!("{text}"),
             Err(e) => {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(e.exit_code());
             }
         },
     }

@@ -1,0 +1,121 @@
+//! End-to-end exit-code contract of the `rectpart` binary: scripts and
+//! batch drivers distinguish usage errors (2) from invalid input (3)
+//! from budget exhaustion (4) from internal failures (1).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rectpart(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rectpart"))
+        .args(args)
+        .output()
+        .expect("spawn rectpart binary")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rectpart-exit-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn help_and_success_exit_zero() {
+    let out = rectpart(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = rectpart(&["algos"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("JAG-M-OPT-BEST"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &["frobnicate"][..],
+        &["partition", "--input", "a.csv"][..], // missing -m
+        &["partition", "--input", "a.csv", "-m", "nope"][..],
+        &["generate", "--class", "peak", "--rows", "4"][..], // missing cols/out
+    ] {
+        let out = rectpart(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
+fn invalid_input_exits_three() {
+    // Nonexistent file.
+    let out = rectpart(&["partition", "--input", "/nonexistent/x.csv", "-m", "4"]);
+    assert_eq!(out.status.code(), Some(3));
+    // Ragged CSV.
+    let ragged = tmp("ragged.csv");
+    std::fs::write(&ragged, "1,2,3\n4,5\n").unwrap();
+    let out = rectpart(&["partition", "--input", ragged.to_str().unwrap(), "-m", "2"]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Infeasible m (more parts than cells).
+    let tiny = tmp("tiny.csv");
+    std::fs::write(&tiny, "1,2\n3,4\n").unwrap();
+    let out = rectpart(&["partition", "--input", tiny.to_str().unwrap(), "-m", "9"]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = rectpart(&["partition", "--input", tiny.to_str().unwrap(), "-m", "0"]);
+    assert_eq!(out.status.code(), Some(3));
+    std::fs::remove_file(&ragged).ok();
+    std::fs::remove_file(&tiny).ok();
+}
+
+#[test]
+fn exhausted_budget_exits_four_and_reports_the_ladder() {
+    let input = tmp("budget.csv");
+    std::fs::write(&input, "1,2,3,4\n5,6,7,8\n9,10,11,12\n13,14,15,16\n").unwrap();
+    let out = rectpart(&[
+        "partition",
+        "--input",
+        input.to_str().unwrap(),
+        "-m",
+        "4",
+        "--budget",
+        "2",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("budget"), "{stderr}");
+    assert!(stderr.contains("skipped"), "{stderr}");
+    std::fs::remove_file(&input).ok();
+}
+
+#[test]
+fn budgeted_run_that_fits_exits_zero_with_fallback_report() {
+    let input = tmp("fallback.csv");
+    std::fs::write(&input, "1,2,3,4\n5,6,7,8\n9,10,11,12\n13,14,15,16\n").unwrap();
+    let out = rectpart(&[
+        "partition",
+        "--input",
+        input.to_str().unwrap(),
+        "-m",
+        "4",
+        "--budget",
+        "1000000",
+        "--fallback",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fallback:"), "{stdout}");
+    assert!(stdout.contains("answered"), "{stdout}");
+    std::fs::remove_file(&input).ok();
+}

@@ -177,6 +177,7 @@ fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
 #[allow(clippy::needless_range_loop)]
 fn feasible(view: &View<'_>, m: usize, budget: u64) -> Option<Vec<usize>> {
     rectpart_obs::incr(rectpart_obs::Counter::JagMFeasibilityChecks);
+    rectpart_obs::work::charge(view.n_main() as u64 + 1);
     let n = view.n_main();
     let n_aux = view.n_aux();
     const INF: usize = usize::MAX;

@@ -81,14 +81,28 @@ impl ToJson for LoadMatrix {
 }
 
 impl FromJson for LoadMatrix {
+    /// Accepts either the flat form `{"rows": R, "cols": C, "data":
+    /// [..]}` or the nested form `{"rows_data": [[..], ..]}`. Both are
+    /// validated at the boundary: zero-dimension matrices, a data length
+    /// that disagrees with the declared dimensions, and ragged nested
+    /// rows are structured decode errors, never downstream panics.
     fn from_json(json: &Json) -> Result<Self, Error> {
+        if let Ok(nested) = json.field("rows_data") {
+            let rows: Vec<Vec<u32>> = Vec::from_json(nested)?;
+            let matrix =
+                LoadMatrix::try_from_rows(&rows).map_err(|e| Error::decode(e.to_string()))?;
+            if matrix.rows() == 0 || matrix.cols() == 0 {
+                return Err(Error::decode("matrix has zero rows or columns"));
+            }
+            return Ok(matrix);
+        }
         let rows = usize::from_json(json.field("rows")?)?;
         let cols = usize::from_json(json.field("cols")?)?;
-        let data: Vec<u32> = Vec::from_json(json.field("data")?)?;
-        if data.len() != rows * cols {
-            return Err(Error::decode("row-major data length mismatch"));
+        if rows == 0 || cols == 0 {
+            return Err(Error::decode("matrix has zero rows or columns"));
         }
-        Ok(LoadMatrix::from_vec(rows, cols, data))
+        let data: Vec<u32> = Vec::from_json(json.field("data")?)?;
+        LoadMatrix::try_from_vec(rows, cols, data).map_err(|e| Error::decode(e.to_string()))
     }
 }
 
@@ -131,5 +145,30 @@ mod tests {
             rectpart_json::from_str::<LoadMatrix>("{\"rows\": 2, \"cols\": 2, \"data\": [1]}")
                 .is_err()
         );
+    }
+
+    #[test]
+    fn nested_rows_form_is_accepted_and_validated() {
+        let m: LoadMatrix = rectpart_json::from_str("{\"rows_data\": [[1, 2], [3, 4]]}").unwrap();
+        assert_eq!(m, LoadMatrix::from_vec(2, 2, vec![1, 2, 3, 4]));
+        // Ragged nested rows are a structured decode error.
+        let err =
+            rectpart_json::from_str::<LoadMatrix>("{\"rows_data\": [[1, 2], [3]]}").unwrap_err();
+        assert!(err.to_string().contains("row 1"), "{err}");
+    }
+
+    #[test]
+    fn zero_dimension_matrices_are_rejected() {
+        for text in [
+            "{\"rows\": 0, \"cols\": 4, \"data\": []}",
+            "{\"rows\": 4, \"cols\": 0, \"data\": []}",
+            "{\"rows_data\": []}",
+            "{\"rows_data\": [[], []]}",
+        ] {
+            assert!(
+                rectpart_json::from_str::<LoadMatrix>(text).is_err(),
+                "{text}"
+            );
+        }
     }
 }

@@ -35,6 +35,7 @@
 
 pub mod bounds;
 pub mod cache;
+mod error;
 mod exhaustive;
 mod geometry;
 mod hier_opt;
@@ -48,12 +49,14 @@ mod matrix;
 mod multilevel;
 mod prefix;
 mod rectilinear;
+mod registry;
 mod solution;
 mod spiral;
 mod stats;
 mod traits;
 
 pub use cache::{ShardedMemo, StripeCache, StripeKey};
+pub use error::RectpartError;
 pub use exhaustive::exhaustive_opt;
 pub use geometry::{Axis, Rect};
 pub use hier_opt::{hier_opt, hier_opt_value};
@@ -69,6 +72,7 @@ pub use rectilinear::{RectNicol, RectUniform};
 /// re-exported so downstream users need not depend on
 /// `rectpart-parallel` directly.
 pub use rectpart_parallel::ParallelismConfig;
+pub use registry::{algorithm_by_name, algorithm_names};
 pub use solution::{Partition, PartitionError, Summary};
 pub use spiral::{spiral_opt_value, Side, SpiralRelaxed};
 pub use stats::PartitionStats;

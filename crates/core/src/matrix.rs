@@ -1,5 +1,6 @@
 //! Dense 2D load matrices.
 
+use crate::error::RectpartError;
 use crate::geometry::Rect;
 
 /// A dense `rows × cols` matrix of non-negative cell loads, row-major.
@@ -24,6 +25,49 @@ impl LoadMatrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<u32>) -> Self {
         assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
         Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row-major data, surfacing a length mismatch
+    /// as [`RectpartError::DimMismatch`] instead of panicking.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<u32>) -> Result<Self, RectpartError> {
+        if data.len() != rows * cols {
+            return Err(RectpartError::DimMismatch {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a matrix from a list of rows, rejecting ragged input
+    /// ([`RectpartError::RaggedRow`]) and a zero-width first row with
+    /// further rows ([`RectpartError::EmptyMatrix`]).
+    pub fn try_from_rows(rows: &[Vec<u32>]) -> Result<Self, RectpartError> {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        if n_rows > 0 && n_cols == 0 {
+            return Err(RectpartError::EmptyMatrix {
+                rows: n_rows,
+                cols: 0,
+            });
+        }
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != n_cols {
+                return Err(RectpartError::RaggedRow {
+                    row: r,
+                    expected: n_cols,
+                    got: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        })
     }
 
     /// Builds a matrix by evaluating `f(row, col)` on every cell.
@@ -219,5 +263,40 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn from_vec_rejects_bad_length() {
         let _ = LoadMatrix::from_vec(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_from_vec_surfaces_dim_mismatch() {
+        assert_eq!(
+            LoadMatrix::try_from_vec(2, 2, vec![1, 2, 3]),
+            Err(RectpartError::DimMismatch {
+                rows: 2,
+                cols: 2,
+                len: 3
+            })
+        );
+        let m = LoadMatrix::try_from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(m, LoadMatrix::from_vec(2, 2, vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn try_from_rows_rejects_ragged_and_degenerate() {
+        let m = LoadMatrix::try_from_rows(&[vec![1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(m, LoadMatrix::from_vec(2, 2, vec![1, 2, 3, 4]));
+        assert_eq!(
+            LoadMatrix::try_from_rows(&[vec![1, 2], vec![3]]),
+            Err(RectpartError::RaggedRow {
+                row: 1,
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            LoadMatrix::try_from_rows(&[vec![], vec![]]),
+            Err(RectpartError::EmptyMatrix { rows: 2, cols: 0 })
+        );
+        let empty = LoadMatrix::try_from_rows(&[]).unwrap();
+        assert_eq!(empty.rows(), 0);
+        assert_eq!(empty.cols(), 0);
     }
 }

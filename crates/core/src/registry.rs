@@ -1,11 +1,17 @@
-//! Name → algorithm registry for the CLI.
+//! Name → algorithm registry.
+//!
+//! One canonical list of every runnable algorithm, shared by the CLI and
+//! the fault-tolerant solver driver (`rectpart-robust` resolves fallback
+//! ladders through [`algorithm_by_name`]).
 
-use rectpart_core::{
-    HierRb, HierRelaxed, HierVariant, JagMHeur, JagMOpt, JagPqHeur, JagPqOpt, JaggedVariant,
-    Partitioner, RectNicol, RectUniform, SpiralRelaxed,
-};
+use crate::hierarchical::{HierRb, HierRelaxed, HierVariant};
+use crate::jagged::{JagMHeur, JagPqHeur, JaggedVariant};
+use crate::jagged_opt::{JagMOpt, JagPqOpt};
+use crate::rectilinear::{RectNicol, RectUniform};
+use crate::spiral::SpiralRelaxed;
+use crate::traits::Partitioner;
 
-/// Every algorithm the CLI can run, by its canonical name.
+/// Every registered algorithm, by its canonical name.
 fn registry() -> Vec<Box<dyn Partitioner>> {
     let mut algos: Vec<Box<dyn Partitioner>> = vec![
         Box::new(RectUniform::default()),

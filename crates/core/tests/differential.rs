@@ -147,6 +147,31 @@ fn degenerate_shapes_are_thread_invariant() {
     }
 }
 
+/// With a fault plan injecting worker panics, partitioner output must
+/// still be bit-identical at every thread count: a panicked `map_range`
+/// worker is retried sequentially before any of its units ran, so the
+/// recovery reproduces the exact blocks (and work charges) the worker
+/// would have produced. Serial runs never consult the plan at all —
+/// which is the point: faults only perturb scheduling, never results.
+#[cfg(feature = "faultinject")]
+#[test]
+fn injected_worker_panics_are_output_invariant() {
+    use rectpart_obs::fault::{self, FaultConfig};
+    let pfx = PrefixSum2D::new(&random_matrix(36, 28, 77, true));
+    let algo = JagMHeur::best();
+    let clean: Partition = with_threads(4, || algo.partition(&pfx, 16));
+    fault::install(FaultConfig {
+        seed: 7,
+        panic_workers: vec![0, 2, 3],
+        ..FaultConfig::default()
+    });
+    let serial = with_threads(1, || algo.partition(&pfx, 16));
+    let faulted = with_threads(4, || algo.partition(&pfx, 16));
+    fault::clear();
+    assert_eq!(clean.rects(), faulted.rects());
+    assert_eq!(serial.rects(), faulted.rects());
+}
+
 #[test]
 fn parallelism_config_matches_with_threads() {
     let mat = random_matrix(300, 257, 9, false);

@@ -13,9 +13,18 @@ pub fn hits(v: Option<u32>, r: Result<u32, ()>) -> u32 {
     a + b
 }
 
+pub fn boundary() {
+    let _ = std::panic::catch_unwind(|| 1u32);
+}
+
 pub fn waived(v: Option<u32>) -> u32 {
     // lint:allow(panic) -- fixture: a justified waiver must silence the rule
     v.expect("invariant: fixture value present")
+}
+
+pub fn waived_boundary() -> Result<u32, Box<dyn std::any::Any + Send>> {
+    // lint:allow(panic) -- fixture: a sanctioned unwind boundary must be waivable
+    std::panic::catch_unwind(|| 2u32)
 }
 
 pub fn strings_and_comments_do_not_fire() -> &'static str {

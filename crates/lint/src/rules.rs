@@ -116,8 +116,11 @@ pub struct FileContext {
     pub is_shim: bool,
 }
 
-/// Crates whose library code must be panic-free (L1).
-const PANIC_FREE_CRATES: [&str; 5] = ["core", "onedim", "parallel", "obs", "json"];
+/// Crates whose library code must be panic-free (L1). `robust` is held
+/// to the same bar: its `catch_unwind` boundary and injected-fault
+/// panics are individually waived at the site, so any new panic
+/// construct needs its own justification.
+const PANIC_FREE_CRATES: [&str; 6] = ["core", "onedim", "parallel", "obs", "json", "robust"];
 
 /// Crates allowed to touch wall clocks (L3): the instrumentation layer,
 /// the execution layer's busy/wait accounting, and the measurement
@@ -304,6 +307,20 @@ fn check_panic(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
                     format!("`{pat}` in library code"),
                 );
             }
+        }
+        // A panic *boundary* needs the same scrutiny as a panic: code
+        // that swallows unwinds can mask partial mutation. The single
+        // sanctioned boundary (the robust driver's rung isolation)
+        // carries a site waiver.
+        if word_hit(&line.code, "catch_unwind") {
+            push(
+                ctx,
+                out,
+                lexed,
+                idx,
+                Rule::Panic,
+                "`catch_unwind` outside the sanctioned driver boundary".to_string(),
+            );
         }
     }
 }

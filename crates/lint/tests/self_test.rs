@@ -64,9 +64,10 @@ fn workspace_is_clean() {
 #[test]
 fn fixture_l1_panic() {
     let diags = lint_file(&strict_ctx(), include_str!("../fixtures/l1_panic.rs"));
-    // unwrap, expect, panic!, unreachable! — the waived expect, the
-    // string/comment mentions, and the #[cfg(test)] module stay silent.
-    assert_only(&diags, Rule::Panic, &[5, 6, 8, 11]);
+    // unwrap, expect, panic!, unreachable!, catch_unwind — the waived
+    // expect, the waived unwind boundary, the string/comment mentions,
+    // and the #[cfg(test)] module stay silent.
+    assert_only(&diags, Rule::Panic, &[5, 6, 8, 11, 17]);
 }
 
 #[test]

@@ -1,0 +1,139 @@
+//! Deterministic fault injection (default-off `faultinject` feature).
+//!
+//! A [`FaultConfig`] installed process-wide tells instrumented sites to
+//! misbehave on purpose: panic the k-th spawned worker before it runs
+//! its unit, panic a driver rung at entry, report overflow from the next
+//! Γ construction, or inflate every work charge by a factor. The hooks
+//! are queried by `rectpart-parallel`, `rectpart-core`, and
+//! `rectpart-robust`; with the feature off none of this module exists
+//! and the query shims in those crates compile to `false`/`1`.
+//!
+//! # Determinism
+//!
+//! Worker panics fire *before the worker executes any of its unit*, and
+//! the recovery path re-runs the unit on the forking thread — so a fault
+//! plan perturbs scheduling-exempt [`ExecStat`](crate::ExecStat)s only,
+//! never work totals or solver output. This is what lets the acceptance
+//! test demand bit-identical `DegradationReport`s at 1 and N threads
+//! under the same seeded plan.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// A process-wide fault plan. Install with [`install`], remove with
+/// [`clear`]; tests hold a serialization lock around the pair.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed the plan was derived from (recorded for reproduction; the
+    /// derivation itself lives in `rectpart-robust::FaultPlan`).
+    pub seed: u64,
+    /// Spawn indices (0-based, counted process-wide since `install`) of
+    /// worker threads that panic on startup, before executing anything.
+    pub panic_workers: Vec<u64>,
+    /// Solver-driver rung indices whose solve panics at entry.
+    pub panic_rungs: Vec<u64>,
+    /// Report `Overflow` from every Γ construction while installed.
+    pub force_gamma_overflow: bool,
+    /// Multiply every work charge by this factor (`0`/`1` = off).
+    pub work_multiplier: u64,
+}
+
+static PLAN: Mutex<Option<FaultConfig>> = Mutex::new(None);
+static WORKER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Locks the plan, shrugging off poisoning: the plan is a plain value
+/// (replaced wholesale, never mutated in place), so a lock abandoned by
+/// a panicking test still guards a coherent plan.
+fn lock_plan() -> MutexGuard<'static, Option<FaultConfig>> {
+    PLAN.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Install `cfg` process-wide, resetting the worker spawn sequence.
+pub fn install(cfg: FaultConfig) {
+    super::work::MULTIPLIER.store(cfg.work_multiplier.max(1), Ordering::Relaxed);
+    WORKER_SEQ.store(0, Ordering::Relaxed);
+    *lock_plan() = Some(cfg);
+}
+
+/// Remove any installed plan.
+pub fn clear() {
+    super::work::MULTIPLIER.store(1, Ordering::Relaxed);
+    *lock_plan() = None;
+}
+
+/// The currently installed plan, if any.
+pub fn active() -> Option<FaultConfig> {
+    lock_plan().clone()
+}
+
+/// Called by each spawned worker before it touches its unit: claims the
+/// next spawn index and reports whether this worker must panic.
+///
+/// The sequence only advances while a plan with panic targets is
+/// installed, so unrelated parallel work does not consume indices.
+pub fn worker_should_panic() -> bool {
+    let guard = lock_plan();
+    let Some(cfg) = guard.as_ref() else {
+        return false;
+    };
+    if cfg.panic_workers.is_empty() {
+        return false;
+    }
+    let idx = WORKER_SEQ.fetch_add(1, Ordering::Relaxed);
+    cfg.panic_workers.contains(&idx)
+}
+
+/// Whether the driver rung at `rung` (0-based ladder position) must
+/// panic at entry.
+pub fn rung_should_panic(rung: u64) -> bool {
+    lock_plan()
+        .as_ref()
+        .is_some_and(|cfg| cfg.panic_rungs.contains(&rung))
+}
+
+/// Whether Γ construction must report overflow.
+pub fn gamma_should_overflow() -> bool {
+    lock_plan()
+        .as_ref()
+        .is_some_and(|cfg| cfg.force_gamma_overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test so nothing else in this binary races the global plan.
+    #[test]
+    fn install_query_clear_roundtrip() {
+        clear();
+        assert!(active().is_none());
+        assert!(!worker_should_panic());
+        assert!(!rung_should_panic(0));
+        assert!(!gamma_should_overflow());
+
+        install(FaultConfig {
+            seed: 7,
+            panic_workers: vec![1],
+            panic_rungs: vec![0],
+            force_gamma_overflow: true,
+            work_multiplier: 3,
+        });
+        assert_eq!(active().map(|c| c.seed), Some(7));
+        assert!(!worker_should_panic()); // spawn index 0
+        assert!(worker_should_panic()); // spawn index 1
+        assert!(!worker_should_panic()); // spawn index 2
+        assert!(rung_should_panic(0));
+        assert!(!rung_should_panic(1));
+        assert!(gamma_should_overflow());
+
+        crate::work::reset();
+        crate::work::charge(5);
+        assert_eq!(crate::work::spent(), 15);
+
+        clear();
+        crate::work::reset();
+        crate::work::charge(5);
+        assert_eq!(crate::work::spent(), 5);
+        assert!(active().is_none());
+    }
+}

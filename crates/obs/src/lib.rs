@@ -31,7 +31,10 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "faultinject")]
+pub mod fault;
 mod report;
+pub mod work;
 
 pub use report::{DeterministicView, Report};
 
@@ -134,10 +137,16 @@ pub enum ExecStat {
     WorkerBusyNs,
     /// Total nanoseconds the forking thread spent blocked joining workers.
     JoinWaitNs,
+    /// Worker panics caught by the panic-isolation boundary. Zero at one
+    /// thread (inline execution never unwinds through the boundary), so
+    /// this is an exec stat, not a deterministic counter.
+    WorkerPanicsCaught,
+    /// Units re-executed sequentially after a caught worker panic.
+    PanicRetries,
 }
 
 /// Number of [`ExecStat`] variants.
-pub const EXEC_STAT_COUNT: usize = 5;
+pub const EXEC_STAT_COUNT: usize = 7;
 
 impl ExecStat {
     /// All execution stats, in stable report order.
@@ -147,6 +156,8 @@ impl ExecStat {
         ExecStat::TasksSpawned,
         ExecStat::WorkerBusyNs,
         ExecStat::JoinWaitNs,
+        ExecStat::WorkerPanicsCaught,
+        ExecStat::PanicRetries,
     ];
 
     /// Dotted identifier used as the JSON key.
@@ -157,6 +168,8 @@ impl ExecStat {
             ExecStat::TasksSpawned => "parallel.tasks_spawned",
             ExecStat::WorkerBusyNs => "parallel.worker_busy_ns",
             ExecStat::JoinWaitNs => "parallel.join_wait_ns",
+            ExecStat::WorkerPanicsCaught => "parallel.worker_panics_caught",
+            ExecStat::PanicRetries => "parallel.panic_retries",
         }
     }
 }

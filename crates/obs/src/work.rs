@@ -1,0 +1,89 @@
+//! Always-on deterministic work meter.
+//!
+//! Unlike the `obs`-gated [`Counter`](crate::Counter)s, the work meter is
+//! compiled unconditionally: the fault-tolerant solver driver
+//! (`rectpart-robust`) budgets solver rungs in *work units*, not wall
+//! clock, so the meter must exist in every build. It is a single global
+//! relaxed `AtomicU64`; instrumented call sites accumulate locally and
+//! charge once per logical operation (one probe sweep, one DP row, one Γ
+//! build), so the overhead is one atomic add per call rather than per
+//! inner step.
+//!
+//! # Determinism
+//!
+//! Charges are decided by the algorithm — cells touched, probe sweeps,
+//! bisection steps — never by scheduling, and addition commutes. The
+//! total observed at any *serial* checkpoint between parallel regions is
+//! therefore bit-identical at any thread count (lint L3), which is what
+//! lets the driver's budget decisions and `DegradationReport`s stay
+//! reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static WORK: AtomicU64 = AtomicU64::new(0);
+
+/// With `faultinject` on, every charge is multiplied by the installed
+/// plan's `work_multiplier` (cached here so the hot path never locks).
+#[cfg(feature = "faultinject")]
+pub(crate) static MULTIPLIER: AtomicU64 = AtomicU64::new(1);
+
+/// Charge `n` abstract work units to the global meter.
+#[inline]
+pub fn charge(n: u64) {
+    #[cfg(feature = "faultinject")]
+    let n = n.saturating_mul(MULTIPLIER.load(Ordering::Relaxed));
+    WORK.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total work charged since the last [`reset`].
+#[inline]
+pub fn spent() -> u64 {
+    WORK.load(Ordering::Relaxed)
+}
+
+/// Zero the meter.
+pub fn reset() {
+    WORK.store(0, Ordering::Relaxed);
+}
+
+/// A saved meter position for measuring the work spent in a region.
+///
+/// Only meaningful when taken and read at serial checkpoints (no
+/// parallel region still charging in the background); the solver driver
+/// brackets every rung this way.
+#[derive(Clone, Copy, Debug)]
+pub struct Mark(u64);
+
+impl Mark {
+    /// Capture the current meter position.
+    #[inline]
+    pub fn now() -> Mark {
+        Mark(spent())
+    }
+
+    /// Work charged since this mark was taken (saturating).
+    #[inline]
+    pub fn elapsed(&self) -> u64 {
+        spent().saturating_sub(self.0)
+    }
+}
+
+// With `faultinject` on, the fault-module roundtrip test owns the global
+// meter (it asserts multiplied charges); this test would race it.
+#[cfg(all(test, not(feature = "faultinject")))]
+mod tests {
+    use super::*;
+
+    // One test so nothing else in this binary races the global meter.
+    #[test]
+    fn charge_mark_reset_roundtrip() {
+        reset();
+        charge(10);
+        let mark = Mark::now();
+        charge(32);
+        assert_eq!(mark.elapsed(), 32);
+        assert!(spent() >= 42);
+        reset();
+        assert_eq!(spent(), 0);
+    }
+}

@@ -31,6 +31,7 @@ pub fn dp_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
         rectpart_obs::add(rectpart_obs::Counter::DpCells, row.len() as u64);
         table.push(row);
     }
+    rectpart_obs::work::charge((m * (n + 1)) as u64);
     let bottleneck = table[m - 1][n];
     // Reconstruct cuts right-to-left.
     let mut points = vec![0usize; m + 1];

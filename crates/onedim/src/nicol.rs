@@ -58,6 +58,8 @@ pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
     // Incumbent from the RB heuristic; enables the lb_global early exit.
     let mut best = recursive_bisection(c, m).bottleneck(c);
 
+    // Accumulated locally; charged to the work meter once on return.
+    let mut steps = 0u64;
     let mut low = 0usize;
     for j in 0..m {
         if best == lb_global || low == n {
@@ -78,6 +80,7 @@ pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
         let (mut a, mut b) = (elo, n);
         while a < b {
             rectpart_obs::incr(rectpart_obs::Counter::NicolSearchSteps);
+            steps += 1;
             let mid = a + (b - a) / 2;
             if probe_suffix_feasible(c, mid, r - 1, c.cost(low, mid)) {
                 b = mid;
@@ -91,6 +94,7 @@ pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
         low = if a > low { a - 1 } else { low };
     }
 
+    rectpart_obs::work::charge(steps + 1);
     // lint:allow(panic) -- invariant: `best` was returned feasible by the search above; re-probing at it cannot fail
     let cuts = probe(c, m, best).expect("invariant: Nicol bottleneck must be feasible");
     debug_assert_eq!(cuts.bottleneck(c), best, "probe must attain the optimum");
@@ -129,8 +133,11 @@ pub fn parametric_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
     }
     let mut lo = c.partition_lower_bound(0, m).max(c.max_unit_cost());
     let mut hi = recursive_bisection(c, m).bottleneck(c);
+    // Accumulated locally; charged to the work meter once after the loop.
+    let mut steps = 0u64;
     while lo < hi {
         rectpart_obs::incr(rectpart_obs::Counter::ParametricSteps);
+        steps += 1;
         let mid = lo + (hi - lo) / 2;
         if probe_feasible(c, m, mid) {
             hi = mid;
@@ -138,6 +145,7 @@ pub fn parametric_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
             lo = mid + 1;
         }
     }
+    rectpart_obs::work::charge(steps + 1);
     // lint:allow(panic) -- invariant: bisection keeps `hi` feasible at every step, starting from a constructed feasible bound
     let cuts = probe(c, m, hi).expect("invariant: bisection result must be feasible");
     OneDimResult {

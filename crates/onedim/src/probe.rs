@@ -18,6 +18,7 @@ use crate::cuts::Cuts;
 pub fn probe<C: IntervalCost>(c: &C, m: usize, budget: u64) -> Option<Cuts> {
     assert!(m >= 1);
     rectpart_obs::incr(rectpart_obs::Counter::ProbeCalls);
+    rectpart_obs::work::charge(1);
     let n = c.len();
     let mut points = Vec::with_capacity(m + 1);
     points.push(0usize);
@@ -56,6 +57,7 @@ pub fn probe_suffix_feasible<C: IntervalCost>(
     budget: u64,
 ) -> bool {
     rectpart_obs::incr(rectpart_obs::Counter::ProbeCalls);
+    rectpart_obs::work::charge(1);
     let n = c.len();
     debug_assert!(start <= n);
     if parts == 0 {

@@ -179,6 +179,21 @@ where
 /// Applies `f` to every index in `0..n` and collects the results in
 /// index order. Workers get contiguous blocks; each worker's budget is
 /// pinned to 1 so nested parallel calls inside `f` run inline.
+///
+/// # Panic isolation
+///
+/// `f` is a pure producer (`Fn(usize) -> R`, no shared mutable state),
+/// so a panicking worker poisons only its own block: the panic is
+/// contained at the join, counted as
+/// [`WorkerPanicsCaught`](rectpart_obs::ExecStat::WorkerPanicsCaught),
+/// and the block is recomputed sequentially on the calling thread (one
+/// [`PanicRetries`](rectpart_obs::ExecStat::PanicRetries) per unit). A
+/// *deterministic* panic of `f` therefore still surfaces — the retry
+/// hits it on the calling thread — while scheduling-dependent faults
+/// (e.g. injected worker panics) are fully recovered with bit-identical
+/// output. The mutable-slice operations below do **not** retry: their
+/// workers may have partially mutated their block, so re-running the
+/// closure would double-apply; they propagate the panic instead.
 pub fn map_range<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -200,6 +215,14 @@ where
                     let lo = w * n / workers;
                     let hi = (w + 1) * n / workers;
                     scope.spawn(move || {
+                        #[cfg(feature = "faultinject")]
+                        if rectpart_obs::fault::worker_should_panic() {
+                            // The injected fault fires before any unit
+                            // runs, so the sequential retry reproduces
+                            // the block (and its work charges) exactly.
+                            // lint:allow(panic) -- faultinject: deliberate injected worker panic, contained by the retry path at the join below
+                            panic!("injected worker fault");
+                        }
                         let _guard = ScopedGuard::set(1);
                         let busy = rectpart_obs::StopWatch::start();
                         let block = (lo..hi).map(f).collect::<Vec<R>>();
@@ -211,9 +234,23 @@ where
             let wait = rectpart_obs::StopWatch::start();
             let blocks: Vec<Vec<R>> = handles
                 .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                .enumerate()
+                .map(|(w, h)| match h.join() {
+                    Ok(block) => block,
+                    // A panicked worker computed nothing the caller will
+                    // see; recompute its block inline. The payload is
+                    // dropped — a deterministic panic recurs right here
+                    // on the calling thread and propagates normally.
+                    Err(_payload) => {
+                        rectpart_obs::exec_add(rectpart_obs::ExecStat::WorkerPanicsCaught, 1);
+                        let lo = w * n / workers;
+                        let hi = (w + 1) * n / workers;
+                        rectpart_obs::exec_add(
+                            rectpart_obs::ExecStat::PanicRetries,
+                            (hi - lo) as u64,
+                        );
+                        (lo..hi).map(f).collect::<Vec<R>>()
+                    }
                 })
                 .collect();
             wait.stop(rectpart_obs::ExecStat::JoinWaitNs);
@@ -544,7 +581,10 @@ mod tests {
     }
 
     #[test]
-    fn panic_propagates_from_worker() {
+    fn deterministic_panic_still_propagates_after_retry() {
+        // `f` panics on unit 73 every time: the worker panic is caught,
+        // the block is retried inline, the retry hits unit 73 again, and
+        // the panic surfaces on the calling thread.
         let caught = std::panic::catch_unwind(|| {
             with_threads(4, || {
                 map_range(100, |i| {
@@ -556,6 +596,20 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[cfg(all(feature = "faultinject", feature = "threads"))]
+    #[test]
+    fn injected_worker_panic_is_recovered_bit_identically() {
+        let expect: Vec<u64> = (0..500u64).map(|i| i * 7).collect();
+        rectpart_obs::fault::install(rectpart_obs::fault::FaultConfig {
+            seed: 1,
+            panic_workers: vec![0, 2],
+            ..Default::default()
+        });
+        let got = with_threads(4, || map_range(500, |i| (i as u64) * 7));
+        rectpart_obs::fault::clear();
+        assert_eq!(got, expect);
     }
 
     #[test]

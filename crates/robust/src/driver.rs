@@ -1,0 +1,466 @@
+//! The budgeted fallback driver.
+//!
+//! A [`SolverDriver`] owns a *fallback ladder* — an ordered list of
+//! algorithm names from the core registry — and an optional work
+//! budget. [`SolverDriver::try_solve`] walks the ladder top-down:
+//!
+//! 1. The instance is validated up front ([`RectpartError::check_problem`])
+//!    and Γ is built through the fallible path, so malformed inputs and
+//!    overflow surface as errors before any rung runs.
+//! 2. Before each rung, a coarse a-priori estimate ([`estimate_work`])
+//!    is compared against the remaining budget; rungs that do not fit
+//!    are skipped (the last rung is always admitted while any budget
+//!    remains, so a tight budget degrades to the cheapest algorithm
+//!    instead of failing).
+//! 3. Each admitted rung runs under a panic boundary: a panicking
+//!    algorithm records [`RungOutcome::Failed`] and control demotes to
+//!    the next rung. Solutions are re-validated before being returned.
+//!
+//! Budget accounting uses the deterministic work meter
+//! ([`rectpart_obs::work`]): charges are decided by the algorithms, not
+//! the scheduler, so the same budget admits the same rungs — and the
+//! [`DegradationReport`] is bit-identical — at every thread count.
+//! The budget is enforced only at these serial checkpoints; a running
+//! rung is never interrupted, so a rung may overshoot its estimate.
+
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+
+use rectpart_core::{
+    algorithm_by_name, LoadMatrix, Partition, Partitioner, PrefixSum2D, RectpartError,
+};
+use rectpart_obs::work;
+
+/// The default fallback ladder: the optimal m-way jagged DP, demoting
+/// to the paper's best m-way heuristic, demoting to the closed-form
+/// uniform grid (which cannot fail and costs almost nothing).
+pub const DEFAULT_LADDER: [&str; 3] = ["JAG-M-OPT-BEST", "JAG-M-HEUR-BEST", "RECT-UNIFORM"];
+
+/// Coarse a-priori work estimate, in [`rectpart_obs::work`] units, for
+/// running algorithm `name` on a `rows × cols` instance with `m` parts.
+///
+/// Used only for budget admission, so it needs the right order of
+/// magnitude, not precision: exact DPs are charged one unit per cell
+/// per part, heuristics one pass over the matrix plus per-part 1-D
+/// solves, and the closed-form uniform grid a handful of units.
+pub fn estimate_work(name: &str, rows: usize, cols: usize, m: usize) -> u64 {
+    let cells = (rows as u64).saturating_mul(cols as u64);
+    let m64 = m as u64;
+    let upper = name.to_ascii_uppercase();
+    if upper.contains("UNIFORM") {
+        m64.saturating_add(1)
+    } else if upper.contains("OPT") {
+        cells.saturating_mul(m64.max(1)).saturating_add(cells)
+    } else {
+        cells.saturating_add(m64.saturating_mul((rows + cols) as u64))
+    }
+}
+
+/// What happened to one ladder rung during a solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RungOutcome {
+    /// The rung produced a validated partition; the solve stopped here.
+    Answered {
+        /// Bottleneck load of the accepted partition.
+        lmax: u64,
+    },
+    /// The rung ran but did not produce an acceptable partition
+    /// (panicked, or returned an invalid cover).
+    Failed {
+        /// Why the rung was rejected.
+        error: RectpartError,
+    },
+    /// The rung was skipped because its a-priori estimate exceeded the
+    /// remaining budget.
+    SkippedEstimate {
+        /// The rung's [`estimate_work`] value.
+        estimate: u64,
+        /// Budget units left when the rung was considered.
+        remaining: u64,
+    },
+    /// An earlier rung already answered before this one was considered.
+    NotReached,
+}
+
+impl RungOutcome {
+    fn label(&self) -> String {
+        match self {
+            RungOutcome::Answered { lmax } => format!("answered (Lmax {lmax})"),
+            RungOutcome::Failed { error } => format!("failed: {error}"),
+            RungOutcome::SkippedEstimate {
+                estimate,
+                remaining,
+            } => format!("skipped (estimate {estimate} > remaining {remaining})"),
+            RungOutcome::NotReached => "not reached".to_string(),
+        }
+    }
+}
+
+/// Per-rung entry of a [`DegradationReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RungReport {
+    /// Algorithm name, as listed in the ladder.
+    pub name: String,
+    /// What happened to the rung.
+    pub outcome: RungOutcome,
+    /// Work units the rung actually spent (0 if skipped/not reached).
+    pub work: u64,
+}
+
+/// Deterministic record of one driver run: which rungs ran, what each
+/// spent, and which one answered.
+///
+/// Built exclusively from algorithm-decided quantities (work charges,
+/// Lmax values, validation verdicts), never from execution statistics,
+/// so two runs of the same instance under the same fault plan compare
+/// equal with `==` regardless of thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Instance shape.
+    pub rows: usize,
+    /// Instance shape.
+    pub cols: usize,
+    /// Requested part count.
+    pub m: usize,
+    /// Work budget the run was given, if any.
+    pub budget: Option<u64>,
+    /// One entry per ladder rung, in ladder order.
+    pub rungs: Vec<RungReport>,
+    /// Name of the rung that answered, if any.
+    pub answered_by: Option<String>,
+    /// Total work units spent by the run, including Γ construction.
+    pub total_work: u64,
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.budget {
+            Some(b) => writeln!(
+                f,
+                "{}x{} m={}: budget {} units, spent {}",
+                self.rows, self.cols, self.m, b, self.total_work
+            )?,
+            None => writeln!(
+                f,
+                "{}x{} m={}: unbudgeted, spent {} units",
+                self.rows, self.cols, self.m, self.total_work
+            )?,
+        }
+        for (i, r) in self.rungs.iter().enumerate() {
+            writeln!(
+                f,
+                "  [{}] {:<18} {} ({} units)",
+                i,
+                r.name,
+                r.outcome.label(),
+                r.work
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A successful driver run: the partition plus the full rung record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveOutcome {
+    /// The accepted (validated) partition.
+    pub partition: Partition,
+    /// What the ladder did to produce it.
+    pub report: DegradationReport,
+}
+
+/// A failed driver run: the terminal error plus the rung record, so
+/// callers can still see how far the ladder got. The report is boxed
+/// to keep the `Err` arm of [`SolverDriver::try_solve`] pointer-sized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverFailure {
+    /// The error that terminated the run.
+    pub error: RectpartError,
+    /// What the ladder did before failing.
+    pub report: Box<DegradationReport>,
+}
+
+impl fmt::Display for DriverFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "solve failed: {}\n{}", self.error, self.report)
+    }
+}
+
+impl std::error::Error for DriverFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<DriverFailure> for RectpartError {
+    fn from(f: DriverFailure) -> Self {
+        f.error
+    }
+}
+
+/// The fault-tolerant, budgeted solver driver. See the crate docs for
+/// the execution model.
+#[derive(Debug, Clone)]
+pub struct SolverDriver {
+    ladder: Vec<String>,
+    budget: Option<u64>,
+}
+
+impl Default for SolverDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolverDriver {
+    /// A driver with the [`DEFAULT_LADDER`] and no budget.
+    pub fn new() -> Self {
+        SolverDriver {
+            ladder: DEFAULT_LADDER.iter().map(|s| s.to_string()).collect(),
+            budget: None,
+        }
+    }
+
+    /// Replaces the fallback ladder. Names are resolved against the
+    /// core registry (case-insensitively) at solve time.
+    pub fn with_ladder<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.ladder = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the work budget, in deterministic [`rectpart_obs::work`]
+    /// units (Γ construction charges one unit per cell; probes one unit
+    /// per call — see `estimate_work` for the admission model).
+    pub fn with_budget(mut self, units: u64) -> Self {
+        self.budget = Some(units);
+        self
+    }
+
+    /// The configured ladder, in order.
+    pub fn ladder(&self) -> &[String] {
+        &self.ladder
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Validates the instance, then walks the fallback ladder until a
+    /// rung answers. Returns the first validated partition together
+    /// with the [`DegradationReport`]; on failure the report is still
+    /// attached to the [`DriverFailure`].
+    pub fn try_solve(&self, matrix: &LoadMatrix, m: usize) -> Result<SolveOutcome, DriverFailure> {
+        let mut rungs: Vec<(String, Box<dyn Partitioner>)> = Vec::with_capacity(self.ladder.len());
+        for name in &self.ladder {
+            match algorithm_by_name(name) {
+                Some(algo) => rungs.push((name.clone(), algo)),
+                None => {
+                    return Err(self.failure_before_rungs(
+                        matrix,
+                        m,
+                        RectpartError::UnknownAlgorithm(name.clone()),
+                    ));
+                }
+            }
+        }
+        self.try_solve_with(rungs, matrix, m)
+    }
+
+    /// [`try_solve`](Self::try_solve) with explicit, pre-resolved rungs
+    /// instead of registry names — the hook for custom ladders and for
+    /// fault tests that need a deliberately misbehaving partitioner.
+    pub fn try_solve_with(
+        &self,
+        rungs: Vec<(String, Box<dyn Partitioner>)>,
+        matrix: &LoadMatrix,
+        m: usize,
+    ) -> Result<SolveOutcome, DriverFailure> {
+        let (rows, cols) = (matrix.rows(), matrix.cols());
+        if rungs.is_empty() {
+            return Err(self.failure_before_rungs(
+                matrix,
+                m,
+                RectpartError::UnknownAlgorithm("(empty fallback ladder)".into()),
+            ));
+        }
+        if let Err(e) = RectpartError::check_problem(rows, cols, m) {
+            let mut failure = self.failure_before_rungs(matrix, m, e);
+            failure.report.rungs = rungs
+                .iter()
+                .map(|(name, _)| RungReport {
+                    name: name.clone(),
+                    outcome: RungOutcome::NotReached,
+                    work: 0,
+                })
+                .collect();
+            return Err(failure);
+        }
+
+        // Everything from here on counts against the budget, including
+        // Γ construction (one work unit per cell).
+        let start = work::Mark::now();
+        let pfx = match PrefixSum2D::try_new(matrix) {
+            Ok(pfx) => pfx,
+            Err(e) => {
+                let mut failure = self.failure_before_rungs(matrix, m, e);
+                failure.report.rungs = rungs
+                    .iter()
+                    .map(|(name, _)| RungReport {
+                        name: name.clone(),
+                        outcome: RungOutcome::NotReached,
+                        work: 0,
+                    })
+                    .collect();
+                failure.report.total_work = start.elapsed();
+                return Err(failure);
+            }
+        };
+
+        let mut reports: Vec<RungReport> = Vec::with_capacity(rungs.len());
+        let mut answered: Option<Partition> = None;
+        let mut answered_by: Option<String> = None;
+        let mut last_failure: Option<RectpartError> = None;
+        let mut budget_blocked = false;
+
+        let n_rungs = rungs.len();
+        for (idx, (name, algo)) in rungs.iter().enumerate() {
+            if answered.is_some() {
+                reports.push(RungReport {
+                    name: name.clone(),
+                    outcome: RungOutcome::NotReached,
+                    work: 0,
+                });
+                continue;
+            }
+            // Budget admission: serial checkpoint against the meter.
+            if let Some(budget) = self.budget {
+                let remaining = budget.saturating_sub(start.elapsed());
+                let estimate = estimate_work(name, rows, cols, m);
+                let last = idx == n_rungs - 1;
+                let admit = if last {
+                    remaining > 0
+                } else {
+                    estimate <= remaining
+                };
+                if !admit {
+                    budget_blocked = true;
+                    reports.push(RungReport {
+                        name: name.clone(),
+                        outcome: RungOutcome::SkippedEstimate {
+                            estimate,
+                            remaining,
+                        },
+                        work: 0,
+                    });
+                    continue;
+                }
+            }
+            let rung_mark = work::Mark::now();
+            // lint:allow(panic) -- the workspace's one intentional panic boundary: a panicking rung demotes to the next ladder entry instead of tearing down the caller
+            let solved = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "faultinject")]
+                if rectpart_obs::fault::rung_should_panic(idx as u64) {
+                    // lint:allow(panic) -- faultinject: deliberate injected rung panic, contained by the catch_unwind boundary above
+                    panic!("injected rung fault");
+                }
+                algo.partition(&pfx, m)
+            }));
+            let rung_work = rung_mark.elapsed();
+            match solved {
+                Ok(partition) => match partition.validate(&pfx) {
+                    Ok(()) => {
+                        let lmax = partition.lmax(&pfx);
+                        reports.push(RungReport {
+                            name: name.clone(),
+                            outcome: RungOutcome::Answered { lmax },
+                            work: rung_work,
+                        });
+                        answered = Some(partition);
+                        answered_by = Some(name.clone());
+                    }
+                    Err(pe) => {
+                        let e = RectpartError::InvalidSolution(pe);
+                        reports.push(RungReport {
+                            name: name.clone(),
+                            outcome: RungOutcome::Failed { error: e.clone() },
+                            work: rung_work,
+                        });
+                        last_failure = Some(e);
+                    }
+                },
+                Err(_payload) => {
+                    let e = RectpartError::WorkerPanic { rung: name.clone() };
+                    reports.push(RungReport {
+                        name: name.clone(),
+                        outcome: RungOutcome::Failed { error: e.clone() },
+                        work: rung_work,
+                    });
+                    last_failure = Some(e);
+                }
+            }
+        }
+
+        let report = DegradationReport {
+            rows,
+            cols,
+            m,
+            budget: self.budget,
+            rungs: reports,
+            answered_by: answered_by.clone(),
+            total_work: start.elapsed(),
+        };
+        match answered {
+            Some(partition) => Ok(SolveOutcome { partition, report }),
+            None => {
+                let error = if budget_blocked && last_failure.is_none() {
+                    RectpartError::BudgetExhausted {
+                        budget: self.budget.unwrap_or(0),
+                        spent: report.total_work,
+                    }
+                } else {
+                    last_failure.unwrap_or(RectpartError::UnknownAlgorithm(
+                        "(no rung produced an answer)".into(),
+                    ))
+                };
+                Err(DriverFailure {
+                    error,
+                    report: Box::new(report),
+                })
+            }
+        }
+    }
+
+    /// A failure whose report shows the configured ladder untouched.
+    fn failure_before_rungs(
+        &self,
+        matrix: &LoadMatrix,
+        m: usize,
+        error: RectpartError,
+    ) -> DriverFailure {
+        DriverFailure {
+            error,
+            report: Box::new(DegradationReport {
+                rows: matrix.rows(),
+                cols: matrix.cols(),
+                m,
+                budget: self.budget,
+                rungs: self
+                    .ladder
+                    .iter()
+                    .map(|name| RungReport {
+                        name: name.clone(),
+                        outcome: RungOutcome::NotReached,
+                        work: 0,
+                    })
+                    .collect(),
+                answered_by: None,
+                total_work: 0,
+            }),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Seeded fault plans (only with the `faultinject` feature).
+//!
+//! A [`FaultPlan`] is a deterministic description of which faults to
+//! inject into the next solve: panic worker *k*, panic rung *r*, force
+//! Γ overflow, inflate every work charge ×N. Plans either enumerate
+//! faults explicitly (builder methods) or derive them from a seed via
+//! SplitMix64, so a failing fuzz case is reproducible from one `u64`.
+//!
+//! Installation is process-global (`rectpart-obs` owns the injection
+//! points); tests that install plans must serialize on a lock and
+//! [`FaultPlan::clear`] when done.
+
+use rectpart_obs::fault::FaultConfig;
+
+/// One SplitMix64 step: the standard 64-bit mix used by the shim RNG
+/// ecosystem; good enough to spread a seed over fault choices.
+fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    *state = z ^ (z >> 31);
+}
+
+/// A deterministic fault-injection plan: which workers and ladder
+/// rungs panic, whether Γ accumulation is forced to overflow, and how
+/// much every work charge is inflated.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults); add them with the builder methods.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Derives a plan from a seed: one panicked worker in `0..8`, one
+    /// panicked rung in `0..3`, and a work multiplier in `1..=4`, all
+    /// chosen by independent SplitMix64 draws. The same seed always
+    /// yields the same plan.
+    pub fn seeded(seed: u64) -> Self {
+        let mut s = seed;
+        splitmix64(&mut s);
+        let worker = s % 8;
+        splitmix64(&mut s);
+        let rung = s % 3;
+        splitmix64(&mut s);
+        let multiplier = 1 + s % 4;
+        FaultPlan {
+            cfg: FaultConfig {
+                seed,
+                panic_workers: vec![worker],
+                panic_rungs: vec![rung],
+                force_gamma_overflow: false,
+                work_multiplier: multiplier,
+            },
+        }
+    }
+
+    /// Panic the `idx`-th spawned `map_range` worker (process-global
+    /// spawn order); it is retried sequentially by `rectpart-parallel`.
+    pub fn panic_worker(mut self, idx: u64) -> Self {
+        self.cfg.panic_workers.push(idx);
+        self
+    }
+
+    /// Panic ladder rung `idx`; the driver demotes to the next rung.
+    pub fn panic_rung(mut self, idx: u64) -> Self {
+        self.cfg.panic_rungs.push(idx);
+        self
+    }
+
+    /// Make the next Γ construction report [`overflow`].
+    ///
+    /// [`overflow`]: rectpart_core::RectpartError::Overflow
+    pub fn force_overflow(mut self) -> Self {
+        self.cfg.force_gamma_overflow = true;
+        self
+    }
+
+    /// Multiply every work charge by `mult` (≥ 1), simulating a slow
+    /// machine so budget-degradation paths trigger on small instances.
+    pub fn inflate_work(mut self, mult: u64) -> Self {
+        self.cfg.work_multiplier = mult.max(1);
+        self
+    }
+
+    /// Installs the plan process-globally, replacing any previous one
+    /// and resetting the worker spawn counter.
+    pub fn install(&self) {
+        rectpart_obs::fault::install(self.cfg.clone());
+    }
+
+    /// Removes the installed plan (whoever installed it).
+    pub fn clear() {
+        rectpart_obs::fault::clear();
+    }
+
+    /// The underlying low-level config.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(42);
+        let b = FaultPlan::seeded(42);
+        let c = FaultPlan::seeded(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.config().work_multiplier >= 1);
+        assert_eq!(a.config().panic_workers.len(), 1);
+        assert_eq!(a.config().panic_rungs.len(), 1);
+    }
+
+    #[test]
+    fn builder_accumulates_faults() {
+        let plan = FaultPlan::new()
+            .panic_worker(3)
+            .panic_rung(0)
+            .panic_rung(1)
+            .force_overflow()
+            .inflate_work(0);
+        assert_eq!(plan.config().panic_workers, vec![3]);
+        assert_eq!(plan.config().panic_rungs, vec![0, 1]);
+        assert!(plan.config().force_gamma_overflow);
+        // Multiplier is clamped to ≥ 1.
+        assert_eq!(plan.config().work_multiplier, 1);
+    }
+}

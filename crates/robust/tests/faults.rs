@@ -1,0 +1,235 @@
+//! Deterministic fault-injection tests (feature `faultinject`).
+//!
+//! Every [`RectpartError`] variant and every default-ladder rung is
+//! exercised here under seeded, reproducible fault plans. Fault plans
+//! and the work meter are process-global, so every test serializes on
+//! [`lock`] and clears its plan before releasing it.
+#![cfg(feature = "faultinject")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use rectpart_core::{LoadMatrix, Partition, Partitioner, PrefixSum2D, Rect, RectpartError};
+use rectpart_parallel::with_threads;
+use rectpart_robust::{FaultPlan, RungOutcome, SolverDriver, DEFAULT_LADDER};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn demo_matrix() -> LoadMatrix {
+    LoadMatrix::from_fn(16, 12, |r, c| ((r * 31 + c * 17) % 97 + 1) as u32)
+}
+
+#[test]
+fn forced_overflow_surfaces_a_structured_error() {
+    let _g = lock();
+    FaultPlan::new().force_overflow().install();
+    let err = SolverDriver::new()
+        .try_solve(&demo_matrix(), 4)
+        .unwrap_err();
+    FaultPlan::clear();
+    assert_eq!(err.error, RectpartError::Overflow);
+    assert!(err.error.is_input_error());
+    assert!(err
+        .report
+        .rungs
+        .iter()
+        .all(|r| r.outcome == RungOutcome::NotReached));
+    // With the plan cleared the same instance solves fine.
+    assert!(SolverDriver::new().try_solve(&demo_matrix(), 4).is_ok());
+}
+
+#[test]
+fn inflated_work_exhausts_a_budget_that_normally_suffices() {
+    let _g = lock();
+    // Unfaulted, a 1M-unit budget admits the optimal rung (see the
+    // driver tests). A ×1000 work inflation makes Γ construction alone
+    // (16·12 + 1 = 193 units) cost 193 000 units, so a 100k budget is
+    // spent before any rung is admitted.
+    FaultPlan::new().inflate_work(1000).install();
+    let err = SolverDriver::new()
+        .with_budget(100_000)
+        .try_solve(&demo_matrix(), 4)
+        .unwrap_err();
+    FaultPlan::clear();
+    assert!(matches!(
+        err.error,
+        RectpartError::BudgetExhausted {
+            budget: 100_000,
+            spent
+        } if spent >= 193_000
+    ));
+    assert!(err
+        .report
+        .rungs
+        .iter()
+        .all(|r| matches!(r.outcome, RungOutcome::SkippedEstimate { .. })));
+}
+
+#[test]
+fn injected_rung_panics_walk_the_whole_ladder() {
+    let _g = lock();
+    let driver = SolverDriver::new();
+    let matrix = demo_matrix();
+
+    // Rung 0 panics → the first heuristic answers.
+    FaultPlan::new().panic_rung(0).install();
+    let out = driver.try_solve(&matrix, 6).unwrap();
+    FaultPlan::clear();
+    assert_eq!(
+        out.report.rungs[0].outcome,
+        RungOutcome::Failed {
+            error: RectpartError::WorkerPanic {
+                rung: DEFAULT_LADDER[0].into()
+            }
+        }
+    );
+    assert_eq!(out.report.answered_by.as_deref(), Some(DEFAULT_LADDER[1]));
+
+    // Rungs 0 and 1 panic → the closed-form grid answers.
+    FaultPlan::new().panic_rung(0).panic_rung(1).install();
+    let out = driver.try_solve(&matrix, 6).unwrap();
+    FaultPlan::clear();
+    assert_eq!(out.report.answered_by.as_deref(), Some(DEFAULT_LADDER[2]));
+
+    // Every rung panics → the run fails, naming the last rung, with
+    // the full ladder record attached.
+    FaultPlan::new()
+        .panic_rung(0)
+        .panic_rung(1)
+        .panic_rung(2)
+        .install();
+    let err = driver.try_solve(&matrix, 6).unwrap_err();
+    FaultPlan::clear();
+    assert_eq!(
+        err.error,
+        RectpartError::WorkerPanic {
+            rung: DEFAULT_LADDER[2].into()
+        }
+    );
+    assert!(err.report.rungs.iter().all(|r| matches!(
+        r.outcome,
+        RungOutcome::Failed {
+            error: RectpartError::WorkerPanic { .. }
+        }
+    )));
+}
+
+/// Returns a single 1×1 rectangle: an incomplete cover.
+struct BadCover;
+impl Partitioner for BadCover {
+    fn name(&self) -> String {
+        "BAD-COVER".into()
+    }
+    fn partition(&self, _pfx: &PrefixSum2D, m: usize) -> Partition {
+        Partition::with_parts(vec![Rect::new(0, 1, 0, 1)], m)
+    }
+}
+
+#[test]
+fn every_input_error_variant_is_reachable() {
+    let _g = lock();
+    let driver = SolverDriver::new();
+
+    // RaggedRow / DimMismatch at the constructor boundary.
+    assert_eq!(
+        LoadMatrix::try_from_rows(&[vec![1, 2], vec![3]]).unwrap_err(),
+        RectpartError::RaggedRow {
+            row: 1,
+            expected: 2,
+            got: 1
+        }
+    );
+    assert_eq!(
+        LoadMatrix::try_from_vec(2, 3, vec![1, 2, 3, 4]).unwrap_err(),
+        RectpartError::DimMismatch {
+            rows: 2,
+            cols: 3,
+            len: 4
+        }
+    );
+
+    // EmptyMatrix / ZeroParts / TooManyParts at the driver boundary.
+    let empty = LoadMatrix::zeros(0, 0);
+    assert_eq!(
+        driver.try_solve(&empty, 1).unwrap_err().error,
+        RectpartError::EmptyMatrix { rows: 0, cols: 0 }
+    );
+    let tiny = LoadMatrix::from_vec(2, 2, vec![1, 2, 3, 4]);
+    assert_eq!(
+        driver.try_solve(&tiny, 0).unwrap_err().error,
+        RectpartError::ZeroParts
+    );
+    assert_eq!(
+        driver.try_solve(&tiny, 9).unwrap_err().error,
+        RectpartError::TooManyParts { m: 9, cells: 4 }
+    );
+
+    // UnknownAlgorithm at ladder resolution.
+    let err = SolverDriver::new()
+        .with_ladder(["NOPE"])
+        .try_solve(&tiny, 2)
+        .unwrap_err();
+    assert_eq!(err.error, RectpartError::UnknownAlgorithm("NOPE".into()));
+
+    // InvalidSolution when a rung returns a bad cover.
+    let rungs: Vec<(String, Box<dyn Partitioner>)> = vec![("BAD-COVER".into(), Box::new(BadCover))];
+    let err = driver.try_solve_with(rungs, &tiny, 2).unwrap_err();
+    assert!(matches!(err.error, RectpartError::InvalidSolution(_)));
+}
+
+#[test]
+fn injected_worker_panics_do_not_change_the_answer() {
+    let _g = lock();
+    let matrix = demo_matrix();
+    let driver = SolverDriver::new();
+
+    let clean = driver.try_solve(&matrix, 6).unwrap();
+    FaultPlan::new()
+        .panic_worker(0)
+        .panic_worker(1)
+        .panic_worker(5)
+        .install();
+    let faulted = driver.try_solve(&matrix, 6).unwrap();
+    FaultPlan::clear();
+    // Panicked map_range workers are retried sequentially one layer
+    // down; the partition, the rung record and the deterministic work
+    // totals all survive unchanged.
+    assert_eq!(clean.partition, faulted.partition);
+    assert_eq!(clean.report, faulted.report);
+}
+
+#[test]
+fn seeded_plan_reports_are_bit_identical_across_thread_counts() {
+    let _g = lock();
+    // Pick the first seed whose derived plan panics rung 0, so the
+    // degradation path (not just the happy path) is what must agree.
+    let seed = (0..200u64)
+        .find(|&s| FaultPlan::seeded(s).config().panic_rungs == vec![0])
+        .expect("no seed in 0..200 selects rung 0");
+    let plan = FaultPlan::seeded(seed);
+
+    let run = |threads: usize| {
+        plan.install();
+        let result = with_threads(threads, || SolverDriver::new().try_solve(&demo_matrix(), 6));
+        FaultPlan::clear();
+        result
+    };
+
+    let serial = run(1);
+    for threads in [2, 4, 7] {
+        let parallel = run(threads);
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+    // And the degradation actually happened: rung 0 failed, rung 1
+    // answered.
+    let out = serial.unwrap();
+    assert!(matches!(
+        out.report.rungs[0].outcome,
+        RungOutcome::Failed { .. }
+    ));
+    assert_eq!(out.report.answered_by.as_deref(), Some(DEFAULT_LADDER[1]));
+}

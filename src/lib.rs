@@ -48,6 +48,7 @@
 pub use rectpart_core as core;
 pub use rectpart_obs as obs;
 pub use rectpart_onedim as onedim;
+pub use rectpart_robust as robust;
 pub use rectpart_simexec as simexec;
 pub use rectpart_volume as volume;
 pub use rectpart_workloads as workloads;
@@ -57,9 +58,10 @@ pub mod prelude {
     pub use rectpart_core::{
         hier_opt, Axis, HierRb, HierRelaxed, HierVariant, JagMHeur, JagMOpt, JagPqHeur, JagPqOpt,
         JaggedVariant, LoadMatrix, Multilevel, Partition, PartitionStats, Partitioner, PrefixSum2D,
-        Rect, RectNicol, RectUniform, SpiralRelaxed,
+        Rect, RectNicol, RectUniform, RectpartError, SpiralRelaxed,
     };
     pub use rectpart_onedim::{nicol, IntervalCost, PrefixCosts};
+    pub use rectpart_robust::{DegradationReport, SolveOutcome, SolverDriver};
     pub use rectpart_simexec::{CommModel, ExecutionReport, Simulator};
     pub use rectpart_workloads::{
         diagonal, multi_peak, peak, uniform, MeshConfig, PicConfig, PicSimulation,

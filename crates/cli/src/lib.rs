@@ -20,7 +20,9 @@ pub use rectpart_core::{algorithm_by_name, algorithm_names};
 
 use std::path::PathBuf;
 
-use rectpart_core::{LoadMatrix, PartitionError, PartitionStats, PrefixSum2D, RectpartError};
+use rectpart_core::{
+    GammaMode, LoadMatrix, PartitionError, PartitionStats, PrefixSum2D, RectpartError,
+};
 use rectpart_robust::{DriverFailure, SolverDriver, DEFAULT_LADDER};
 use rectpart_simexec::{CommModel, Simulator};
 use rectpart_workloads::io::{read_csv, write_csv};
@@ -233,6 +235,52 @@ pub fn apply_global_threads(args: &[String]) -> Result<Vec<String>, UsageError> 
     Ok(rest)
 }
 
+/// Process-wide Γ backend choice from `--gamma`; `u8::MAX` = flag not
+/// given (fall back to the `RECTPART_GAMMA` env var, then `auto`).
+static GAMMA_MODE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(u8::MAX);
+
+fn gamma_mode_to_u8(mode: GammaMode) -> u8 {
+    match mode {
+        GammaMode::Dense => 0,
+        GammaMode::Sparse => 1,
+        GammaMode::Auto => 2,
+    }
+}
+
+/// The Γ backend policy in effect: the `--gamma` flag if given, else the
+/// `RECTPART_GAMMA` environment variable, else automatic selection.
+pub fn gamma_mode() -> GammaMode {
+    match GAMMA_MODE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => GammaMode::Dense,
+        1 => GammaMode::Sparse,
+        2 => GammaMode::Auto,
+        _ => GammaMode::from_env().unwrap_or(GammaMode::Auto),
+    }
+}
+
+/// Extracts the global `--gamma dense|sparse|auto` option, installs it
+/// as the process-wide Γ backend policy, and returns the remaining
+/// arguments for [`parse`]. Valid in any position with every
+/// subcommand; if given more than once the last occurrence wins.
+pub fn apply_global_gamma(args: &[String]) -> Result<Vec<String>, UsageError> {
+    let mut rest = args.to_vec();
+    while let Some(i) = rest.iter().position(|a| a == "--gamma") {
+        let Some(v) = rest.get(i + 1) else {
+            return Err(UsageError(
+                "--gamma requires a value (dense|sparse|auto)".into(),
+            ));
+        };
+        let mode = GammaMode::parse(v).ok_or_else(|| {
+            UsageError(format!(
+                "invalid value for --gamma: {v:?} (dense|sparse|auto)"
+            ))
+        })?;
+        GAMMA_MODE.store(gamma_mode_to_u8(mode), std::sync::atomic::Ordering::Relaxed);
+        rest.drain(i..=i + 1);
+    }
+    Ok(rest)
+}
+
 /// Parses a full argument vector (excluding the binary name).
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let Some(cmd) = args.first() else {
@@ -409,7 +457,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 read_csv(&input)?
             };
             RectpartError::check_problem(matrix.rows(), matrix.cols(), m)?;
-            let pfx = PrefixSum2D::new(&matrix);
+            let pfx = PrefixSum2D::try_new_with(&matrix, gamma_mode())?;
             let (part, degradation) = if budget.is_some() || fallback.is_some() {
                 // Fault-tolerant path: walk the fallback ladder under
                 // the (optional) deterministic work budget.
@@ -495,7 +543,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 read_csv(&input)?
             };
             RectpartError::check_problem(matrix.rows(), matrix.cols(), m)?;
-            let pfx = PrefixSum2D::new(&matrix);
+            let pfx = PrefixSum2D::try_new_with(&matrix, gamma_mode())?;
             let algorithm = algorithm_by_name(&algo).ok_or_else(|| {
                 UsageError(format!("unknown algorithm {algo:?}; see `rectpart algos`"))
             })?;
@@ -545,6 +593,12 @@ GLOBAL OPTIONS:
   --threads N    worker threads for the parallel execution layer
                  (default: auto-detect; 1 = fully serial; results are
                  identical at any thread count)
+  --gamma MODE   prefix-sum (Γ) backend: dense, sparse, or auto
+                 (default: the RECTPART_GAMMA env var, else auto).
+                 auto picks the CSR-like sparse backend when at least
+                 75% of the load matrix is zero; every backend returns
+                 bit-identical answers, so this only affects memory
+                 and speed
   --stats [F]    emit a JSON stats block (solution summary + counters,
                  phase timers, cache statistics, convergence traces).
                  With no FILE (or FILE = -) the block is appended to
@@ -765,6 +819,25 @@ mod tests {
             panic!("expected evaluate");
         };
         assert_eq!(stats, Some("s.json".into()));
+    }
+
+    #[test]
+    fn gamma_flag_is_extracted_anywhere_and_validated() {
+        // Valid flag (any position, any case) is removed from the argv and
+        // installed; the last occurrence wins. Sparse and dense backends
+        // return bit-identical answers, so other tests running concurrently
+        // under a temporarily different mode still pass.
+        let rest =
+            apply_global_gamma(&argv("partition --gamma SPARSE --input a.csv -m 4")).unwrap();
+        assert_eq!(rest, argv("partition --input a.csv -m 4"));
+        assert_eq!(gamma_mode(), GammaMode::Sparse);
+        let rest = apply_global_gamma(&argv("--gamma sparse evaluate --gamma auto")).unwrap();
+        assert_eq!(rest, argv("evaluate"));
+        assert_eq!(gamma_mode(), GammaMode::Auto);
+        assert!(apply_global_gamma(&argv("partition --gamma")).is_err());
+        assert!(apply_global_gamma(&argv("--gamma fast partition")).is_err());
+        // Restore the unset sentinel so the env-var fallback stays testable.
+        GAMMA_MODE.store(u8::MAX, std::sync::atomic::Ordering::Relaxed);
     }
 
     #[test]

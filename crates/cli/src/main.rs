@@ -3,7 +3,9 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let args = match rectpart_cli::apply_global_threads(&args) {
+    let args = match rectpart_cli::apply_global_threads(&args)
+        .and_then(|rest| rectpart_cli::apply_global_gamma(&rest))
+    {
         Ok(rest) => rest,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", rectpart_cli::usage());

@@ -19,9 +19,10 @@
 //!   provably exact form. The literal DP formulation of the paper is also
 //!   provided ([`jag_m_opt_dp`]) and the test-suite checks both agree.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
-use rectpart_onedim::{nicol, FnCost, IntervalCost};
+use rectpart_onedim::{nicol, nicol_bottleneck, FnCost, IntervalCost, SolveScratch};
 
 use crate::cache::StripeCache;
 use crate::geometry::Rect;
@@ -67,14 +68,22 @@ fn jag_pq_opt_view(view: &View<'_>, p: usize, q: usize, cache: &StripeCache) -> 
     let n_aux = view.n_aux();
     let axis = view.axis();
     // Memoized optimal stripe bottleneck S(a, b) = opt 1D split of rows
-    // [a, b) into q parts along the auxiliary dimension.
+    // [a, b) into q parts along the auxiliary dimension. The closure
+    // chain under `nicol` below is single-threaded per orientation, so
+    // one scratch arena serves every cache miss without reallocating
+    // (a Mutex only because `FnCost` closures must be `Sync`; it is
+    // never contended).
+    let scratch = std::sync::Mutex::new(SolveScratch::new());
     let stripe_cost = FnCost::new(n_main, |a, b| {
         if a == b {
             return 0;
         }
         cache.bottleneck(axis, a, b, q, || {
             let aux = FnCost::additive(n_aux, |c, d| view.load(a, b, c, d));
-            nicol(&aux, q).bottleneck
+            let mut scratch = scratch
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            nicol_bottleneck(&aux, q, &mut scratch)
         })
     });
     let main = nicol(&stripe_cost, p).cuts;
@@ -137,7 +146,10 @@ fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
         // Cannot happen for correct bounds; defensive.
         lb = ub;
     }
-    // Binary search the smallest feasible bottleneck.
+    // Binary search the smallest feasible bottleneck. One scratch arena
+    // backs every feasibility DP of the search: after the first check
+    // the inner loop never touches the allocator.
+    let mut scratch = SolveScratch::new();
     let mut probe_idx = 0u64;
     while lb < ub {
         let mid = lb + (ub - lb) / 2;
@@ -148,41 +160,44 @@ fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
             mid,
         );
         probe_idx += 1;
-        if feasible(view, m, mid).is_some() {
+        if feasible(view, m, mid, &mut scratch) {
             ub = mid;
         } else {
             lb = mid + 1;
         }
     }
-    match feasible(view, m, ub) {
-        Some(choice) => reconstruct(view, ub, &choice),
+    if feasible(view, m, ub, &mut scratch) {
+        reconstruct(view, ub, scratch.jag_choice())
+    } else {
         // The incumbent's own bottleneck is always feasible; if the DP
         // cannot see it (it can), fall back to the heuristic rectangles.
-        None => heur,
+        heur
     }
 }
 
 /// Exact feasibility: can the matrix be partitioned m-way jagged with
 /// bottleneck ≤ `budget`? Computes `f[k]` = minimal processor count for
-/// the suffix of stripes starting at main index `k`; returns the chosen
-/// next stripe boundary per position on success.
+/// the suffix of stripes starting at main index `k` in `scratch`'s DP
+/// buffers; on success the chosen next stripe boundary per position is
+/// left in `scratch.jag_choice()` for [`reconstruct`].
 ///
 /// Deliberately serial: `f[k]` reads every `f[i > k]`, and the inner
 /// loop's pruning (`break`/`continue` against the running `best`) is what
 /// makes the search fast — the parallelism lives in [`reconstruct`] and
 /// in the `-BEST` orientation pair running two `feasible` searches
-/// concurrently.
+/// concurrently (each with its own scratch).
 // The `i` loop breaks early on a monotone bound and indexes `f` at two
 // offsets; an enumerate-based rewrite obscures that.
 #[allow(clippy::needless_range_loop)]
-fn feasible(view: &View<'_>, m: usize, budget: u64) -> Option<Vec<usize>> {
+fn feasible(view: &View<'_>, m: usize, budget: u64, scratch: &mut SolveScratch) -> bool {
     rectpart_obs::incr(rectpart_obs::Counter::JagMFeasibilityChecks);
     rectpart_obs::work::charge(view.n_main() as u64 + 1);
     let n = view.n_main();
     let n_aux = view.n_aux();
     const INF: usize = usize::MAX;
-    let mut f = vec![INF; n + 1];
-    let mut choice = vec![0usize; n + 1];
+    let (f, choice) = scratch.jag_buffers(n + 1);
+    f.resize(n + 1, INF);
+    choice.resize(n + 1, 0);
     f[n] = 0;
     for k in (0..n).rev() {
         let mut best = INF;
@@ -223,11 +238,7 @@ fn feasible(view: &View<'_>, m: usize, budget: u64) -> Option<Vec<usize>> {
         f[k] = best;
         choice[k] = best_i;
     }
-    if f[0] <= m {
-        Some(choice)
-    } else {
-        None
-    }
+    f[0] <= m
 }
 
 /// Minimal number of auxiliary intervals covering stripe `[k, i)` with
@@ -296,8 +307,10 @@ pub fn jag_m_opt_dp(pfx: &PrefixSum2D, axis: crate::geometry::Axis, m: usize) ->
     let n_aux = view.n_aux();
     let mut memo: HashMap<(usize, usize), u64> = HashMap::new();
     // The same stripe solution `nicol([k, i), x)` recurs across many
-    // `(i, q)` DP states; memoize it in the shared stripe cache.
+    // `(i, q)` DP states; memoize it in the shared stripe cache. The
+    // recursion is serial, so one scratch arena serves every miss.
     let stripes = StripeCache::new();
+    let scratch = RefCell::new(SolveScratch::new());
     fn lmax(
         view: &View<'_>,
         n_aux: usize,
@@ -305,6 +318,7 @@ pub fn jag_m_opt_dp(pfx: &PrefixSum2D, axis: crate::geometry::Axis, m: usize) ->
         q: usize,
         memo: &mut HashMap<(usize, usize), u64>,
         stripes: &StripeCache,
+        scratch: &RefCell<SolveScratch>,
     ) -> u64 {
         if i == 0 {
             return 0;
@@ -320,9 +334,9 @@ pub fn jag_m_opt_dp(pfx: &PrefixSum2D, axis: crate::geometry::Axis, m: usize) ->
             for x in 1..=q {
                 let stripe = stripes.bottleneck(view.axis(), k, i, x, || {
                     let aux = FnCost::additive(n_aux, |a, b| view.load(k, i, a, b));
-                    nicol(&aux, x).bottleneck
+                    nicol_bottleneck(&aux, x, &mut scratch.borrow_mut())
                 });
-                let rest = lmax(view, n_aux, k, q - x, memo, stripes);
+                let rest = lmax(view, n_aux, k, q - x, memo, stripes, scratch);
                 if rest == u64::MAX {
                     continue;
                 }
@@ -332,7 +346,7 @@ pub fn jag_m_opt_dp(pfx: &PrefixSum2D, axis: crate::geometry::Axis, m: usize) ->
         memo.insert((i, q), best);
         best
     }
-    lmax(&view, n_aux, n, m, &mut memo, &stripes)
+    lmax(&view, n_aux, n, m, &mut memo, &stripes, &scratch)
 }
 
 #[cfg(test)]

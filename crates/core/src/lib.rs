@@ -51,6 +51,7 @@ mod prefix;
 mod rectilinear;
 mod registry;
 mod solution;
+mod sparse;
 mod spiral;
 mod stats;
 mod traits;
@@ -66,7 +67,7 @@ pub use jagged::{allocate_processors, JagMHeur, JagPqHeur, JaggedVariant, Stripe
 pub use jagged_opt::{jag_m_opt_dp, JagMOpt, JagPqOpt};
 pub use matrix::LoadMatrix;
 pub use multilevel::Multilevel;
-pub use prefix::{PrefixSum2D, View};
+pub use prefix::{GammaBackend, GammaMode, PrefixSum2D, View, SPARSE_ZERO_FRACTION_PERCENT};
 pub use rectilinear::{RectNicol, RectUniform};
 /// Thread-budget configuration for the parallel execution layer,
 /// re-exported so downstream users need not depend on
@@ -74,6 +75,7 @@ pub use rectilinear::{RectNicol, RectUniform};
 pub use rectpart_parallel::ParallelismConfig;
 pub use registry::{algorithm_by_name, algorithm_names};
 pub use solution::{Partition, PartitionError, Summary};
+pub use sparse::SparsePrefixSum;
 pub use spiral::{spiral_opt_value, Side, SpiralRelaxed};
 pub use stats::PartitionStats;
 pub use traits::Partitioner;

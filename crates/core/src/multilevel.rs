@@ -10,6 +10,7 @@
 //! projected partition is generally worse than partitioning at full
 //! resolution.
 
+use crate::error::RectpartError;
 use crate::geometry::Rect;
 use crate::matrix::LoadMatrix;
 use crate::prefix::PrefixSum2D;
@@ -55,15 +56,27 @@ pub struct Multilevel<'a, P> {
 
 impl<'a, P: Partitioner> Multilevel<'a, P> {
     /// Coarsens `matrix` by `factor` and prepares the wrapper.
+    ///
+    /// Convenience shim over [`Multilevel::try_new`] for callers that
+    /// have already validated their instance.
     pub fn new(matrix: &'a LoadMatrix, inner: P, factor: usize) -> Self {
+        // lint:allow(panic) -- documented convenience boundary; fallible construction is Multilevel::try_new
+        Self::try_new(matrix, inner, factor).expect("total load overflows u64")
+    }
+
+    /// Coarsens `matrix` by `factor` and prepares the wrapper,
+    /// surfacing Γ construction overflow (coarsening preserves the
+    /// total load, so this errs exactly when the fine matrix's total
+    /// reaches `2^64`).
+    pub fn try_new(matrix: &'a LoadMatrix, inner: P, factor: usize) -> Result<Self, RectpartError> {
         assert!(factor >= 1);
         let coarse = matrix.coarsen(factor);
-        Self {
+        Ok(Self {
             matrix,
             inner,
             factor,
-            coarse_pfx: PrefixSum2D::new(&coarse),
-        }
+            coarse_pfx: PrefixSum2D::try_new(&coarse)?,
+        })
     }
 
     /// The coarsening factor.

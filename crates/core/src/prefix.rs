@@ -1,8 +1,102 @@
 //! 2D prefix sums (the paper's Γ array) and axis-oriented views.
+//!
+//! # Substrate layout (DESIGN.md §13)
+//!
+//! [`PrefixSum2D`] is a facade over two interchangeable backends behind
+//! the [`GammaBackend`] query contract:
+//!
+//! * the **dense** array — `(rows+1)·(cols+1)` `u64`s, O(1) queries,
+//!   built by a cache-blocked tiled sweep whose overflow checks are
+//!   hoisted to tile boundaries (the per-cell-checked original survives
+//!   as [`PrefixSum2D::try_new_reference`], the differential oracle and
+//!   benchmark baseline);
+//! * the **sparse** CSR-like [`SparsePrefixSum`] — per-row nonzero
+//!   prefix runs, for zero-heavy instances.
+//!
+//! Backend choice is explicit ([`GammaMode`]), automatic above a
+//! zero-density threshold ([`PrefixSum2D::try_new_auto`]), or forced
+//! process-wide through the `RECTPART_GAMMA` environment variable (how
+//! CI runs the whole differential suite against the sparse backend).
+//! Queries are bit-identical across backends, so solver output never
+//! depends on the choice.
 
 use crate::error::RectpartError;
 use crate::geometry::{Axis, Rect};
 use crate::matrix::LoadMatrix;
+use crate::sparse::SparsePrefixSum;
+
+/// Query contract shared by every Γ backend: exact `u64` rectangle
+/// loads over a fixed `rows × cols` matrix. Implementations must answer
+/// bit-identically for the same matrix — the differential suite holds
+/// the dense and sparse backends to that.
+pub trait GammaBackend {
+    /// Number of rows of the underlying matrix.
+    fn rows(&self) -> usize;
+    /// Number of columns of the underlying matrix.
+    fn cols(&self) -> usize;
+    /// Total load of the matrix.
+    fn total(&self) -> u64;
+    /// Load of rows `[r0, r1)` × cols `[c0, c1)`.
+    fn sum4(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> u64;
+    /// Load of a rectangle.
+    fn sum(&self, r: &Rect) -> u64 {
+        self.sum4(r.r0, r.r1, r.c0, r.c1)
+    }
+    /// Heap bytes held by the Γ representation.
+    fn gamma_bytes(&self) -> usize;
+}
+
+/// Γ backend selection policy (CLI `--gamma dense|sparse|auto`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GammaMode {
+    /// The dense prefix array — the paper's Γ, O(1) queries.
+    #[default]
+    Dense,
+    /// The CSR-like [`SparsePrefixSum`] — compact on zero-heavy input.
+    Sparse,
+    /// Dense below [`SPARSE_ZERO_FRACTION_PERCENT`] zero density, sparse above.
+    Auto,
+}
+
+impl GammaMode {
+    /// Parses `"dense"`, `"sparse"`, or `"auto"` (ASCII case-insensitive).
+    pub fn parse(s: &str) -> Option<GammaMode> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("dense") {
+            Some(GammaMode::Dense)
+        } else if s.eq_ignore_ascii_case("sparse") {
+            Some(GammaMode::Sparse)
+        } else if s.eq_ignore_ascii_case("auto") {
+            Some(GammaMode::Auto)
+        } else {
+            None
+        }
+    }
+
+    /// The process-wide override from the `RECTPART_GAMMA` environment
+    /// variable, read once per process. Unset or unparsable → `None`.
+    pub fn from_env() -> Option<GammaMode> {
+        static MODE: std::sync::OnceLock<Option<GammaMode>> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| {
+            std::env::var("RECTPART_GAMMA")
+                .ok()
+                .and_then(|s| GammaMode::parse(&s))
+        })
+    }
+}
+
+/// Zero-cell fraction above which [`PrefixSum2D::try_new_auto`] picks
+/// the sparse backend. At 75% zeros the run storage is already well
+/// under half the dense footprint; below it, dense O(1) queries win.
+pub const SPARSE_ZERO_FRACTION_PERCENT: u32 = 75;
+
+/// The two storage backends behind the facade.
+#[derive(Clone, Debug)]
+enum Repr {
+    /// `(rows+1) × (cols+1)`, row-major, first row/col all zero.
+    Dense(Vec<u64>),
+    Sparse(SparsePrefixSum),
+}
 
 /// The 2D prefix-sum array Γ of a load matrix:
 /// `Γ[r][c] = Σ_{r'<r, c'<c} A[r'][c']` with a zero border, so any
@@ -24,8 +118,7 @@ use crate::matrix::LoadMatrix;
 pub struct PrefixSum2D {
     rows: usize,
     cols: usize,
-    /// (rows+1) × (cols+1), row-major, first row/col all zero.
-    g: Vec<u64>,
+    repr: Repr,
     total: u64,
     max_cell: u32,
     min_cell: u32,
@@ -34,6 +127,17 @@ pub struct PrefixSum2D {
 /// Below this many cells the serial single-pass construction wins over
 /// the two-pass parallel scan (thread spawn + extra memory sweep).
 const PARALLEL_CELLS_MIN: usize = 1 << 16;
+
+/// Column-tile width of the blocked construction: `512 · 8 B = 4 KiB`
+/// per Γ row segment, so a tile's current row, previous row, and source
+/// cells sit in L1 together while the three inner loops stay
+/// branch-light and autovectorizable.
+const TILE: usize = 512;
+
+/// Row-prefix carry bound under which a whole tile of `u32` additions
+/// provably cannot overflow `u64` — the guard that hoists the per-cell
+/// checked adds to one check per tile.
+const TILE_CARRY_GUARD: u64 = u64::MAX - (TILE as u64) * (u32::MAX as u64);
 
 impl PrefixSum2D {
     /// Builds Γ, aborting on overflow. Thin shim over [`Self::try_new`]
@@ -49,13 +153,36 @@ impl PrefixSum2D {
     }
 
     /// Builds Γ, surfacing overflow as [`RectpartError::Overflow`]
-    /// instead of aborting. Uses a two-pass parallel scan (per-row
-    /// prefix sums, then a blocked column scan) when more than one
+    /// instead of aborting. Uses the dense backend unless the
+    /// `RECTPART_GAMMA` environment variable overrides the choice; for
+    /// explicit control use [`Self::try_new_with`].
+    ///
+    /// The dense build uses a two-pass parallel scan when more than one
     /// thread is available and the matrix is large enough; exact integer
-    /// addition makes the result bit-identical to the serial single pass
-    /// at any thread count, and both paths report overflow under exactly
-    /// the same condition (overflow of any Γ entry).
+    /// addition makes the result bit-identical to the serial pass at any
+    /// thread count, and both paths report overflow under exactly the
+    /// same condition (overflow of any Γ entry — equivalently, the grand
+    /// total reaching 2⁶⁴).
     pub fn try_new(a: &LoadMatrix) -> Result<Self, RectpartError> {
+        Self::try_new_with(a, GammaMode::from_env().unwrap_or(GammaMode::Dense))
+    }
+
+    /// [`Self::try_new`] with automatic backend selection: sparse above
+    /// [`SPARSE_ZERO_FRACTION_PERCENT`] zero cells, dense otherwise.
+    /// `RECTPART_GAMMA` still takes precedence when set.
+    pub fn try_new_auto(a: &LoadMatrix) -> Result<Self, RectpartError> {
+        Self::try_new_with(a, GammaMode::from_env().unwrap_or(GammaMode::Auto))
+    }
+
+    /// [`Self::try_new`] forcing the sparse backend (no env override).
+    pub fn try_new_sparse(a: &LoadMatrix) -> Result<Self, RectpartError> {
+        Self::try_new_with(a, GammaMode::Sparse)
+    }
+
+    /// Builds Γ with an explicit backend policy. `Sparse` falls back to
+    /// the dense array when the matrix shape exceeds the sparse
+    /// backend's `u32` indices (≥ 2³² cells).
+    pub fn try_new_with(a: &LoadMatrix, mode: GammaMode) -> Result<Self, RectpartError> {
         rectpart_obs::incr(rectpart_obs::Counter::GammaBuilds);
         let _timer = rectpart_obs::phase(rectpart_obs::Phase::Gamma);
         let rows = a.rows();
@@ -65,6 +192,22 @@ impl PrefixSum2D {
         if rectpart_obs::fault::gamma_should_overflow() {
             return Err(RectpartError::Overflow);
         }
+        let sparse = match mode {
+            GammaMode::Dense => false,
+            GammaMode::Sparse => SparsePrefixSum::indexable(rows, cols),
+            GammaMode::Auto => Self::auto_picks_sparse(a),
+        };
+        if sparse {
+            let s = SparsePrefixSum::build(a)?;
+            return Ok(Self {
+                rows,
+                cols,
+                total: s.total(),
+                max_cell: s.max_cell(),
+                min_cell: s.min_cell(),
+                repr: Repr::Sparse(s),
+            });
+        }
         if rectpart_parallel::current_threads() >= 2
             && rows >= 2
             && rows * cols >= PARALLEL_CELLS_MIN
@@ -72,6 +215,19 @@ impl PrefixSum2D {
             return Self::try_new_parallel(a);
         }
         Self::try_new_serial(a)
+    }
+
+    /// `true` when [`GammaMode::Auto`] selects the sparse backend: the
+    /// zero-cell fraction reaches [`SPARSE_ZERO_FRACTION_PERCENT`] and
+    /// the shape fits the sparse indices. One O(cells) scan — noise next
+    /// to the build it steers.
+    fn auto_picks_sparse(a: &LoadMatrix) -> bool {
+        let cells = a.rows() * a.cols();
+        if cells == 0 || !SparsePrefixSum::indexable(a.rows(), a.cols()) {
+            return false;
+        }
+        let zeros = a.data().iter().filter(|&&v| v == 0).count();
+        (zeros as u128) * 100 >= (cells as u128) * SPARSE_ZERO_FRACTION_PERCENT as u128
     }
 
     /// Builds Γ under an explicit parallelism override; see
@@ -88,8 +244,13 @@ impl PrefixSum2D {
         cfg.run(|| Self::try_new(a))
     }
 
-    /// The original one-pass construction.
-    fn try_new_serial(a: &LoadMatrix) -> Result<Self, RectpartError> {
+    /// The original one-pass construction with **two checked additions
+    /// per cell**, kept verbatim as the differential oracle for the
+    /// blocked builds and as the substrate benchmark's "before"
+    /// baseline. Produces bit-identical results to [`Self::try_new`]
+    /// under the dense backend and errs under the identical condition.
+    pub fn try_new_reference(a: &LoadMatrix) -> Result<Self, RectpartError> {
+        rectpart_obs::incr(rectpart_obs::Counter::GammaBuilds);
         let rows = a.rows();
         let cols = a.cols();
         let w = cols + 1;
@@ -111,138 +272,266 @@ impl PrefixSum2D {
                     above.checked_add(row_sum).ok_or(RectpartError::Overflow)?;
             }
         }
+        rectpart_obs::exec_add(
+            rectpart_obs::ExecStat::GammaCheckedOps,
+            2 * (rows * cols) as u64,
+        );
         if rows == 0 || cols == 0 {
             min_cell = 0;
         }
         let total = g[(rows + 1) * w - 1];
-        Ok(Self {
+        Ok(Self::from_dense(rows, cols, g, total, max_cell, min_cell))
+    }
+
+    fn from_dense(
+        rows: usize,
+        cols: usize,
+        g: Vec<u64>,
+        total: u64,
+        max_cell: u32,
+        min_cell: u32,
+    ) -> Self {
+        Self {
             rows,
             cols,
-            g,
+            repr: Repr::Dense(g),
             total,
             max_cell,
             min_cell,
-        })
+        }
+    }
+
+    /// Blocked single-thread construction. Each row is swept in
+    /// [`TILE`]-column tiles with three branch-light inner loops —
+    /// extrema, row-prefix scan, column add — and the overflow checks
+    /// hoisted to tile boundaries:
+    ///
+    /// * the row-prefix scan runs unchecked whenever the incoming carry
+    ///   is below [`TILE_CARRY_GUARD`] (a whole tile of `u32` additions
+    ///   then provably cannot wrap), falling back to per-cell checked
+    ///   adds only in the astronomically rare tail;
+    /// * the column add exploits that exact Γ entries are monotone in
+    ///   `c` within a row: a single `checked_add` on the tile's **last**
+    ///   lane overflows exactly when any lane of the tile would, so the
+    ///   other lanes use plain wrapping adds (wrapped intermediates are
+    ///   never kept — the boundary check errs out first).
+    ///
+    /// Both arguments of every boundary check are exact by induction
+    /// (previous rows and the current row-prefix passed their checks),
+    /// so this errs **iff** the per-cell-checked
+    /// [`Self::try_new_reference`] errs — iff the grand total reaches
+    /// 2⁶⁴ — and is bit-identical on success.
+    fn try_new_serial(a: &LoadMatrix) -> Result<Self, RectpartError> {
+        let rows = a.rows();
+        let cols = a.cols();
+        let w = cols + 1;
+        let mut g = vec![0u64; (rows + 1) * w];
+        let mut max_cell = 0u32;
+        let mut min_cell = u32::MAX;
+        let mut checked_ops = 0u64;
+        for r in 0..rows {
+            let src = a.row(r);
+            let (head, tail) = g.split_at_mut((r + 1) * w);
+            let prev = &head[r * w..];
+            let cur = &mut tail[..w];
+            let mut carry = 0u64;
+            let mut t0 = 0usize;
+            while t0 < cols {
+                let t1 = (t0 + TILE).min(cols);
+                for &v in &src[t0..t1] {
+                    max_cell = max_cell.max(v);
+                    min_cell = min_cell.min(v);
+                }
+                if carry <= TILE_CARRY_GUARD {
+                    // One guard check covers the whole tile.
+                    checked_ops += 1;
+                    let mut rs = carry;
+                    for c in t0..t1 {
+                        rs += src[c] as u64;
+                        cur[c + 1] = rs;
+                    }
+                    carry = rs;
+                } else {
+                    for c in t0..t1 {
+                        carry = carry
+                            .checked_add(src[c] as u64)
+                            .ok_or(RectpartError::Overflow)?;
+                        cur[c + 1] = carry;
+                    }
+                    checked_ops += (t1 - t0) as u64;
+                }
+                for c in t0 + 1..t1 {
+                    cur[c] = cur[c].wrapping_add(prev[c]);
+                }
+                cur[t1] = cur[t1]
+                    .checked_add(prev[t1])
+                    .ok_or(RectpartError::Overflow)?;
+                checked_ops += 1;
+                t0 = t1;
+            }
+        }
+        rectpart_obs::add(
+            rectpart_obs::Counter::GammaTileSweeps,
+            (rows * cols.div_ceil(TILE)) as u64,
+        );
+        rectpart_obs::exec_add(rectpart_obs::ExecStat::GammaCheckedOps, checked_ops);
+        if rows == 0 || cols == 0 {
+            min_cell = 0;
+        }
+        let total = g[(rows + 1) * w - 1];
+        Ok(Self::from_dense(rows, cols, g, total, max_cell, min_cell))
     }
 
     /// Two-pass blocked scan.
     ///
     /// 1. Every row `r` gets its 1D prefix sums written into Γ row `r+1`
-    ///    (parallel over rows; also collects per-row extrema).
+    ///    (parallel over rows; also collects per-row extrema). Rows are
+    ///    swept in the same [`TILE`]-column tiles as the serial path,
+    ///    with the same hoisted carry guard.
     /// 2. Rows are grouped into contiguous blocks. Each block accumulates
     ///    its rows top-to-bottom (parallel over blocks); the running
     ///    block offsets — the true Γ values of each block's last row —
     ///    are then folded serially and added back to every row of the
-    ///    later blocks (parallel over blocks again).
+    ///    later blocks (parallel over blocks again). Every row of these
+    ///    passes is monotone in `c`, so a single `checked_add` on the
+    ///    last column stands in for per-cell checks (see
+    ///    [`Self::try_new_serial`] for the argument).
     ///
     /// All sums are exact `u64` additions of non-negative values, so the
     /// intermediate values never exceed the final Γ entries and the
-    /// checked additions report overflow exactly when the serial pass
+    /// boundary checks report overflow exactly when the serial pass
     /// would. Workers never panic on overflow — each closure returns a
-    /// success flag and the forking thread surfaces the `Err`.
+    /// success marker and the forking thread surfaces the `Err`.
     fn try_new_parallel(a: &LoadMatrix) -> Result<Self, RectpartError> {
         let rows = a.rows();
         let cols = a.cols();
         let w = cols + 1;
         let mut g = vec![0u64; (rows + 1) * w];
+        let mut checked_ops = 0u64;
 
         // Pass 1: per-row prefix sums + extrema. Γ row r+1 is the chunk
         // of length w starting at (r+1)*w; chunking g[w..] by w visits
         // exactly the non-border rows. `None` marks an overflowing row.
-        let extrema: Vec<Option<(u32, u32)>> =
+        let extrema: Vec<Option<(u32, u32, u64)>> =
             rectpart_parallel::map_chunks_mut(&mut g[w..], w, |r, grow| {
                 let src = a.row(r);
-                let mut row_sum = 0u64;
                 let mut mx = 0u32;
                 let mut mn = u32::MAX;
-                for c in 0..cols {
-                    let v = src[c];
-                    mx = mx.max(v);
-                    mn = mn.min(v);
-                    row_sum = row_sum.checked_add(v as u64)?;
-                    grow[c + 1] = row_sum;
+                let mut ops = 0u64;
+                let mut carry = 0u64;
+                let mut t0 = 0usize;
+                while t0 < cols {
+                    let t1 = (t0 + TILE).min(cols);
+                    for &v in &src[t0..t1] {
+                        mx = mx.max(v);
+                        mn = mn.min(v);
+                    }
+                    if carry <= TILE_CARRY_GUARD {
+                        ops += 1;
+                        let mut rs = carry;
+                        for c in t0..t1 {
+                            rs += src[c] as u64;
+                            grow[c + 1] = rs;
+                        }
+                        carry = rs;
+                    } else {
+                        for c in t0..t1 {
+                            carry = carry.checked_add(src[c] as u64)?;
+                            grow[c + 1] = carry;
+                        }
+                        ops += (t1 - t0) as u64;
+                    }
+                    t0 = t1;
                 }
-                Some((mx, mn))
+                Some((mx, mn, ops))
             });
         let mut max_cell = 0u32;
         let mut min_cell = u32::MAX;
         for row_extrema in extrema {
-            let (rmx, rmn) = row_extrema.ok_or(RectpartError::Overflow)?;
+            let (rmx, rmn, ops) = row_extrema.ok_or(RectpartError::Overflow)?;
             max_cell = max_cell.max(rmx);
             min_cell = min_cell.min(rmn);
+            checked_ops += ops;
         }
 
-        // Pass 2a: block-local column accumulation (`false` = overflow).
+        // Pass 2a: block-local column accumulation (`None` = overflow).
+        // Accumulated rows are monotone in c, so each row needs only one
+        // boundary check on its last column.
         let threads = rectpart_parallel::current_threads();
         let block_rows = rows.div_ceil(threads.max(2)).max(1);
         let ok = rectpart_parallel::map_chunks_mut(&mut g[w..], block_rows * w, |_, block| {
             let n_rows = block.len() / w;
+            let mut ops = 0u64;
             for r in 1..n_rows {
-                for c in 1..w {
-                    match block[r * w + c].checked_add(block[(r - 1) * w + c]) {
-                        Some(v) => block[r * w + c] = v,
-                        None => return false,
-                    }
+                let (prev, cur) = block.split_at_mut(r * w);
+                let prev = &prev[(r - 1) * w..];
+                for c in 1..w - 1 {
+                    cur[c] = cur[c].wrapping_add(prev[c]);
                 }
+                cur[w - 1] = cur[w - 1].checked_add(prev[w - 1])?;
+                ops += 1;
             }
-            true
+            Some(ops)
         });
-        if ok.contains(&false) {
-            return Err(RectpartError::Overflow);
+        for block_ops in ok {
+            checked_ops += block_ops.ok_or(RectpartError::Overflow)?;
         }
 
         // Pass 2b: serial fold of block offsets. After 2a, each block's
         // last row holds the block-local column sums, so the running
         // prefix over those is the true Γ row at each block boundary —
-        // the offset the next block needs. O(threads · cols) work.
+        // the offset the next block needs. O(threads · cols) work; the
+        // running row is monotone in c, so one boundary check per block.
         let n_blocks = rows.div_ceil(block_rows);
         let mut offsets: Vec<Vec<u64>> = Vec::with_capacity(n_blocks.saturating_sub(1));
         let mut running = vec![0u64; w];
         for b in 0..n_blocks.saturating_sub(1) {
             let last_row = (b + 1) * block_rows; // 1-based Γ row; never the final block
-            for c in 0..w {
-                running[c] = running[c]
-                    .checked_add(g[last_row * w + c])
-                    .ok_or(RectpartError::Overflow)?;
+            for c in 0..w - 1 {
+                running[c] = running[c].wrapping_add(g[last_row * w + c]);
             }
+            running[w - 1] = running[w - 1]
+                .checked_add(g[last_row * w + w - 1])
+                .ok_or(RectpartError::Overflow)?;
+            checked_ops += 1;
             offsets.push(running.clone());
         }
 
-        // Pass 2c: add each block's offset to all of its rows.
+        // Pass 2c: add each block's offset to all of its rows. Offset
+        // and row are both monotone in c: one boundary check per row.
         let offsets = &offsets;
         let ok = rectpart_parallel::map_chunks_mut(&mut g[w..], block_rows * w, |b, block| {
             if b == 0 {
-                return true;
+                return Some(0u64);
             }
             let off = &offsets[b - 1];
             let n_rows = block.len() / w;
+            let mut ops = 0u64;
             for r in 0..n_rows {
-                for c in 1..w {
-                    match block[r * w + c].checked_add(off[c]) {
-                        Some(v) => block[r * w + c] = v,
-                        None => return false,
-                    }
+                let row = &mut block[r * w..(r + 1) * w];
+                for c in 1..w - 1 {
+                    row[c] = row[c].wrapping_add(off[c]);
                 }
+                row[w - 1] = row[w - 1].checked_add(off[w - 1])?;
+                ops += 1;
             }
-            true
+            Some(ops)
         });
-        if ok.contains(&false) {
-            return Err(RectpartError::Overflow);
+        for block_ops in ok {
+            checked_ops += block_ops.ok_or(RectpartError::Overflow)?;
         }
 
+        rectpart_obs::add(
+            rectpart_obs::Counter::GammaTileSweeps,
+            (rows * cols.div_ceil(TILE)) as u64,
+        );
+        rectpart_obs::exec_add(rectpart_obs::ExecStat::GammaCheckedOps, checked_ops);
         if rows == 0 || cols == 0 {
             min_cell = 0;
             max_cell = 0;
         }
         let total = g[(rows + 1) * w - 1];
-        Ok(Self {
-            rows,
-            cols,
-            g,
-            total,
-            max_cell,
-            min_cell,
-        })
+        Ok(Self::from_dense(rows, cols, g, total, max_cell, min_cell))
     }
 
     /// Number of rows of the underlying matrix.
@@ -279,15 +568,53 @@ impl PrefixSum2D {
         }
     }
 
-    /// Load of rows `[r0, r1)` × cols `[c0, c1)` in O(1).
+    /// `true` when this instance holds the sparse backend.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse(_))
+    }
+
+    /// The backend actually selected ([`GammaMode::Dense`] or
+    /// [`GammaMode::Sparse`], never `Auto`).
+    pub fn backend(&self) -> GammaMode {
+        match self.repr {
+            Repr::Dense(_) => GammaMode::Dense,
+            Repr::Sparse(_) => GammaMode::Sparse,
+        }
+    }
+
+    /// Heap bytes held by the Γ representation.
+    pub fn gamma_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(g) => g.len() * std::mem::size_of::<u64>(),
+            Repr::Sparse(s) => s.gamma_bytes(),
+        }
+    }
+
+    /// The dense Γ entries, when the dense backend is active (tests
+    /// compare constructions entry by entry).
+    #[cfg(test)]
+    pub(crate) fn dense_entries(&self) -> Option<&[u64]> {
+        match &self.repr {
+            Repr::Dense(g) => Some(g),
+            Repr::Sparse(_) => None,
+        }
+    }
+
+    /// Load of rows `[r0, r1)` × cols `[c0, c1)`. O(1) on the dense
+    /// backend; see [`SparsePrefixSum::sum4`] for the sparse costs.
     #[inline]
     pub fn load4(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> u64 {
         debug_assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
-        let w = self.cols + 1;
-        self.g[r1 * w + c1] + self.g[r0 * w + c0] - self.g[r0 * w + c1] - self.g[r1 * w + c0]
+        match &self.repr {
+            Repr::Dense(g) => {
+                let w = self.cols + 1;
+                g[r1 * w + c1] + g[r0 * w + c0] - g[r0 * w + c1] - g[r1 * w + c0]
+            }
+            Repr::Sparse(s) => s.sum4(r0, r1, c0, c1),
+        }
     }
 
-    /// Load of a rectangle in O(1).
+    /// Load of a rectangle (O(1) on the dense backend).
     #[inline]
     pub fn load(&self, r: &Rect) -> u64 {
         self.load4(r.r0, r.r1, r.c0, r.c1)
@@ -310,6 +637,28 @@ impl PrefixSum2D {
     /// An axis-oriented view with `axis` as the main dimension.
     pub fn view(&self, axis: Axis) -> View<'_> {
         View { pfx: self, axis }
+    }
+}
+
+impl GammaBackend for PrefixSum2D {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn sum4(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> u64 {
+        self.load4(r0, r1, c0, c1)
+    }
+
+    fn gamma_bytes(&self) -> usize {
+        PrefixSum2D::gamma_bytes(self)
     }
 }
 
@@ -430,21 +779,103 @@ mod tests {
     }
 
     #[test]
+    fn blocked_serial_is_bit_identical_to_reference() {
+        let mut rng = StdRng::seed_from_u64(23);
+        // Shapes around the tile boundary, plus degenerate ones.
+        for (rows, cols) in [
+            (1, 7),
+            (3, TILE - 1),
+            (3, TILE),
+            (3, TILE + 1),
+            (2, 2 * TILE + 5),
+            (64, 1),
+            (9, 300),
+        ] {
+            let m = LoadMatrix::from_fn(rows, cols, |_, _| rng.gen_range(0..1000));
+            let reference = PrefixSum2D::try_new_reference(&m).unwrap();
+            let blocked = PrefixSum2D::try_new_serial(&m).unwrap();
+            assert_eq!(
+                blocked.dense_entries(),
+                reference.dense_entries(),
+                "{rows}x{cols}"
+            );
+            assert_eq!(blocked.max_cell, reference.max_cell);
+            assert_eq!(blocked.min_cell, reference.min_cell);
+            assert_eq!(blocked.total, reference.total);
+        }
+    }
+
+    #[test]
     fn parallel_scan_is_bit_identical_to_serial() {
         let mut rng = StdRng::seed_from_u64(11);
-        for (rows, cols) in [(1, 7), (2, 2), (37, 53), (64, 1), (100, 257)] {
+        for (rows, cols) in [(1, 7), (2, 2), (37, 53), (64, 1), (100, 257), (4, 1100)] {
             let m = LoadMatrix::from_fn(rows, cols, |_, _| rng.gen_range(0..1000));
             let serial = PrefixSum2D::try_new_serial(&m).unwrap();
             for t in [1, 2, 3, 8] {
                 let par = rectpart_parallel::with_threads(t, || {
                     PrefixSum2D::try_new_parallel(&m).unwrap()
                 });
-                assert_eq!(par.g, serial.g, "{rows}x{cols} threads={t}");
+                assert_eq!(
+                    par.dense_entries(),
+                    serial.dense_entries(),
+                    "{rows}x{cols} threads={t}"
+                );
                 assert_eq!(par.max_cell, serial.max_cell);
                 assert_eq!(par.min_cell, serial.min_cell);
                 assert_eq!(par.total, serial.total);
             }
         }
+    }
+
+    #[test]
+    fn sparse_backend_answers_identically_through_the_facade() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let m = LoadMatrix::from_fn(31, 57, |_, _| {
+            if rng.gen_bool(0.9) {
+                0
+            } else {
+                rng.gen_range(1..100)
+            }
+        });
+        let dense = PrefixSum2D::try_new_with(&m, GammaMode::Dense).unwrap();
+        let sparse = PrefixSum2D::try_new_with(&m, GammaMode::Sparse).unwrap();
+        assert!(!dense.is_sparse());
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.backend(), GammaMode::Sparse);
+        assert_eq!(dense.total(), sparse.total());
+        assert_eq!(dense.max_cell(), sparse.max_cell());
+        assert_eq!(dense.min_cell(), sparse.min_cell());
+        assert!(sparse.gamma_bytes() < dense.gamma_bytes());
+        for _ in 0..300 {
+            let r0 = rng.gen_range(0..=31);
+            let r1 = rng.gen_range(r0..=31);
+            let c0 = rng.gen_range(0..=57);
+            let c1 = rng.gen_range(c0..=57);
+            assert_eq!(
+                dense.load4(r0, r1, c0, c1),
+                sparse.load4(r0, r1, c0, c1),
+                "[{r0},{r1})x[{c0},{c1})"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_mode_obeys_the_zero_density_threshold() {
+        let dense_m = LoadMatrix::from_fn(16, 16, |_, _| 1);
+        let p = PrefixSum2D::try_new_with(&dense_m, GammaMode::Auto).unwrap();
+        assert!(!p.is_sparse(), "no zeros must stay dense");
+        let sparse_m =
+            LoadMatrix::from_fn(16, 16, |r, c| if (r * 16 + c) % 10 == 0 { 5 } else { 0 });
+        let p = PrefixSum2D::try_new_with(&sparse_m, GammaMode::Auto).unwrap();
+        assert!(p.is_sparse(), "90% zeros must go sparse");
+    }
+
+    #[test]
+    fn gamma_mode_parses() {
+        assert_eq!(GammaMode::parse("dense"), Some(GammaMode::Dense));
+        assert_eq!(GammaMode::parse(" SPARSE "), Some(GammaMode::Sparse));
+        assert_eq!(GammaMode::parse("Auto"), Some(GammaMode::Auto));
+        assert_eq!(GammaMode::parse("fast"), None);
     }
 
     #[test]
@@ -476,5 +907,7 @@ mod tests {
         let p = PrefixSum2D::try_new(&m).unwrap();
         assert_eq!(p.total(), 4 * u32::MAX as u64);
         assert!(rectpart_obs::work::spent() >= 5);
+        let r = PrefixSum2D::try_new_reference(&m).unwrap();
+        assert_eq!(r.total(), p.total());
     }
 }

@@ -7,7 +7,7 @@
 //!   max-over-stripes interval cost, alternating until the grid stops
 //!   improving.
 
-use rectpart_onedim::{nicol, Cuts, FnCost};
+use rectpart_onedim::{nicol_in, Cuts, FnCost, SolveScratch};
 
 use crate::geometry::{Axis, Rect};
 use crate::prefix::PrefixSum2D;
@@ -72,18 +72,21 @@ impl RectNicol {
         let (p, q) = self.grid.unwrap_or_else(|| grid_dims(m));
         assert!(p * q <= m, "grid {p}x{q} exceeds {m} processors");
 
+        // One scratch arena for the whole refinement: every 1D solve in
+        // the loop below reuses the same incumbent buffer.
+        let mut scratch = SolveScratch::new();
         // Start from the optimal 1D partition of the row projection.
         let row_proj = FnCost::additive(pfx.rows(), |a, b| pfx.load4(a, b, 0, pfx.cols()));
-        let mut rows = nicol(&row_proj, p).cuts;
-        let mut cols = refine(pfx, &rows, Axis::Cols, q).cuts;
+        let mut rows = nicol_in(&row_proj, p, &mut scratch).cuts;
+        let mut cols = refine(pfx, &rows, Axis::Cols, q, &mut scratch).cuts;
         let mut best = grid_lmax(pfx, &rows, &cols);
         let mut iterations = 1; // the initial row+column refinement
         rectpart_obs::incr(rectpart_obs::Counter::RectNicolRefineIters);
         rectpart_obs::trace_point(rectpart_obs::TraceId::RectNicolLmax, 0, 0, best);
 
         for _ in 0..self.max_iters {
-            let new_rows = refine(pfx, &cols, Axis::Rows, p);
-            let new_cols = refine(pfx, &new_rows.cuts, Axis::Cols, q);
+            let new_rows = refine(pfx, &cols, Axis::Rows, p, &mut scratch);
+            let new_cols = refine(pfx, &new_rows.cuts, Axis::Cols, q, &mut scratch);
             let lmax = grid_lmax(pfx, &new_rows.cuts, &new_cols.cuts);
             iterations += 1;
             rectpart_obs::incr(rectpart_obs::Counter::RectNicolRefineIters);
@@ -133,6 +136,7 @@ fn refine(
     fixed: &Cuts,
     refined_axis: Axis,
     parts: usize,
+    scratch: &mut SolveScratch,
 ) -> rectpart_onedim::OneDimResult {
     let stripes: Vec<(usize, usize)> = fixed.intervals().filter(|(a, b)| a < b).collect();
     let n = match refined_axis {
@@ -150,7 +154,7 @@ fn refine(
     let cost = FnCost::new(n, move |a, b| {
         stripe_prefix.iter().map(|p| p[b] - p[a]).max().unwrap_or(0)
     });
-    nicol(&cost, parts)
+    nicol_in(&cost, parts, scratch)
 }
 
 /// Bottleneck of the rectilinear grid defined by the two cut sets. The
@@ -272,7 +276,7 @@ mod tests {
         let mat = LoadMatrix::from_vec(2, 4, vec![9, 1, 1, 1, 1, 1, 1, 9]);
         let pfx = PrefixSum2D::new(&mat);
         let rows = Cuts::new(vec![0, 1, 2]);
-        let r = refine(&pfx, &rows, Axis::Cols, 2);
+        let r = refine(&pfx, &rows, Axis::Cols, 2, &mut SolveScratch::new());
         // Any column split leaves a 9 on each side; best bottleneck is
         // max over stripes.
         assert_eq!(r.bottleneck, grid_lmax(&pfx, &rows, &r.cuts));

@@ -172,6 +172,60 @@ fn injected_worker_panics_are_output_invariant() {
     assert_eq!(serial.rects(), faulted.rects());
 }
 
+/// The Γ backend is a pure representation choice: every partitioner
+/// must produce the same rectangles whether queries are answered from
+/// the dense table or the CSR-like sparse structure, at one thread and
+/// at many. This is the contract that lets `--gamma auto` flip the
+/// backend on sparse instances without changing any answer.
+#[test]
+fn sparse_backend_solutions_are_bit_identical_to_dense() {
+    use rectpart_core::GammaMode;
+    for seed in 0..2u64 {
+        // ≥90%-zero instance, the regime where auto mode picks sparse.
+        let mut rng = StdRng::seed_from_u64(0x5AA5 + seed);
+        let mat = LoadMatrix::from_fn(41, 37, |_, _| {
+            if rng.gen_bool(0.92) {
+                0
+            } else {
+                rng.gen_range(1..50)
+            }
+        });
+        let dense = PrefixSum2D::try_new_with(&mat, GammaMode::Dense).unwrap();
+        let sparse = PrefixSum2D::try_new_with(&mat, GammaMode::Sparse).unwrap();
+        assert!(!dense.is_sparse());
+        assert!(
+            sparse.is_sparse(),
+            "sparse mode must engage the CSR backend"
+        );
+        assert_eq!(dense.total(), sparse.total());
+        assert_eq!(dense.max_cell(), sparse.max_cell());
+        assert_eq!(dense.min_cell(), sparse.min_cell());
+        let algos: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(RectUniform::default()),
+            Box::new(RectNicol::default()),
+            Box::new(JagMHeur::best()),
+            Box::new(JagPqHeur::best()),
+            Box::new(JagMOpt::default()),
+            Box::new(HierRb::load()),
+            Box::new(HierRelaxed::load()),
+        ];
+        for algo in &algos {
+            for m in [4, 9, 16] {
+                for threads in [1, 4] {
+                    let d: Partition = with_threads(threads, || algo.partition(&dense, m));
+                    let s: Partition = with_threads(threads, || algo.partition(&sparse, m));
+                    assert_eq!(
+                        d.rects(),
+                        s.rects(),
+                        "{} m={m} threads={threads}: sparse backend diverged from dense",
+                        algo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn parallelism_config_matches_with_threads() {
     let mat = random_matrix(300, 257, 9, false);

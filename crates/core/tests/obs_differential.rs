@@ -93,6 +93,19 @@ fn work_counters_are_thread_invariant_across_all_families() {
             let m = random_matrix(300, 260, 3, false);
             Box::new(move || drop(PrefixSum2D::new(&m)))
         }),
+        ("GAMMA-BUILD-SPARSE", {
+            // ~92% zeros: exercises the CSR-like backend (run detection,
+            // SparseGammaRuns) through the forced-sparse constructor.
+            let mut rng = StdRng::seed_from_u64(13);
+            let m = LoadMatrix::from_fn(120, 95, |_, _| {
+                if rng.gen_bool(0.92) {
+                    0
+                } else {
+                    rng.gen_range(1..40)
+                }
+            });
+            Box::new(move || drop(PrefixSum2D::try_new_sparse(&m).unwrap()))
+        }),
     ];
 
     for (label, run) in &families {
@@ -121,4 +134,47 @@ fn work_counters_are_thread_invariant_across_all_families() {
             );
         }
     }
+
+    // The substrate counters introduced with the blocked/sparse Γ
+    // builds and the scratch arena are work counters too: they must be
+    // present (the paths really ran) on top of the generic invariance
+    // proven above.
+    let get = |view: &rectpart_obs::DeterministicView, name: &str| {
+        view.0
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let dense_build = counters_under(1, || {
+        drop(PrefixSum2D::new(&random_matrix(300, 260, 3, false)))
+    });
+    assert!(
+        get(&dense_build, "core.gamma.tile_sweeps") > 0,
+        "blocked dense build must record tile sweeps"
+    );
+    let mut rng = StdRng::seed_from_u64(13);
+    let sparse_mat = LoadMatrix::from_fn(120, 95, |_, _| {
+        if rng.gen_bool(0.92) {
+            0
+        } else {
+            rng.gen_range(1..40)
+        }
+    });
+    let sparse_build = counters_under(1, || {
+        drop(PrefixSum2D::try_new_sparse(&sparse_mat).unwrap())
+    });
+    assert!(
+        get(&sparse_build, "core.gamma.sparse_runs") > 0,
+        "sparse build must record nonzero runs"
+    );
+    let scratch_solve = counters_under(1, || drop(JagMOpt::default().partition(&small, 6)));
+    assert!(
+        get(&scratch_solve, "onedim.scratch.allocs") > 0,
+        "scratch arena checkouts must be counted"
+    );
+    assert!(
+        get(&scratch_solve, "onedim.scratch.reuses") > 0,
+        "repeated per-stripe solves must reuse scratch capacity"
+    );
 }

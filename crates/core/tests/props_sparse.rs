@@ -1,0 +1,108 @@
+//! Property tests for the sparse Γ backend: on arbitrary matrices (any
+//! zero density, including all-zero and fully dense), the CSR-like
+//! [`SparsePrefixSum`] must answer every rectangle query with exactly
+//! the value the dense prefix-sum table produces, and the facade's
+//! metadata (total, extrema) must agree. The overflow path is pinned
+//! separately via fault injection: forced Γ overflow must surface as
+//! `RectpartError::Overflow` from the sparse constructor too, never as
+//! a wrong answer.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rectpart_core::{GammaBackend, GammaMode, LoadMatrix, PrefixSum2D, SparsePrefixSum};
+
+/// Matrix dimensions plus a flat cell vector with a tunable zero bias:
+/// `density_sel` drives the fraction of nonzero cells from ~2% to ~100%.
+fn arb_matrix() -> impl Strategy<Value = (usize, usize, Vec<u32>)> {
+    (1usize..24, 1usize..24, 0u32..4).prop_flat_map(|(rows, cols, density_sel)| {
+        let nonzero = 2 + density_sel * 33; // ~2%, 35%, 68%, 100% nonzero
+        (
+            Just(rows),
+            Just(cols),
+            vec((0u32..100, 1u32..500), rows * cols).prop_map(move |cells| {
+                cells
+                    .into_iter()
+                    .map(|(p, v)| if p < nonzero { v } else { 0 })
+                    .collect()
+            }),
+        )
+    })
+}
+
+fn matrix_from(rows: usize, cols: usize, cells: &[u32]) -> LoadMatrix {
+    LoadMatrix::from_fn(rows, cols, |r, c| cells[r * cols + c])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sparse_sum_matches_dense_on_every_rectangle(
+        shape in arb_matrix(),
+        corners in vec((0usize..24, 0usize..24, 0usize..24, 0usize..24), 16),
+    ) {
+        let (rows, cols, cells) = shape;
+        let m = matrix_from(rows, cols, &cells);
+        let dense = PrefixSum2D::try_new_with(&m, GammaMode::Dense).unwrap();
+        let sparse = SparsePrefixSum::try_new(&m).unwrap();
+        prop_assert_eq!(sparse.total(), dense.total());
+        prop_assert_eq!(sparse.max_cell(), dense.max_cell());
+        prop_assert_eq!(sparse.min_cell(), dense.min_cell());
+        for &(a, b, c, d) in &corners {
+            let (r0, r1) = ((a % rows).min(b % rows), (a % rows).max(b % rows) + 1);
+            let (c0, c1) = ((c % cols).min(d % cols), (c % cols).max(d % cols) + 1);
+            prop_assert_eq!(
+                sparse.sum4(r0, r1, c0, c1),
+                dense.sum4(r0, r1, c0, c1),
+                "{}x{} rect [{},{})x[{},{})", rows, cols, r0, r1, c0, c1
+            );
+        }
+        // Degenerate (empty) rectangles answer 0 on both backends.
+        prop_assert_eq!(sparse.sum4(0, 0, 0, cols), 0);
+        prop_assert_eq!(dense.sum4(0, 0, 0, cols), 0);
+    }
+
+    #[test]
+    fn facade_backends_agree_on_full_row_and_column_bands(
+        shape in arb_matrix(),
+    ) {
+        // Full-width and full-height queries take the O(1) border fast
+        // paths in the sparse backend; sweep them all.
+        let (rows, cols, cells) = shape;
+        let m = matrix_from(rows, cols, &cells);
+        let dense = PrefixSum2D::try_new_with(&m, GammaMode::Dense).unwrap();
+        let sparse = PrefixSum2D::try_new_with(&m, GammaMode::Sparse).unwrap();
+        prop_assert!(sparse.is_sparse());
+        for r in 0..rows {
+            prop_assert_eq!(sparse.load4(r, rows, 0, cols), dense.load4(r, rows, 0, cols));
+            prop_assert_eq!(sparse.load4(0, r + 1, 0, cols), dense.load4(0, r + 1, 0, cols));
+        }
+        for c in 0..cols {
+            prop_assert_eq!(sparse.load4(0, rows, c, cols), dense.load4(0, rows, c, cols));
+            prop_assert_eq!(sparse.load4(0, rows, 0, c + 1), dense.load4(0, rows, 0, c + 1));
+        }
+    }
+}
+
+/// Forced Γ overflow must surface as `RectpartError::Overflow` from the
+/// sparse constructor exactly as it does from the dense ones — the
+/// fallible surface is backend-independent.
+#[cfg(feature = "faultinject")]
+#[test]
+fn sparse_constructor_surfaces_injected_overflow() {
+    use rectpart_core::RectpartError;
+    use rectpart_obs::fault::{self, FaultConfig};
+    let m = LoadMatrix::from_fn(6, 5, |r, c| (r + c) as u32);
+    fault::install(FaultConfig {
+        force_gamma_overflow: true,
+        ..FaultConfig::default()
+    });
+    let raw = SparsePrefixSum::try_new(&m);
+    let facade = PrefixSum2D::try_new_with(&m, GammaMode::Sparse);
+    fault::clear();
+    assert!(matches!(raw, Err(RectpartError::Overflow)));
+    assert!(matches!(facade, Err(RectpartError::Overflow)));
+    // With the plan cleared both succeed and agree.
+    let ok = SparsePrefixSum::try_new(&m).unwrap();
+    assert_eq!(ok.total(), PrefixSum2D::try_new(&m).unwrap().total());
+}

@@ -5,7 +5,7 @@ use std::path::Path;
 
 use rectpart_core::{
     standard_heuristics, HierRb, JagMHeur, JagPqHeur, JagPqOpt, LoadMatrix, Partition, Partitioner,
-    PrefixSum2D, RectNicol,
+    RectNicol,
 };
 use rectpart_workloads::io::write_pgm;
 use rectpart_workloads::{diagonal, multi_peak, peak, uniform};
@@ -18,7 +18,7 @@ use crate::instances::Instances;
 pub fn fig1(out: &Path) {
     let n = 16;
     let matrix = peak(n, n, 3).build();
-    let pfx = PrefixSum2D::new(&matrix);
+    let pfx = crate::common::gamma(&matrix);
     let shapes: Vec<(&str, Partition)> = vec![
         (
             "(a) rectilinear 4x3 (RECT-NICOL)",
@@ -105,7 +105,7 @@ pub fn fig2(instances: &Instances, out: &Path) {
 pub fn fig6(scale: Scale, out: &Path) {
     let n = 512;
     let matrix = uniform(n, n, 6).delta(1.2).build();
-    let pfx = PrefixSum2D::new(&matrix);
+    let pfx = crate::common::gamma(&matrix);
     let mut algos = standard_heuristics();
     algos.push(Box::new(JagPqOpt::default()));
     let pq_opt_cap = scale.pick(400, 10_000);
@@ -158,7 +158,7 @@ pub fn fig12(instances: &Instances, out: &Path) {
         columns,
     );
     let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(trace, |snap| {
-        let pfx = PrefixSum2D::new(&snap.matrix);
+        let pfx = crate::common::gamma(&snap.matrix);
         algos
             .iter()
             .map(|a| Some(run_imbalance(a.as_ref(), &pfx, m)))
@@ -175,7 +175,7 @@ pub fn fig12(instances: &Instances, out: &Path) {
 /// while `m` varies.
 pub fn fig13(instances: &Instances, out: &Path) {
     let snap = instances.pic_at(20_000);
-    let pfx = PrefixSum2D::new(&snap.matrix);
+    let pfx = crate::common::gamma(&snap.matrix);
     let algos = standard_heuristics();
     let ms = instances.scale.square_ms(2_500);
     let table = imbalance_sweep(
@@ -196,7 +196,7 @@ pub fn fig13(instances: &Instances, out: &Path) {
 /// shape: the sparsity drives most algorithms to large imbalance; only
 /// the hierarchical methods stay low, HIER-RELAXED lowest.
 pub fn fig14(instances: &Instances, out: &Path) {
-    let pfx = PrefixSum2D::new(instances.slac());
+    let pfx = crate::common::gamma(instances.slac());
     let algos = standard_heuristics();
     let ms = instances.scale.square_ms(2_500);
     let table = imbalance_sweep(

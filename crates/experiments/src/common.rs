@@ -4,8 +4,16 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use rectpart_core::{Partition, Partitioner, PrefixSum2D};
+use rectpart_core::{LoadMatrix, Partition, Partitioner, PrefixSum2D};
 use rectpart_json::{Json, ToJson};
+
+/// Builds the Γ prefix-sum structure for an experiment instance through
+/// the fallible constructor (honoring the `RECTPART_GAMMA` backend
+/// override). Experiment generators never overflow u64 totals, so an
+/// `Err` here is a bug in the instance, not a recoverable condition.
+pub fn gamma(matrix: &LoadMatrix) -> PrefixSum2D {
+    PrefixSum2D::try_new(matrix).expect("experiment instance overflows u64 total load")
+}
 
 /// Experiment scale. Defaults to laptop-sized runs; `--full` switches to
 /// the paper's instance sizes and processor counts.

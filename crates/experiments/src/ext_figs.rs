@@ -17,7 +17,7 @@ use crate::instances::{aggregate_imbalance, Instances};
 /// baseline grid.
 pub fn ext_a(instances: &Instances, out: &Path) {
     let snap = instances.pic_at(20_000);
-    let pfx = PrefixSum2D::new(&snap.matrix);
+    let pfx = crate::common::gamma(&snap.matrix);
     let algos = standard_heuristics();
     let sim = Simulator::default();
     let ms = instances.scale.square_ms(2_500);
@@ -98,7 +98,7 @@ pub fn ext_b(instances: &Instances, out: &Path) {
 /// heuristic on the PIC-MAG snapshot.
 pub fn ext_c(instances: &Instances, out: &Path) {
     let snap = instances.pic_at(20_000);
-    let pfx = PrefixSum2D::new(&snap.matrix);
+    let pfx = crate::common::gamma(&snap.matrix);
     let algos = standard_heuristics();
     let sim = Simulator::default();
     let ms = instances.scale.square_ms(2_500);
@@ -147,7 +147,7 @@ pub fn ext_d(scale: Scale, out: &Path) {
     );
     for &delta in &deltas {
         let instances: Vec<PrefixSum2D> = rectpart_parallel::map_range(count, |seed| {
-            PrefixSum2D::new(&uniform(n, n, seed as u64).delta(delta).build())
+            crate::common::gamma(&uniform(n, n, seed as u64).delta(delta).build())
         });
         let values = policies
             .iter()
@@ -171,7 +171,7 @@ pub fn ext_d(scale: Scale, out: &Path) {
 pub fn ext_e(instances: &Instances, out: &Path) {
     use rectpart_core::{HierRelaxed, JagMHeur, Partitioner, SpiralRelaxed};
     let snap = instances.pic_at(20_000);
-    let pfx = PrefixSum2D::new(&snap.matrix);
+    let pfx = crate::common::gamma(&snap.matrix);
     let algos: Vec<Box<dyn Partitioner>> = vec![
         Box::new(SpiralRelaxed::default()),
         Box::new(HierRelaxed::load()),
@@ -192,7 +192,7 @@ pub fn ext_e(instances: &Instances, out: &Path) {
 /// Ext-F: 3D partitioning of the PIC-MAG volume against the paper's
 /// accumulate-to-2D pipeline, over m.
 pub fn ext_f(instances: &Instances, out: &Path) {
-    use rectpart_core::{JagMHeur, Partitioner, PrefixSum2D};
+    use rectpart_core::{JagMHeur, Partitioner};
     use rectpart_volume::{Axis3, HierRb3, HierRelaxed3, JagMHeur3, Partitioner3, PrefixSum3D};
     use rectpart_workloads::{Pic3Config, Pic3Simulation};
 
@@ -218,7 +218,7 @@ pub fn ext_f(instances: &Instances, out: &Path) {
     let volume = volume.unwrap();
     let pfx3 = PrefixSum3D::new(&volume);
     let flat = volume.flatten(Axis3::Z);
-    let pfx2 = PrefixSum2D::new(&flat);
+    let pfx2 = crate::common::gamma(&flat);
 
     let ms = scale.square_ms(1_600);
     let mut table = Table::new(
@@ -259,7 +259,7 @@ pub fn ext_g(instances: &Instances, out: &Path) {
 
     let snap = instances.pic_at(20_000);
     let matrix = &snap.matrix;
-    let pfx = PrefixSum2D::new(matrix);
+    let pfx = crate::common::gamma(matrix);
     let m = instances.scale.pick(900, 9_216);
     let mut table = Table::new(
         "extG",
@@ -290,8 +290,8 @@ pub fn ext_g(instances: &Instances, out: &Path) {
 pub fn ext_h(instances: &Instances, out: &Path) {
     use rectpart_core::RectNicol;
     let scale = instances.scale;
-    let uniform_pfx = PrefixSum2D::new(&uniform(514, 514, 31).delta(1.2).build());
-    let pic_pfx = PrefixSum2D::new(&instances.pic_at(20_000).matrix);
+    let uniform_pfx = crate::common::gamma(&uniform(514, 514, 31).delta(1.2).build());
+    let pic_pfx = crate::common::gamma(&instances.pic_at(20_000).matrix);
     let ms = scale.square_ms(2_500);
     let mut table = Table::new(
         "extH",

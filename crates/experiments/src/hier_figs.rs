@@ -67,7 +67,10 @@ fn build_instances(build: impl Fn(u64) -> PrefixSum2D + Sync + Send, n: usize) -
 pub fn fig3(scale: Scale, out: &Path) {
     let n = scale.pick(256, 1024);
     let count = scale.pick(3, 10);
-    let instances = build_instances(|seed| PrefixSum2D::new(&peak(n, n, seed).build()), count);
+    let instances = build_instances(
+        |seed| crate::common::gamma(&peak(n, n, seed).build()),
+        count,
+    );
     let ms = scale.square_ms(2_500);
     let table = synthetic_sweep(
         "fig3",
@@ -87,7 +90,7 @@ pub fn fig4(scale: Scale, out: &Path) {
     let n = scale.pick(192, 512);
     let count = scale.pick(3, 10);
     let instances = build_instances(
-        |seed| PrefixSum2D::new(&multi_peak(n, n, seed).build()),
+        |seed| crate::common::gamma(&multi_peak(n, n, seed).build()),
         count,
     );
     let ms = scale.square_ms(1_600);
@@ -108,7 +111,7 @@ pub fn fig5(scale: Scale, out: &Path) {
     let n = scale.pick(1024, 4096);
     let count = scale.pick(2, 10);
     let instances = build_instances(
-        |seed| PrefixSum2D::new(&diagonal(n, n, seed).build()),
+        |seed| crate::common::gamma(&diagonal(n, n, seed).build()),
         count,
     );
     let ms = scale.square_ms(1_600);
@@ -129,7 +132,7 @@ pub fn fig10(scale: Scale, out: &Path) {
     let n = scale.pick(1024, 4096);
     let count = scale.pick(2, 10);
     let instances = build_instances(
-        |seed| PrefixSum2D::new(&diagonal(n, n, seed).build()),
+        |seed| crate::common::gamma(&diagonal(n, n, seed).build()),
         count,
     );
     let algos: Vec<Box<dyn Partitioner>> =
@@ -163,7 +166,7 @@ pub fn fig11(instances: &Instances, out: &Path) {
         columns,
     );
     let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(trace, |snap| {
-        let pfx = PrefixSum2D::new(&snap.matrix);
+        let pfx = crate::common::gamma(&snap.matrix);
         algos
             .iter()
             .map(|a| Some(crate::common::run_imbalance(a.as_ref(), &pfx, m)))

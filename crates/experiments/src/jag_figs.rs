@@ -2,7 +2,7 @@
 
 use std::path::Path;
 
-use rectpart_core::{bounds, JagMHeur, JagMOpt, JagPqHeur, JagPqOpt, Partitioner, PrefixSum2D};
+use rectpart_core::{bounds, JagMHeur, JagMOpt, JagPqHeur, JagPqOpt, Partitioner};
 use rectpart_workloads::uniform;
 
 use crate::common::{run_imbalance, Scale, Table};
@@ -15,7 +15,7 @@ use crate::instances::Instances;
 pub fn fig7(instances: &Instances, out: &Path) {
     let scale = instances.scale;
     let snap = instances.pic_at(30_000);
-    let pfx = PrefixSum2D::new(&snap.matrix);
+    let pfx = crate::common::gamma(&snap.matrix);
     let heuristics: Vec<Box<dyn Partitioner>> = vec![
         Box::new(JagPqHeur::best()),
         Box::new(JagPqOpt::default()),
@@ -88,7 +88,7 @@ pub fn fig8(instances: &Instances, out: &Path) {
         columns,
     );
     let cells: Vec<Vec<Option<f64>>> = rectpart_parallel::map_slice(trace, |snap| {
-        let pfx = PrefixSum2D::new(&snap.matrix);
+        let pfx = crate::common::gamma(&snap.matrix);
         algos
             .iter()
             .enumerate()
@@ -117,7 +117,7 @@ pub fn fig9(scale: Scale, out: &Path) {
     let n = 514;
     let m = 800;
     let matrix = uniform(n, n, 9).delta(1.2).build();
-    let pfx = PrefixSum2D::new(&matrix);
+    let pfx = crate::common::gamma(&matrix);
     let delta = pfx.delta().expect("uniform instances are positive");
     let ps: Vec<usize> = (1..m.min(301))
         .filter(|&p| p <= 24 || (p <= 100 && p % 5 == 0) || p % 20 == 0)

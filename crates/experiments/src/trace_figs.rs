@@ -12,7 +12,7 @@
 
 use std::path::Path;
 
-use rectpart_core::{JagMOpt, Partitioner, PrefixSum2D, RectNicol};
+use rectpart_core::{JagMOpt, Partitioner, RectNicol};
 use rectpart_json::{Json, ToJson};
 use rectpart_obs::Recorder;
 use rectpart_workloads::{multi_peak, uniform};
@@ -41,14 +41,14 @@ pub fn trace(scale: Scale, out: &Path) {
         // A skewed instance: on near-uniform loads the refinement
         // converges immediately and the trace is flat.
         ("RECT-NICOL", {
-            let pfx = PrefixSum2D::new(&multi_peak(nicol_n, nicol_n, 5).build());
+            let pfx = crate::common::gamma(&multi_peak(nicol_n, nicol_n, 5).build());
             Box::new(move || {
                 let p = RectNicol::default().partition(&pfx, nicol_m);
                 (p.lmax(&pfx), nicol_n, nicol_m)
             })
         }),
         ("JAG-M-OPT", {
-            let pfx = PrefixSum2D::new(&uniform(opt_n, opt_n, 5).delta(1.2).build());
+            let pfx = crate::common::gamma(&uniform(opt_n, opt_n, 5).delta(1.2).build());
             Box::new(move || {
                 let p = JagMOpt::default().partition(&pfx, opt_m);
                 (p.lmax(&pfx), opt_n, opt_m)

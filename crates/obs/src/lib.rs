@@ -75,10 +75,27 @@ pub enum Counter {
     HierOptMemoStates,
     /// `PrefixSum2D` (Γ) constructions.
     GammaBuilds,
+    /// Column-tile sweeps of the blocked dense Γ construction. Charged as
+    /// `rows · ⌈cols/TILE⌉` per dense build — a pure function of the
+    /// matrix shape, so the serial and parallel paths (which tile their
+    /// row-prefix pass identically) report the same value at any thread
+    /// count. Sparse builds charge 0 (they are not tiled).
+    GammaTileSweeps,
+    /// Nonzero runs stored by a `SparsePrefixSum` build — a pure function
+    /// of the input matrix (one per maximal run of consecutive nonzero
+    /// cells in a row). Dense builds charge 0.
+    SparseGammaRuns,
+    /// `SolveScratch` buffer checkouts that had to allocate (or grow) the
+    /// backing storage. Counted only at serial, algorithm-determined
+    /// checkout sites (same determinism level as `NicolCalls`).
+    ScratchAllocs,
+    /// `SolveScratch` buffer checkouts served entirely from already-owned
+    /// capacity — the per-call `Vec` churn the scratch arena removed.
+    ScratchReuses,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 15;
+pub const COUNTER_COUNT: usize = 19;
 
 impl Counter {
     /// All counters, in stable report order.
@@ -98,6 +115,10 @@ impl Counter {
         Counter::HierBisections,
         Counter::HierOptMemoStates,
         Counter::GammaBuilds,
+        Counter::GammaTileSweeps,
+        Counter::SparseGammaRuns,
+        Counter::ScratchAllocs,
+        Counter::ScratchReuses,
     ];
 
     /// Dotted `layer.name` identifier used as the JSON key.
@@ -118,6 +139,10 @@ impl Counter {
             Counter::HierBisections => "core.hier.bisections",
             Counter::HierOptMemoStates => "core.hier_opt.memo_states",
             Counter::GammaBuilds => "core.gamma_builds",
+            Counter::GammaTileSweeps => "core.gamma.tile_sweeps",
+            Counter::SparseGammaRuns => "core.gamma.sparse_runs",
+            Counter::ScratchAllocs => "onedim.scratch.allocs",
+            Counter::ScratchReuses => "onedim.scratch.reuses",
         }
     }
 }
@@ -143,10 +168,18 @@ pub enum ExecStat {
     WorkerPanicsCaught,
     /// Units re-executed sequentially after a caught worker panic.
     PanicRetries,
+    /// Overflow-guarded accumulation steps performed while building Γ
+    /// (the before/after metric of the blocked construction: the
+    /// reference build charges two per cell, the blocked build only its
+    /// hoisted per-tile boundary checks). An exec stat, not a
+    /// [`Counter`]: the serial and parallel constructions perform
+    /// different numbers of checks for the same input, and which one runs
+    /// is decided by the thread budget.
+    GammaCheckedOps,
 }
 
 /// Number of [`ExecStat`] variants.
-pub const EXEC_STAT_COUNT: usize = 7;
+pub const EXEC_STAT_COUNT: usize = 8;
 
 impl ExecStat {
     /// All execution stats, in stable report order.
@@ -158,6 +191,7 @@ impl ExecStat {
         ExecStat::JoinWaitNs,
         ExecStat::WorkerPanicsCaught,
         ExecStat::PanicRetries,
+        ExecStat::GammaCheckedOps,
     ];
 
     /// Dotted identifier used as the JSON key.
@@ -170,6 +204,7 @@ impl ExecStat {
             ExecStat::JoinWaitNs => "parallel.join_wait_ns",
             ExecStat::WorkerPanicsCaught => "parallel.worker_panics_caught",
             ExecStat::PanicRetries => "parallel.panic_retries",
+            ExecStat::GammaCheckedOps => "core.gamma.checked_ops",
         }
     }
 }

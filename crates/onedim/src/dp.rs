@@ -17,28 +17,31 @@ use crate::nicol::OneDimResult;
 pub fn dp_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
     assert!(m >= 1);
     let n = c.len();
-    // table[p][i] — optimal bottleneck of [0, i) in p+1 parts.
-    let mut table: Vec<Vec<u64>> = Vec::with_capacity(m);
-    let first: Vec<u64> = (0..=n).map(|i| c.cost(0, i)).collect();
-    rectpart_obs::add(rectpart_obs::Counter::DpCells, first.len() as u64);
-    table.push(first);
+    let w = n + 1;
+    // One flat `m × (n+1)` table, row p at offset p·w: table[p·w + i] is
+    // the optimal bottleneck of [0, i) in p+1 parts. A single allocation
+    // instead of one per DP row.
+    let mut table = vec![0u64; m * w];
+    for (i, slot) in table[..w].iter_mut().enumerate() {
+        *slot = c.cost(0, i);
+    }
+    rectpart_obs::add(rectpart_obs::Counter::DpCells, w as u64);
     for p in 1..m {
-        let prev = &table[p - 1];
-        let mut row = vec![0u64; n + 1];
-        for (i, slot) in row.iter_mut().enumerate() {
+        let (head, tail) = table.split_at_mut(p * w);
+        let prev = &head[(p - 1) * w..];
+        for (i, slot) in tail[..w].iter_mut().enumerate() {
             *slot = best_split(c, prev, i).1;
         }
-        rectpart_obs::add(rectpart_obs::Counter::DpCells, row.len() as u64);
-        table.push(row);
+        rectpart_obs::add(rectpart_obs::Counter::DpCells, w as u64);
     }
-    rectpart_obs::work::charge((m * (n + 1)) as u64);
-    let bottleneck = table[m - 1][n];
+    rectpart_obs::work::charge((m * w) as u64);
+    let bottleneck = table[(m - 1) * w + n];
     // Reconstruct cuts right-to-left.
     let mut points = vec![0usize; m + 1];
     points[m] = n;
     let mut i = n;
     for p in (1..m).rev() {
-        let prev = &table[p - 1];
+        let prev = &table[(p - 1) * w..p * w];
         let (k, _) = best_split(c, prev, i);
         points[p] = k;
         i = k;

@@ -54,10 +54,20 @@ pub fn direct_cut<C: IntervalCost>(c: &C, m: usize) -> Cuts {
 pub fn recursive_bisection<C: IntervalCost>(c: &C, m: usize) -> Cuts {
     assert!(m >= 1);
     let mut points = Vec::with_capacity(m + 1);
-    points.push(0usize);
-    bisect(c, 0, c.len(), m, &mut points);
-    debug_assert_eq!(points.len(), m + 1);
+    recursive_bisection_into(c, m, &mut points);
     Cuts::new(points)
+}
+
+/// [`recursive_bisection`] writing the `m + 1` cut points into a caller-
+/// provided buffer (cleared first) instead of allocating a [`Cuts`]. The
+/// allocation-free incumbent builder of the stripe-cost hot loops.
+pub fn recursive_bisection_into<C: IntervalCost>(c: &C, m: usize, points: &mut Vec<usize>) {
+    assert!(m >= 1);
+    points.clear();
+    points.reserve(m + 1);
+    points.push(0usize);
+    bisect(c, 0, c.len(), m, points);
+    debug_assert_eq!(points.len(), m + 1);
 }
 
 /// Scaled max per-processor load of splitting `[lo, hi)` at `s` with

@@ -63,12 +63,16 @@ mod heuristics;
 mod nicol;
 mod probe;
 mod refined;
+mod scratch;
 
 pub use cost::{FnCost, IntervalCost, PrefixCosts};
 pub use cuts::Cuts;
 pub use dp::dp_optimal;
 pub use hetero::{hetero_optimal, hetero_probe, HeteroResult};
-pub use heuristics::{direct_cut, recursive_bisection};
-pub use nicol::{nicol, nicol_bounded, parametric_optimal, OneDimResult};
+pub use heuristics::{direct_cut, recursive_bisection, recursive_bisection_into};
+pub use nicol::{
+    nicol, nicol_bottleneck, nicol_bounded, nicol_in, parametric_optimal, OneDimResult,
+};
 pub use probe::{probe, probe_feasible, probe_suffix_feasible};
 pub use refined::{direct_cut_refined, probe_feasible_sliced};
+pub use scratch::SolveScratch;

@@ -18,8 +18,9 @@
 
 use crate::cost::IntervalCost;
 use crate::cuts::Cuts;
-use crate::heuristics::recursive_bisection;
+use crate::heuristics::{recursive_bisection, recursive_bisection_into};
 use crate::probe::{probe, probe_feasible, probe_suffix_feasible};
+use crate::scratch::SolveScratch;
 
 /// Result of an (optimal or heuristic) 1D partitioning run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,6 +45,14 @@ pub struct OneDimResult {
 /// assert_eq!(opt.cuts.parts(), 3);
 /// ```
 pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
+    nicol_in(c, m, &mut SolveScratch::new())
+}
+
+/// [`nicol`] with caller-owned scratch: the recursive-bisection
+/// incumbent is built inside `scratch`, so a loop that solves many 1D
+/// problems (per-stripe solves, refinement sweeps) reuses one buffer
+/// instead of allocating per call. Only the returned [`Cuts`] allocate.
+pub fn nicol_in<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScratch) -> OneDimResult {
     assert!(m >= 1);
     rectpart_obs::incr(rectpart_obs::Counter::NicolCalls);
     let n = c.len();
@@ -53,11 +62,51 @@ pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
             bottleneck: 0,
         };
     }
-    let lb_global = c.partition_lower_bound(0, m).max(c.max_unit_cost());
-
     // Incumbent from the RB heuristic; enables the lb_global early exit.
-    let mut best = recursive_bisection(c, m).bottleneck(c);
+    let incumbent = rb_incumbent(c, m, scratch);
+    let best = nicol_search(c, m, incumbent);
+    // lint:allow(panic) -- invariant: `best` was returned feasible by the search above; re-probing at it cannot fail
+    let cuts = probe(c, m, best).expect("invariant: Nicol bottleneck must be feasible");
+    debug_assert_eq!(cuts.bottleneck(c), best, "probe must attain the optimum");
+    OneDimResult {
+        cuts,
+        bottleneck: best,
+    }
+}
 
+/// Bottleneck-only variant of [`nicol`] for the stripe-cost hot loops:
+/// skips the final reconstruction probe and builds its recursive-
+/// bisection incumbent inside `scratch` instead of allocating, so a
+/// warmed-up solve touches the heap only when a buffer must grow.
+/// Returns exactly `nicol(c, m).bottleneck`.
+pub fn nicol_bottleneck<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScratch) -> u64 {
+    assert!(m >= 1);
+    rectpart_obs::incr(rectpart_obs::Counter::NicolCalls);
+    let n = c.len();
+    if n == 0 {
+        return 0;
+    }
+    let incumbent = rb_incumbent(c, m, scratch);
+    nicol_search(c, m, incumbent)
+}
+
+/// Recursive-bisection incumbent bottleneck, built in `scratch`.
+fn rb_incumbent<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScratch) -> u64 {
+    let points = scratch.points(m + 1);
+    recursive_bisection_into(c, m, points);
+    points
+        .windows(2)
+        .map(|w| c.cost(w[0], w[1]))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The candidate walk shared by [`nicol`] and [`nicol_bottleneck`]:
+/// returns the optimal bottleneck given a feasible `incumbent` value.
+fn nicol_search<C: IntervalCost>(c: &C, m: usize, incumbent: u64) -> u64 {
+    let n = c.len();
+    let lb_global = c.partition_lower_bound(0, m).max(c.max_unit_cost());
+    let mut best = incumbent;
     // Accumulated locally; charged to the work meter once on return.
     let mut steps = 0u64;
     let mut low = 0usize;
@@ -93,15 +142,8 @@ pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
         // Largest infeasible end is a-1: allocate it to part j.
         low = if a > low { a - 1 } else { low };
     }
-
     rectpart_obs::work::charge(steps + 1);
-    // lint:allow(panic) -- invariant: `best` was returned feasible by the search above; re-probing at it cannot fail
-    let cuts = probe(c, m, best).expect("invariant: Nicol bottleneck must be feasible");
-    debug_assert_eq!(cuts.bottleneck(c), best, "probe must attain the optimum");
-    OneDimResult {
-        cuts,
-        bottleneck: best,
-    }
+    best
 }
 
 /// Branch-and-bound variant: returns `None` without computing the exact
@@ -247,6 +289,34 @@ mod tests {
         let r = nicol(&c, 3);
         assert_eq!(r.bottleneck, 0);
         assert_eq!(r.cuts.parts(), 3);
+    }
+
+    #[test]
+    fn bottleneck_variant_matches_full_solver() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scratch = crate::scratch::SolveScratch::new();
+        for _ in 0..40 {
+            let n = rng.gen_range(0..50);
+            let loads: Vec<u64> = (0..n).map(|_| rng.gen_range(0..90)).collect();
+            let c = PrefixCosts::from_loads(&loads);
+            for m in [1, 2, 3, 7, 12] {
+                assert_eq!(
+                    nicol_bottleneck(&c, m, &mut scratch),
+                    nicol(&c, m).bottleneck,
+                    "loads={loads:?} m={m}"
+                );
+            }
+        }
+        // And over a non-additive monotone oracle.
+        let p1 = PrefixCosts::from_loads(&[4u64, 1, 9, 2, 2, 7]);
+        let p2 = PrefixCosts::from_loads(&[1u64, 8, 1, 3, 5, 1]);
+        let c = FnCost::new(6, move |lo, hi| p1.cost(lo, hi).max(p2.cost(lo, hi)));
+        for m in 1..=6 {
+            assert_eq!(
+                nicol_bottleneck(&c, m, &mut scratch),
+                nicol(&c, m).bottleneck
+            );
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub fn dynamic_run<P: Partitioner + ?Sized>(
     let mut stats = Vec::with_capacity(trace.len());
     let mut active: Option<Partition> = None;
     for (step, matrix) in trace.iter().enumerate() {
-        let pfx = PrefixSum2D::new(matrix);
+        let pfx = PrefixSum2D::try_new(matrix).expect("snapshot total load overflows u64");
         let (partition, repartitioned, mig) = match (&active, policy) {
             (Some(prev), RebalancePolicy::Threshold(t)) if prev.load_imbalance(&pfx) <= t => {
                 (prev.clone(), false, Default::default())

@@ -139,7 +139,9 @@ impl Partitioner3 for JagMHeur3<'_> {
         for (&(a, b), &qs) in slabs.iter().zip(&procs) {
             // 2D sub-problem on the slab's accumulated cross-section.
             let matrix = self.volume.flatten_range(self.main, a, b);
-            let pfx2 = PrefixSum2D::new(&matrix);
+            // Cannot overflow: the slab's total is bounded by the volume
+            // total, which fit u64 when the 3D prefix sums were built.
+            let pfx2 = PrefixSum2D::try_new(&matrix).expect("slab total exceeds volume total");
             let part2 = JagMHeur::best().partition(&pfx2, qs);
             for rect in part2.rects().iter().filter(|r| !r.is_empty()) {
                 boxes.push(embed(self.main, a, b, rect.r0, rect.r1, rect.c0, rect.c1));

@@ -1,0 +1,71 @@
+//! `benchdiff BASELINE.json CURRENT.json [--tolerance PCT]` — the CI
+//! perf-regression gate.
+//!
+//! Compares two benchmark reports on their deterministic integer op
+//! counters (see the `rectpart-bench` library docs for the comparison
+//! rules) and exits:
+//!
+//! * `0` — no counter grew beyond tolerance;
+//! * `1` — regressions found (each printed as `path: base -> cur (+x%)`);
+//! * `2` — usage or I/O error.
+
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("benchdiff: {msg}");
+    eprintln!("usage: benchdiff BASELINE.json CURRENT.json [--tolerance PCT]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&String> = Vec::new();
+    let mut tolerance = 2.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tolerance" {
+            let Some(v) = args.get(i + 1) else {
+                return fail("--tolerance requires a value");
+            };
+            match v.parse::<f64>() {
+                Ok(t) if t >= 0.0 => tolerance = t,
+                _ => return fail(&format!("invalid tolerance {v:?}")),
+            }
+            i += 2;
+        } else {
+            files.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [baseline_path, current_path] = files[..] else {
+        return fail("expected exactly two report files");
+    };
+    let load = |path: &str| -> Result<rectpart_json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        rectpart_json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let baseline = match load(baseline_path) {
+        Ok(j) => j,
+        Err(e) => return fail(&e),
+    };
+    let current = match load(current_path) {
+        Ok(j) => j,
+        Err(e) => return fail(&e),
+    };
+    let regressions = rectpart_bench::diff_reports(&baseline, &current, tolerance);
+    if regressions.is_empty() {
+        println!(
+            "benchdiff: {current_path} within {tolerance}% of {baseline_path} on all deterministic counters"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "benchdiff: {} deterministic counter(s) regressed beyond {tolerance}% (baseline {baseline_path}):",
+            regressions.len()
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

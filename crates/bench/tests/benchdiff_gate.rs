@@ -1,0 +1,140 @@
+//! Acceptance contract of the `benchdiff` binary: self-diff of a real
+//! committed baseline exits 0; a +10% injected op-count regression
+//! exits nonzero; garbage input exits 2.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use rectpart_json::Json;
+
+fn benchdiff(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_benchdiff"))
+        .args(args)
+        .output()
+        .expect("spawn benchdiff binary")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rectpart-benchdiff-{}-{name}", std::process::id()))
+}
+
+/// The committed substrate baseline at the workspace root.
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_substrate.json")
+}
+
+/// Multiplies every integer leaf of every `*_ops`/`*_ops`-like counter
+/// by `pct` percent. Returns how many leaves were inflated.
+fn inflate_ops(json: &mut Json, pct: u64) -> usize {
+    match json {
+        Json::Obj(fields) => {
+            let mut n = 0;
+            for (key, value) in fields.iter_mut() {
+                if let Json::UInt(u) = value {
+                    if key.ends_with("_ops") && !key.ends_with("_ns") {
+                        *u += (*u * pct) / 100;
+                        n += 1;
+                    }
+                } else {
+                    n += inflate_ops(value, pct);
+                }
+            }
+            n
+        }
+        Json::Arr(items) => items.iter_mut().map(|j| inflate_ops(j, pct)).sum(),
+        _ => 0,
+    }
+}
+
+#[test]
+fn self_diff_of_committed_baseline_exits_zero() {
+    let baseline = baseline_path();
+    let out = benchdiff(&[
+        baseline.to_str().unwrap(),
+        baseline.to_str().unwrap(),
+        "--tolerance",
+        "0",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn injected_ten_percent_op_regression_exits_nonzero() {
+    let baseline = baseline_path();
+    let mut doc = rectpart_json::parse(&std::fs::read_to_string(&baseline).unwrap()).unwrap();
+    let inflated = inflate_ops(&mut doc, 10);
+    assert!(inflated > 0, "baseline must contain *_ops counters");
+    let regressed = tmp("regressed.json");
+    std::fs::write(&regressed, doc.to_string_pretty()).unwrap();
+    // +10% trips the default 2% gate ...
+    let out = benchdiff(&[baseline.to_str().unwrap(), regressed.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("regressed"), "{stderr}");
+    assert!(stderr.contains("_ops"), "{stderr}");
+    // ... and passes a gate slacker than the injection.
+    let out = benchdiff(&[
+        baseline.to_str().unwrap(),
+        regressed.to_str().unwrap(),
+        "--tolerance",
+        "15",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The reverse direction (an improvement) is never a failure.
+    let out = benchdiff(&[
+        regressed.to_str().unwrap(),
+        baseline.to_str().unwrap(),
+        "--tolerance",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_file(&regressed).ok();
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    assert_eq!(benchdiff(&[]).status.code(), Some(2));
+    assert_eq!(benchdiff(&["a.json"]).status.code(), Some(2));
+    assert_eq!(
+        benchdiff(&["/nonexistent/a.json", "/nonexistent/b.json"])
+            .status
+            .code(),
+        Some(2)
+    );
+    let bad = tmp("bad.json");
+    std::fs::write(&bad, "{not json").unwrap();
+    let baseline = baseline_path();
+    assert_eq!(
+        benchdiff(&[baseline.to_str().unwrap(), bad.to_str().unwrap()])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(
+        benchdiff(&[
+            baseline.to_str().unwrap(),
+            baseline.to_str().unwrap(),
+            "--tolerance",
+            "lots"
+        ])
+        .status
+        .code(),
+        Some(2)
+    );
+    std::fs::remove_file(&bad).ok();
+}

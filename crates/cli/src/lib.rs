@@ -62,6 +62,10 @@ pub enum Command {
         /// Optional stats JSON destination (`-` = append to stdout
         /// output). `None` falls back to the `RECTPART_STATS` env var.
         stats: Option<String>,
+        /// Optional span-trace destination: Chrome trace-event JSON, or
+        /// collapsed stacks when the filename ends in `.folded`. `None`
+        /// falls back to the `RECTPART_TRACE` env var.
+        trace: Option<String>,
         /// Deterministic work budget for the fault-tolerant driver.
         budget: Option<u64>,
         /// Fallback ladder: `Some("-")` = default ladder, otherwise a
@@ -78,6 +82,8 @@ pub enum Command {
         m: usize,
         /// Optional stats JSON destination (see `Partition::stats`).
         stats: Option<String>,
+        /// Optional span-trace destination (see `Partition::trace`).
+        trace: Option<String>,
     },
     /// `rectpart algos`
     Algos,
@@ -306,6 +312,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             owners: flag(args, "--owners").map(PathBuf::from),
             save: flag(args, "--save").map(PathBuf::from),
             stats: optional_value_flag(args, "--stats"),
+            trace: trace_out_flag(args)?,
             budget: parse_flag(args, "--budget")?,
             fallback: optional_value_flag(args, "--fallback"),
         }),
@@ -316,6 +323,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 .to_string(),
             m: require(parse_flag(args, "-m")?, "-m")?,
             stats: optional_value_flag(args, "--stats"),
+            trace: trace_out_flag(args)?,
         }),
         other => Err(UsageError(format!("unknown subcommand {other:?}"))),
     }
@@ -332,13 +340,66 @@ fn stats_target(cli: Option<String>) -> Option<String> {
     })
 }
 
-/// Builds the stats block: solution summary plus the recorder report.
-fn stats_json(algo: &str, m: usize, summary: &rectpart_core::Summary) -> rectpart_json::Json {
+/// `--trace-out FILE` — unlike `--stats` the value is mandatory (traces
+/// are too large for stdout).
+fn trace_out_flag(args: &[String]) -> Result<Option<String>, UsageError> {
+    match args.iter().position(|a| a == "--trace-out") {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some(v) if !v.starts_with('-') => Ok(Some(v.to_string())),
+            _ => Err(UsageError("--trace-out requires a FILE value".into())),
+        },
+    }
+}
+
+/// Resolves where the span trace should go: the `--trace-out` flag wins,
+/// otherwise the `RECTPART_TRACE` environment variable (non-empty).
+fn trace_target(cli: Option<String>) -> Option<String> {
+    cli.or_else(|| {
+        std::env::var("RECTPART_TRACE")
+            .ok()
+            .filter(|s| !s.is_empty())
+    })
+}
+
+/// Writes the span trace to `target` and appends a pointer line: the
+/// collapsed-stack text format when the filename ends in `.folded`
+/// (ready for `flamegraph.pl` / speedscope), Chrome trace-event JSON
+/// otherwise (load via Perfetto or `chrome://tracing`).
+fn emit_trace(out: &mut String, target: &str) -> Result<(), std::io::Error> {
+    let text = if target.ends_with(".folded") {
+        rectpart_obs::flame::collapsed()
+    } else {
+        rectpart_obs::chrome::trace_json().to_string_pretty()
+    };
+    std::fs::write(target, text)?;
+    out.push_str(&format!("\n  trace         -> {target}"));
+    Ok(())
+}
+
+/// Builds the stats block: solution summary, the execution environment
+/// (Γ policy and the backend it actually selected, host core count),
+/// plus the recorder report.
+fn stats_json(
+    algo: &str,
+    m: usize,
+    summary: &rectpart_core::Summary,
+    pfx: &PrefixSum2D,
+) -> rectpart_json::Json {
     use rectpart_json::Json;
     let report = rectpart_obs::Recorder::global().snapshot();
     Json::obj(vec![
         ("algorithm", Json::Str(algo.to_string())),
         ("m", Json::UInt(m as u64)),
+        ("gamma_mode", Json::Str(gamma_mode().as_str().to_string())),
+        (
+            "gamma_backend",
+            Json::Str(pfx.backend().as_str().to_string()),
+        ),
+        (
+            "host_cores",
+            Json::UInt(rectpart_parallel::host_cores() as u64),
+        ),
         (
             "summary",
             Json::obj(vec![
@@ -443,17 +504,20 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             owners,
             save,
             stats,
+            trace,
             budget,
             fallback,
         } => {
             let stats_dst = stats_target(stats);
+            let trace_dst = trace_target(trace);
             // Reset only when a report was requested, so unrelated runs
             // in the same process cannot wipe an in-flight recording.
-            if stats_dst.is_some() {
+            if stats_dst.is_some() || trace_dst.is_some() {
                 rectpart_obs::Recorder::global().reset();
             }
             let matrix = {
                 let _io = rectpart_obs::phase(rectpart_obs::Phase::Io);
+                let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliIo);
                 read_csv(&input)?
             };
             RectpartError::check_problem(matrix.rows(), matrix.cols(), m)?;
@@ -467,6 +531,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     driver = driver.with_budget(units);
                 }
                 let _p = rectpart_obs::phase(rectpart_obs::Phase::Partition);
+                let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliPartition);
                 let outcome = driver.try_solve(&matrix, m)?;
                 (outcome.partition, Some(outcome.report))
             } else {
@@ -475,10 +540,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 })?;
                 let part = {
                     let _p = rectpart_obs::phase(rectpart_obs::Phase::Partition);
+                    let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliPartition);
                     algorithm.partition(&pfx, m)
                 };
                 {
                     let _v = rectpart_obs::phase(rectpart_obs::Phase::Validate);
+                    let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliValidate);
                     part.validate(&pfx)?;
                 }
                 (part, None)
@@ -522,7 +589,10 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 out.push_str(&report.to_string());
             }
             if let Some(dst) = stats_dst {
-                emit_stats(&mut out, &dst, &stats_json(&algo, m, &summary))?;
+                emit_stats(&mut out, &dst, &stats_json(&algo, m, &summary, &pfx))?;
+            }
+            if let Some(dst) = trace_dst {
+                emit_trace(&mut out, &dst)?;
             }
             Ok(out)
         }
@@ -531,15 +601,18 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             algo,
             m,
             stats,
+            trace,
         } => {
             let stats_dst = stats_target(stats);
+            let trace_dst = trace_target(trace);
             // Reset only when a report was requested, so unrelated runs
             // in the same process cannot wipe an in-flight recording.
-            if stats_dst.is_some() {
+            if stats_dst.is_some() || trace_dst.is_some() {
                 rectpart_obs::Recorder::global().reset();
             }
             let matrix = {
                 let _io = rectpart_obs::phase(rectpart_obs::Phase::Io);
+                let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliIo);
                 read_csv(&input)?
             };
             RectpartError::check_problem(matrix.rows(), matrix.cols(), m)?;
@@ -549,10 +622,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             })?;
             let part = {
                 let _p = rectpart_obs::phase(rectpart_obs::Phase::Partition);
+                let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliPartition);
                 algorithm.partition(&pfx, m)
             };
             {
                 let _v = rectpart_obs::phase(rectpart_obs::Phase::Validate);
+                let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliValidate);
                 part.validate(&pfx)?;
             }
             let summary = part.summary(&pfx);
@@ -569,7 +644,10 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 100.0 * rep.efficiency,
             );
             if let Some(dst) = stats_dst {
-                emit_stats(&mut out, &dst, &stats_json(&algo, m, &summary))?;
+                emit_stats(&mut out, &dst, &stats_json(&algo, m, &summary, &pfx))?;
+            }
+            if let Some(dst) = trace_dst {
+                emit_trace(&mut out, &dst)?;
             }
             Ok(out)
         }
@@ -585,8 +663,10 @@ USAGE:
                     --rows N --cols N [--seed S] [--delta D] --out FILE.csv
   rectpart partition --input FILE.csv -m N [--algo NAME] [--owners OUT.csv]
                      [--save PARTITION.json] [--stats [OUT.json]]
-                     [--budget UNITS] [--fallback [A,B,...]]
+                     [--trace-out TRACE.json] [--budget UNITS]
+                     [--fallback [A,B,...]]
   rectpart evaluate  --input FILE.csv -m N [--algo NAME] [--stats [OUT.json]]
+                     [--trace-out TRACE.json]
   rectpart algos
 
 GLOBAL OPTIONS:
@@ -606,6 +686,13 @@ GLOBAL OPTIONS:
                  RECTPART_STATS env var names a default destination.
                  Counters need a build with `--features obs`; without
                  it the block reports {\"enabled\": false}.
+  --trace-out F  write the hierarchical span trace of the run to F:
+                 Chrome trace-event JSON (open in Perfetto or
+                 chrome://tracing), or collapsed stacks when F ends in
+                 .folded (pipe to flamegraph.pl / speedscope). The
+                 work-anchored span tree is bit-identical at any thread
+                 count; needs a build with `--features obs`. The
+                 RECTPART_TRACE env var names a default destination.
   --budget N     run through the fault-tolerant driver under a
                  deterministic work budget of N units (not wall-clock
                  time: the same budget admits the same algorithms on
@@ -669,6 +756,7 @@ mod tests {
                 owners: None,
                 save: None,
                 stats: None,
+                trace: None,
                 budget: None,
                 fallback: None,
             }
@@ -741,6 +829,7 @@ mod tests {
             owners: None,
             save: None,
             stats: None,
+            trace: None,
             budget: Some(1_000_000),
             fallback: Some("-".into()),
         };
@@ -755,6 +844,7 @@ mod tests {
             owners: None,
             save: None,
             stats: None,
+            trace: None,
             budget: Some(3),
             fallback: None,
         })
@@ -769,6 +859,7 @@ mod tests {
             owners: None,
             save: None,
             stats: None,
+            trace: None,
             budget: None,
             fallback: None,
         })
@@ -782,6 +873,7 @@ mod tests {
             owners: None,
             save: None,
             stats: None,
+            trace: None,
             budget: None,
             fallback: None,
         })
@@ -885,6 +977,7 @@ mod tests {
             owners: Some(owners.clone()),
             save: None,
             stats: None,
+            trace: None,
             budget: None,
             fallback: None,
         })
@@ -896,6 +989,7 @@ mod tests {
             algo: "JAG-M-HEUR-BEST".into(),
             m: 9,
             stats: None,
+            trace: None,
         })
         .unwrap();
         assert!(msg.contains("speedup"));
@@ -924,6 +1018,7 @@ mod tests {
             owners: None,
             save: Some(saved.clone()),
             stats: None,
+            trace: None,
             budget: None,
             fallback: None,
         })
@@ -948,6 +1043,7 @@ mod tests {
             owners: None,
             save: None,
             stats: None,
+            trace: None,
             budget: None,
             fallback: None,
         })
@@ -978,6 +1074,7 @@ mod tests {
             owners: None,
             save: None,
             stats: Some("-".into()),
+            trace: None,
             budget: None,
             fallback: None,
         })
@@ -1009,6 +1106,7 @@ mod tests {
             algo: "RECT-NICOL".into(),
             m: 6,
             stats: Some(stats_file.display().to_string()),
+            trace: None,
         })
         .unwrap();
         assert!(msg.contains("stats         ->"));

@@ -44,7 +44,19 @@
 //! the per-shard insert tally). Counting first-inserts rather than
 //! "compute ran" keeps the numbers deterministic at any thread count:
 //! when two threads race on the same key both may solve it, but exactly
-//! one performs the first insert.
+//! one performs the first insert. Each miss-compute additionally runs
+//! under a `core.stripe_solve` span, so flame/trace output attributes
+//! stripe-solve work to the solver phase that triggered the miss.
+//!
+//! # Unbounded-cache invariant
+//!
+//! `ShardedMemo` never evicts: every shard map grows monotonically for
+//! the lifetime of the cache (one `partition` call). The companion
+//! counter `core.stripe_cache.evictions` therefore stays **0 by
+//! construction** — it exists as a tripwire, pinned to zero by a test in
+//! `obs_differential`, so that a future bounded/LRU cache must
+//! consciously start incrementing it (and revisit the determinism
+//! argument above, which leans on entries never disappearing).
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -242,7 +254,10 @@ impl StripeCache {
         if let Some(v) = self.memo.get(&key) {
             return v;
         }
-        let v = solve();
+        let v = {
+            let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::StripeSolve);
+            solve()
+        };
         if self.memo.insert_if_absent(key, v) {
             rectpart_obs::incr(rectpart_obs::Counter::StripeCacheMisses);
             rectpart_obs::record_shard_insert(self.memo.shard_index(&key));

@@ -27,6 +27,9 @@ type Memo = ShardedMemo<Key, u64>;
 /// use on small instances only (the state space is `O(n1²n2²m)`).
 pub fn hier_opt(pfx: &PrefixSum2D, m: usize) -> (Partition, u64) {
     assert!(m >= 1);
+    // One span for the whole DP: inner states race on the shared memo, so
+    // per-state spans would not be thread-count deterministic.
+    let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::HierOptSolve);
     let memo = Memo::new();
     let full = Rect::new(0, pfx.rows(), 0, pfx.cols());
     let value = solve_root(pfx, &full, m, &memo);
@@ -40,6 +43,7 @@ pub fn hier_opt(pfx: &PrefixSum2D, m: usize) -> (Partition, u64) {
 
 /// Optimal hierarchical bottleneck value only.
 pub fn hier_opt_value(pfx: &PrefixSum2D, m: usize) -> u64 {
+    let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::HierOptSolve);
     let memo = Memo::new();
     let full = Rect::new(0, pfx.rows(), 0, pfx.cols());
     solve_root(pfx, &full, m, &memo)

@@ -164,6 +164,11 @@ fn rb_recurse(
         out.push(rect);
         return;
     }
+    // Span depth mirrors the bipartition tree depth: each level nests one
+    // `core.hier.level#d` inside its parent's (forked halves re-root under
+    // the captured parent path, so the tree is thread-count independent).
+    let _span =
+        rectpart_obs::span::enter_arg(rectpart_obs::span::SpanKind::HierLevel, depth as u32);
     let candidates = variant.candidates(&rect, depth);
     if candidates.is_empty() {
         // Unsplittable (≤ 1 cell): one processor takes it, the rest idle.
@@ -312,6 +317,8 @@ fn relaxed_recurse(
         out.push(rect);
         return;
     }
+    let _span =
+        rectpart_obs::span::enter_arg(rectpart_obs::span::SpanKind::HierLevel, depth as u32);
     let candidates = variant.candidates(&rect, depth);
     if candidates.is_empty() {
         out.push(rect);

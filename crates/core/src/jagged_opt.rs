@@ -190,6 +190,7 @@ fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
 // offsets; an enumerate-based rewrite obscures that.
 #[allow(clippy::needless_range_loop)]
 fn feasible(view: &View<'_>, m: usize, budget: u64, scratch: &mut SolveScratch) -> bool {
+    let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::JagMFeasibility);
     rectpart_obs::incr(rectpart_obs::Counter::JagMFeasibilityChecks);
     rectpart_obs::work::charge(view.n_main() as u64 + 1);
     let n = view.n_main();

@@ -83,6 +83,16 @@ impl GammaMode {
                 .and_then(|s| GammaMode::parse(&s))
         })
     }
+
+    /// The lowercase name [`parse`](Self::parse) accepts — the spelling
+    /// used in stats JSON and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GammaMode::Dense => "dense",
+            GammaMode::Sparse => "sparse",
+            GammaMode::Auto => "auto",
+        }
+    }
 }
 
 /// Zero-cell fraction above which [`PrefixSum2D::try_new_auto`] picks
@@ -187,16 +197,21 @@ impl PrefixSum2D {
         let _timer = rectpart_obs::phase(rectpart_obs::Phase::Gamma);
         let rows = a.rows();
         let cols = a.cols();
-        rectpart_obs::work::charge((rows * cols) as u64 + 1);
-        #[cfg(feature = "faultinject")]
-        if rectpart_obs::fault::gamma_should_overflow() {
-            return Err(RectpartError::Overflow);
-        }
         let sparse = match mode {
             GammaMode::Dense => false,
             GammaMode::Sparse => SparsePrefixSum::indexable(rows, cols),
             GammaMode::Auto => Self::auto_picks_sparse(a),
         };
+        let _span = rectpart_obs::span::enter(if sparse {
+            rectpart_obs::span::SpanKind::GammaSparse
+        } else {
+            rectpart_obs::span::SpanKind::GammaDense
+        });
+        rectpart_obs::work::charge((rows * cols) as u64 + 1);
+        #[cfg(feature = "faultinject")]
+        if rectpart_obs::fault::gamma_should_overflow() {
+            return Err(RectpartError::Overflow);
+        }
         if sparse {
             let s = SparsePrefixSum::build(a)?;
             return Ok(Self {

@@ -138,6 +138,7 @@ fn refine(
     parts: usize,
     scratch: &mut SolveScratch,
 ) -> rectpart_onedim::OneDimResult {
+    let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::RectNicolRefine);
     let stripes: Vec<(usize, usize)> = fixed.intervals().filter(|(a, b)| a < b).collect();
     let n = match refined_axis {
         Axis::Rows => pfx.rows(),

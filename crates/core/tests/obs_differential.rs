@@ -118,7 +118,7 @@ fn work_counters_are_thread_invariant_across_all_families() {
                 "{label}: no counter recorded under the serial run"
             );
         }
-        for threads in [2, 4, 8] {
+        for threads in [2, 4, 7, 8] {
             let parallel = counters_under(threads, run);
             assert_eq!(
                 serial.0, parallel.0,
@@ -132,8 +132,66 @@ fn work_counters_are_thread_invariant_across_all_families() {
                 serial.2, parallel.2,
                 "{label} threads={threads}: traces diverged"
             );
+            assert_eq!(
+                serial.3, parallel.3,
+                "{label} threads={threads}: work-anchored span tree diverged"
+            );
         }
     }
+
+    // The span tree is part of the deterministic view (proven invariant
+    // above); pin that the solver spans actually populate it — a tree
+    // that is empty because instrumentation was dropped would pass the
+    // equality check vacuously.
+    let span_work = |view: &rectpart_obs::DeterministicView, path: &str| {
+        view.3
+            .iter()
+            .find(|(p, _, _)| p == path)
+            .map(|&(_, count, work)| (count, work))
+    };
+    let nicol_spans = counters_under(1, || drop(RectNicol::default().partition(&pfx, 12)));
+    let (refine_count, _) = span_work(&nicol_spans, "core.rect_nicol.refine")
+        .expect("RECT-NICOL must record refine spans");
+    assert!(refine_count >= 2, "one refine per dimension at minimum");
+    assert!(
+        span_work(&nicol_spans, "core.rect_nicol.refine;onedim.nicol").is_some(),
+        "1D solves must nest inside the refine span"
+    );
+    let hier_spans = counters_under(4, || drop(HierRb::load().partition(&pfx, 40)));
+    let (l0, _) = span_work(&hier_spans, "core.hier.level").expect("root HIER level span");
+    assert_eq!(l0, 1, "exactly one depth-0 bipartition node");
+    assert!(
+        span_work(&hier_spans, "core.hier.level;core.hier.level#1").is_some(),
+        "forked recursion must nest depth-1 under depth-0"
+    );
+    let opt_spans = counters_under(2, || drop(JagMOpt::default().partition(&small, 6)));
+    for path in ["onedim.nicol", "core.jag_m.feasibility"] {
+        assert!(
+            opt_spans.3.iter().any(|(p, _, _)| p.contains(path)),
+            "span {path} missing from the JAG-M-OPT profile"
+        );
+    }
+
+    // Unbounded-cache invariant: the stripe cache never evicts, so the
+    // eviction counter stays 0 while lookups flow. A future bounded
+    // cache must consciously break this pin (see crates/core/src/cache.rs).
+    let cache_run = counters_under(4, || drop(JagPqOpt::default().partition(&small, 6)));
+    let get_counter = |view: &rectpart_obs::DeterministicView, name: &str| {
+        view.0
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert!(
+        get_counter(&cache_run, "core.stripe_cache.lookups") > 0,
+        "JAG-PQ-OPT must consult the stripe cache"
+    );
+    assert_eq!(
+        get_counter(&cache_run, "core.stripe_cache.evictions"),
+        0,
+        "the stripe cache is unbounded: evictions must stay 0 by construction"
+    );
 
     // The substrate counters introduced with the blocked/sparse Γ
     // builds and the scratch arena are work counters too: they must be

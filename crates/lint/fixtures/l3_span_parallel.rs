@@ -1,0 +1,15 @@
+//! L3 fixture: span guards and clock reads inside the parallel
+//! execution layer. Linted as library code of `crates/parallel`; must
+//! trigger L3 only — the fork_context/adopt handoff stays silent.
+
+pub fn forks(work: impl Fn() + Send) {
+    let _open = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolSolve);
+    let held: rectpart_obs::span::SpanGuard = make_guard();
+    let t0 = std::time::Instant::now();
+    // lint:allow(determinism) -- fixture: a justified waiver must silence the rule
+    let _waived = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::DpSweep);
+    let ctx = rectpart_obs::span::fork_context();
+    let _adopt = rectpart_obs::span::adopt(&ctx);
+    work();
+    drop((held, t0));
+}

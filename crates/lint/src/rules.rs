@@ -122,10 +122,19 @@ pub struct FileContext {
 /// construct needs its own justification.
 const PANIC_FREE_CRATES: [&str; 6] = ["core", "onedim", "parallel", "obs", "json", "robust"];
 
-/// Crates allowed to touch wall clocks (L3): the instrumentation layer,
-/// the execution layer's busy/wait accounting, and the measurement
-/// binaries themselves.
-const CLOCK_CRATES: [&str; 5] = ["obs", "parallel", "experiments", "simexec", "bench"];
+/// Crates allowed to touch wall clocks anywhere in their library code
+/// (L3): the measurement binaries, whose whole purpose is timing.
+const CLOCK_CRATES: [&str; 2] = ["experiments", "simexec"];
+
+/// Individual timing modules allowed to read wall clocks (L3). Tighter
+/// than a crate-level waiver: within `rectpart-obs` only the guard
+/// implementations and the span epoch may touch `Instant`, so the
+/// exporters and report plumbing stay clock-free, and the parallel
+/// execution layer gets its busy/wait intervals from `StopWatch` rather
+/// than its own clock reads. (`crates/bench` keeps its timing in
+/// `benches/`, which is not library code; its `src/` — the benchdiff
+/// logic — is deliberately absent here.)
+const CLOCK_MODULES: [&str; 2] = ["crates/obs/src/lib.rs", "crates/obs/src/span.rs"];
 
 /// The single audited `unsafe` island (L5).
 const UNSAFE_ALLOWLIST: [&str; 1] = ["crates/simexec/src/stencil.rs"];
@@ -355,9 +364,15 @@ fn check_determinism(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Diagnostic>
     if !ctx.is_library {
         return;
     }
-    let clocks_ok = CLOCK_CRATES.contains(&ctx.crate_name.as_str());
+    let clocks_ok = CLOCK_CRATES.contains(&ctx.crate_name.as_str())
+        || CLOCK_MODULES.contains(&ctx.rel_path.as_str());
     const CLOCKS: [&str; 2] = ["Instant::now", "SystemTime"];
     const RNG: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
+    // Span guards opened on a forking thread and dropped on (or shared
+    // with) a worker would corrupt both threads' span stacks, so the
+    // guard API is banned from the parallel execution layer outright;
+    // the sanctioned handoff is `span::fork_context` + `span::adopt`.
+    const SPAN_GUARDS: [&str; 2] = ["span::enter", "SpanGuard"];
     // Identifiers bound to a HashMap/HashSet anywhere in the file.
     let tracked = hash_bindings(lexed);
     for (idx, line) in lexed.lines.iter().enumerate() {
@@ -374,6 +389,23 @@ fn check_determinism(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Diagnostic>
                         idx,
                         Rule::Determinism,
                         format!("wall clock `{pat}` outside the timing crates"),
+                    );
+                }
+            }
+        }
+        if ctx.crate_name == "parallel" {
+            for pat in SPAN_GUARDS {
+                if line.code.contains(pat) {
+                    push(
+                        ctx,
+                        out,
+                        lexed,
+                        idx,
+                        Rule::Determinism,
+                        format!(
+                            "`{pat}` must not cross a crates/parallel join boundary; \
+                             capture with span::fork_context and install via span::adopt"
+                        ),
                     );
                 }
             }

@@ -86,6 +86,31 @@ fn fixture_l3_determinism() {
 }
 
 #[test]
+fn fixture_l3_span_parallel() {
+    // Same file, two contexts: inside `crates/parallel` the guard API
+    // and the (now module-scoped) clock allowance are both violations…
+    let ctx = FileContext {
+        crate_name: "parallel".into(),
+        rel_path: "crates/parallel/src/fixture.rs".into(),
+        ..strict_ctx()
+    };
+    let diags = lint_file(&ctx, include_str!("../fixtures/l3_span_parallel.rs"));
+    // span::enter, a held SpanGuard, Instant::now; the waived enter and
+    // the fork_context/adopt handoff stay silent.
+    assert_only(&diags, Rule::Determinism, &[6, 7, 8]);
+
+    // …while the obs timing modules keep their clock allowance without
+    // gaining a span-guard exemption they don't need.
+    let obs_ctx = FileContext {
+        crate_name: "obs".into(),
+        rel_path: "crates/obs/src/span.rs".into(),
+        ..strict_ctx()
+    };
+    let clock_only = "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert!(lint_file(&obs_ctx, clock_only).is_empty());
+}
+
+#[test]
 fn fixture_l4_feature() {
     let diags = lint_file(&strict_ctx(), include_str!("../fixtures/l4_feature.rs"));
     // `telemetry` and `turbo_mode` are undeclared; `obs` is declared.

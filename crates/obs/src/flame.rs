@@ -1,0 +1,79 @@
+//! Collapsed-stack ("folded") exporter for the span subsystem.
+//!
+//! Emits the `frame;frame;frame weight` text format consumed by
+//! flamegraph tooling (`flamegraph.pl`, `inferno-flamegraph`, speedscope
+//! imports). Each line is one node of the canonical span tree with its
+//! **self** weight in deterministic work units — not wall time — so the
+//! rendered flame graph is bit-identical at any thread count, exactly
+//! like the counters it sits on.
+//!
+//! Every stack is rooted under a synthetic `rectpart` frame so charges
+//! made outside any span (the tree's root node) still get a line.
+
+use crate::span::{self, SpanNode};
+
+/// Render an explicit tree snapshot as collapsed stacks (pure; the
+/// [`collapsed`] wrapper feeds it the live tree).
+pub fn collapsed_from(nodes: &[SpanNode]) -> String {
+    let mut out = String::new();
+    for node in nodes {
+        out.push_str("rectpart");
+        if !node.path.is_empty() {
+            out.push(';');
+            out.push_str(&node.path_string());
+        }
+        out.push(' ');
+        out.push_str(&node.work.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Export the canonical span tree as collapsed stacks. With the `obs`
+/// feature off the output is empty.
+pub fn collapsed() -> String {
+    collapsed_from(&span::snapshot_tree())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Synthetic nodes only: the live tree is process-global and owned by
+    // the roundtrip test in `lib.rs`.
+    #[test]
+    fn folded_lines_carry_self_work_weights() {
+        let nodes = [
+            SpanNode {
+                path: vec![],
+                count: 0,
+                work: 2,
+                wall_ns: 0,
+            },
+            SpanNode {
+                path: vec![("cli.partition", 0)],
+                count: 1,
+                work: 10,
+                wall_ns: 99,
+            },
+            SpanNode {
+                path: vec![("cli.partition", 0), ("core.hier.level", 3)],
+                count: 4,
+                work: 7,
+                wall_ns: 50,
+            },
+        ];
+        let folded = collapsed_from(&nodes);
+        assert_eq!(
+            folded,
+            "rectpart 2\n\
+             rectpart;cli.partition 10\n\
+             rectpart;cli.partition;core.hier.level#3 7\n"
+        );
+    }
+
+    #[test]
+    fn empty_tree_folds_to_nothing() {
+        assert_eq!(collapsed_from(&[]), "");
+    }
+}

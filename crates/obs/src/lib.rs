@@ -31,9 +31,12 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 #[cfg(feature = "faultinject")]
 pub mod fault;
+pub mod flame;
 mod report;
+pub mod span;
 pub mod work;
 
 pub use report::{DeterministicView, Report};
@@ -383,10 +386,16 @@ impl Drop for PhaseGuard {
 
 /// Manual stopwatch for attributing elapsed time to an [`ExecStat`]
 /// (worker busy / join wait). Zero-sized with the feature off.
+///
+/// Stopping a [`ExecStat::WorkerBusyNs`] / [`ExecStat::JoinWaitNs`] watch
+/// additionally emits a wall-only scheduler interval into the span event
+/// buffer (for the Chrome-trace export), so the parallel execution layer
+/// gets busy/wait lanes in traces without ever touching a clock or a span
+/// guard itself.
 #[must_use = "call stop() to record the elapsed time"]
 pub struct StopWatch {
     #[cfg(feature = "obs")]
-    start: std::time::Instant,
+    start_ns: u64,
 }
 
 impl StopWatch {
@@ -395,7 +404,7 @@ impl StopWatch {
     pub fn start() -> Self {
         StopWatch {
             #[cfg(feature = "obs")]
-            start: std::time::Instant::now(),
+            start_ns: span::epoch_ns(),
         }
     }
 
@@ -403,7 +412,18 @@ impl StopWatch {
     #[inline(always)]
     pub fn stop(self, stat: ExecStat) {
         #[cfg(feature = "obs")]
-        exec_add(stat, self.start.elapsed().as_nanos() as u64);
+        {
+            let dur_ns = span::epoch_ns().saturating_sub(self.start_ns);
+            exec_add(stat, dur_ns);
+            let kind = match stat {
+                ExecStat::WorkerBusyNs => Some(span::SpanKind::WorkerBusy),
+                ExecStat::JoinWaitNs => Some(span::SpanKind::JoinWait),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                span::sched_event(kind, self.start_ns, dur_ns);
+            }
+        }
         #[cfg(not(feature = "obs"))]
         let _ = stat;
     }
@@ -428,7 +448,8 @@ impl Recorder {
         cfg!(feature = "obs")
     }
 
-    /// Zero all counters, stats, timers, shard tallies, and traces.
+    /// Zero all counters, stats, timers, shard tallies, traces, and span
+    /// state.
     pub fn reset(self) {
         #[cfg(feature = "obs")]
         {
@@ -448,6 +469,7 @@ impl Recorder {
             for t in 0..imp::TRACES.len() {
                 imp::lock_trace(t).clear();
             }
+            span::reset();
         }
     }
 
@@ -486,6 +508,10 @@ impl Recorder {
                 points.sort_unstable();
                 report.traces.push((t.name(), points));
             }
+            report.spans = span::snapshot_tree()
+                .into_iter()
+                .map(|node| (node.path_string(), node.count, node.work))
+                .collect();
             report
         }
         #[cfg(not(feature = "obs"))]
@@ -522,6 +548,9 @@ mod tests {
         fn guards_are_zero_sized() {
             assert_eq!(std::mem::size_of::<PhaseGuard>(), 0);
             assert_eq!(std::mem::size_of::<StopWatch>(), 0);
+            assert_eq!(std::mem::size_of::<span::SpanGuard>(), 0);
+            assert_eq!(std::mem::size_of::<span::ForkCtx>(), 0);
+            assert_eq!(std::mem::size_of::<span::AdoptGuard>(), 0);
         }
 
         #[test]
@@ -534,10 +563,16 @@ mod tests {
             trace_point(TraceId::RectNicolLmax, 0, 0, 100);
             let _guard = phase(Phase::Partition);
             StopWatch::start().stop(ExecStat::WorkerBusyNs);
+            {
+                let _span = span::enter(span::SpanKind::CliPartition);
+                let _adopt = span::adopt(&span::fork_context());
+            }
             // …and the snapshot stays empty.
             let report = Recorder::global().snapshot();
             assert!(!Recorder::global().enabled());
             assert!(report.is_empty());
+            assert!(span::snapshot_tree().is_empty());
+            assert_eq!(span::snapshot_events(), (Vec::new(), 0));
             assert_eq!(report.get("onedim.nicol_calls"), None);
         }
     }
@@ -564,6 +599,16 @@ mod tests {
             {
                 let _g = phase(Phase::Partition);
             }
+            // Nested spans with directly-attributed self work (the work
+            // meter itself is owned by the `work` module's test).
+            {
+                let _outer = span::enter(span::SpanKind::CliPartition);
+                span::attribute(7);
+                {
+                    let _inner = span::enter_arg(span::SpanKind::HierLevel, 2);
+                    span::attribute(3);
+                }
+            }
 
             let report = rec.snapshot();
             assert!(!report.is_empty());
@@ -578,11 +623,39 @@ mod tests {
             let json = rectpart_json::Json::to_string_pretty(&report.to_json());
             assert!(json.contains("\"onedim.dp_cells\": 42"));
 
+            // Span tree: exact lookups per path (other tests in this
+            // binary may flush root fragments concurrently, so no
+            // whole-tree equality here).
+            let span_get = |r: &Report, path: &str| {
+                r.spans
+                    .iter()
+                    .find(|(p, _, _)| p == path)
+                    .map(|&(_, count, work)| (count, work))
+            };
+            assert_eq!(span_get(&report, "cli.partition"), Some((1, 7)));
+            assert_eq!(
+                span_get(&report, "cli.partition;core.hier.level#2"),
+                Some((1, 3))
+            );
+            assert!(json.contains("\"cli.partition;core.hier.level#2\""));
+            // A stopped busy-watch lands in the event buffer as a
+            // wall-only interval — never in the tree.
+            StopWatch::start().stop(ExecStat::WorkerBusyNs);
+            let (events, _dropped) = span::snapshot_events();
+            assert!(events
+                .iter()
+                .any(|e| e.kind == span::SpanKind::WorkerBusy && e.work == 0));
+            assert!(report
+                .spans
+                .iter()
+                .all(|(path, _, _)| !path.contains("parallel.worker_busy")));
+
             rec.reset();
             let report = rec.snapshot();
             assert_eq!(report.get("onedim.nicol_calls"), Some(0));
             assert!(report.shard_inserts.is_empty());
             assert!(report.traces.iter().all(|(_, pts)| pts.is_empty()));
+            assert_eq!(span_get(&report, "cli.partition"), None);
         }
     }
 }

@@ -6,11 +6,14 @@ use rectpart_json::Json;
 use crate::TracePoint;
 
 /// The determinism-covered sections of a [`Report`]:
-/// `(counters, shard_inserts, traces)`.
+/// `(counters, shard_inserts, traces, spans)`. The span component is the
+/// *work-anchored* tree view — `(path, count, self work)` per node, wall
+/// time excluded.
 pub type DeterministicView = (
     Vec<(&'static str, u64)>,
     Vec<u64>,
     Vec<(&'static str, Vec<TracePoint>)>,
+    Vec<(String, u64, u64)>,
 );
 
 /// A point-in-time snapshot of every observable, as produced by
@@ -34,6 +37,11 @@ pub struct Report {
     /// Convergence traces as `(name, sorted points)` in
     /// [`crate::TraceId::ALL`] order.
     pub traces: Vec<(&'static str, Vec<TracePoint>)>,
+    /// Merged span tree as `(path, count, self work)` sorted by path —
+    /// the work-anchored view of [`crate::span::snapshot_tree`]. Wall
+    /// times are deliberately absent: they live in the Chrome-trace
+    /// export, not in the deterministic report.
+    pub spans: Vec<(String, u64, u64)>,
 }
 
 impl Report {
@@ -45,6 +53,7 @@ impl Report {
             && self.phases_ns.is_empty()
             && self.shard_inserts.is_empty()
             && self.traces.is_empty()
+            && self.spans.is_empty()
     }
 
     /// Look up a counter, exec stat, or phase timer by its JSON name.
@@ -65,6 +74,7 @@ impl Report {
             self.counters.clone(),
             self.shard_inserts.clone(),
             self.traces.clone(),
+            self.spans.clone(),
         )
     }
 
@@ -128,6 +138,23 @@ impl Report {
                                         })
                                         .collect(),
                                 ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "spans",
+                Json::Obj(
+                    self.spans
+                        .iter()
+                        .map(|(path, count, work)| {
+                            (
+                                path.clone(),
+                                Json::obj(vec![
+                                    ("count", Json::UInt(*count)),
+                                    ("work", Json::UInt(*work)),
+                                ]),
                             )
                         })
                         .collect(),

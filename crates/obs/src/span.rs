@@ -1,0 +1,704 @@
+//! Hierarchical span tracing: nested enter/exit guards carrying wall
+//! time **and** deterministic work-unit deltas.
+//!
+//! # Model
+//!
+//! A span is a named region of the solver stack ([`SpanKind`], plus a
+//! small integer argument for recursion depth / rung index). Spans nest:
+//! each thread keeps a frame stack, and a finished span records the full
+//! path from the outermost open frame down to itself. Records are
+//! buffered per-thread and merged into one process-wide canonical tree
+//! keyed by path.
+//!
+//! Every span accumulates two quantities:
+//!
+//! * **work** — the [`crate::work::charge`] units charged while the span
+//!   was the innermost open frame on its thread (*self* work, exclusive
+//!   of children). Work charges are algorithm-decided, so per-path work
+//!   totals are part of the determinism contract.
+//! * **wall** — elapsed nanoseconds between enter and exit. Wall time is
+//!   scheduling-dependent and therefore *excluded* from the
+//!   work-anchored view (same split as `Counter` vs `ExecStat`).
+//!
+//! # Determinism across thread counts
+//!
+//! The parallel layer (`crates/parallel`) captures the forking thread's
+//! span path with [`fork_context`] before spawning and installs it in
+//! each worker with [`adopt`]. Worker-side spans therefore record the
+//! same paths the serial execution would have produced, and worker-side
+//! charges made outside any local span are flushed as *fragments*:
+//! additive `(path, work)` records that merge into the adopting path's
+//! node without bumping its span count. Summed per path, counts and work
+//! are bit-identical at any thread count; this is enforced by the span
+//! case of `crates/core/tests/obs_differential.rs`.
+//!
+//! Span guards must **not** be carried across the fork boundaries of
+//! `crates/parallel` (a guard entered on the forking thread and dropped
+//! on a worker would corrupt both stacks); lint L3 rejects `span::enter`
+//! / `SpanGuard` in that crate, and the adoption API above is the
+//! sanctioned alternative.
+//!
+//! # Zero overhead when disabled
+//!
+//! With the `obs` feature off, [`SpanGuard`], [`ForkCtx`] and
+//! [`AdoptGuard`] are zero-sized and every function here is an empty
+//! `#[inline(always)]` body; size assertions in the crate tests pin
+//! this.
+
+/// Static identity of a span site. Like [`crate::Counter`], the set is
+/// closed and each kind carries a stable dotted name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum SpanKind {
+    /// CLI input phase (CSV read).
+    CliIo,
+    /// CLI partitioning phase (algorithm or driver run).
+    CliPartition,
+    /// CLI validation phase.
+    CliValidate,
+    /// Blocked dense Γ construction.
+    GammaDense,
+    /// CSR-like sparse Γ construction.
+    GammaSparse,
+    /// One optimal 1-D solve (`nicol` / `nicol_bottleneck`).
+    NicolSolve,
+    /// Recursive-bisection incumbent inside a Nicol solve.
+    NicolIncumbent,
+    /// Candidate-walk bisection phase of a Nicol solve (the probes).
+    NicolBisect,
+    /// Final cut-reconstruction probe of a Nicol solve.
+    NicolReconstruct,
+    /// One parametric-bisection optimal 1-D solve.
+    ParametricSolve,
+    /// One Manne–Olstad dynamic-programming sweep (`dp_optimal`).
+    DpSweep,
+    /// One per-stripe bottleneck solve performed on a stripe-cache miss.
+    StripeSolve,
+    /// One `JAG-M-OPT` feasibility probe (one budget tried).
+    JagMFeasibility,
+    /// One `RECT-NICOL` refinement sweep.
+    RectNicolRefine,
+    /// One hierarchical bipartition node; `arg` = recursion depth, so
+    /// span depth tracks tree depth.
+    HierLevel,
+    /// One `HIER-OPT` exact solve (the memoized DP as a whole).
+    HierOptSolve,
+    /// One `SolverDriver` fallback rung; `arg` = rung index.
+    DriverRung,
+    /// Wall-only: a worker thread's busy interval. Never enters the
+    /// canonical tree (scheduling-dependent); Chrome-trace export only.
+    WorkerBusy,
+    /// Wall-only: a forking thread blocked joining its workers.
+    JoinWait,
+}
+
+/// Number of [`SpanKind`] variants.
+pub const SPAN_KIND_COUNT: usize = 19;
+
+impl SpanKind {
+    /// All kinds, in stable order (index = discriminant).
+    pub const ALL: [SpanKind; SPAN_KIND_COUNT] = [
+        SpanKind::CliIo,
+        SpanKind::CliPartition,
+        SpanKind::CliValidate,
+        SpanKind::GammaDense,
+        SpanKind::GammaSparse,
+        SpanKind::NicolSolve,
+        SpanKind::NicolIncumbent,
+        SpanKind::NicolBisect,
+        SpanKind::NicolReconstruct,
+        SpanKind::ParametricSolve,
+        SpanKind::DpSweep,
+        SpanKind::StripeSolve,
+        SpanKind::JagMFeasibility,
+        SpanKind::RectNicolRefine,
+        SpanKind::HierLevel,
+        SpanKind::HierOptSolve,
+        SpanKind::DriverRung,
+        SpanKind::WorkerBusy,
+        SpanKind::JoinWait,
+    ];
+
+    /// Dotted `layer.name` identifier used in exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpanKind::CliIo => "cli.io",
+            SpanKind::CliPartition => "cli.partition",
+            SpanKind::CliValidate => "cli.validate",
+            SpanKind::GammaDense => "gamma.dense_build",
+            SpanKind::GammaSparse => "gamma.sparse_build",
+            SpanKind::NicolSolve => "onedim.nicol",
+            SpanKind::NicolIncumbent => "onedim.nicol.incumbent",
+            SpanKind::NicolBisect => "onedim.nicol.bisect",
+            SpanKind::NicolReconstruct => "onedim.nicol.reconstruct",
+            SpanKind::ParametricSolve => "onedim.parametric",
+            SpanKind::DpSweep => "onedim.dp_sweep",
+            SpanKind::StripeSolve => "core.stripe_solve",
+            SpanKind::JagMFeasibility => "core.jag_m.feasibility",
+            SpanKind::RectNicolRefine => "core.rect_nicol.refine",
+            SpanKind::HierLevel => "core.hier.level",
+            SpanKind::HierOptSolve => "core.hier_opt.solve",
+            SpanKind::DriverRung => "driver.rung",
+            SpanKind::WorkerBusy => "parallel.worker_busy",
+            SpanKind::JoinWait => "parallel.join_wait",
+        }
+    }
+
+    /// Wall-only kinds carry no deterministic work and are excluded
+    /// from the canonical tree.
+    pub const fn wall_only(self) -> bool {
+        matches!(self, SpanKind::WorkerBusy | SpanKind::JoinWait)
+    }
+}
+
+/// One node of the canonical (merged) span tree snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Path from the root: `(kind name, arg)` per level.
+    pub path: Vec<(&'static str, u32)>,
+    /// Completed spans merged into this node (fragments excluded).
+    pub count: u64,
+    /// Self work units charged while a span of this path was innermost.
+    pub work: u64,
+    /// Total inclusive wall nanoseconds over all merged spans.
+    /// Scheduling-dependent: **not** part of the deterministic view.
+    pub wall_ns: u64,
+}
+
+impl SpanNode {
+    /// Stable `a;b#2;c` rendering of the path (the `#arg` suffix is
+    /// appended only for nonzero args). The empty path renders as
+    /// `(root)` — charges made outside any span.
+    pub fn path_string(&self) -> String {
+        if self.path.is_empty() {
+            return "(root)".to_string();
+        }
+        let mut out = String::new();
+        for (i, &(name, arg)) in self.path.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            out.push_str(name);
+            if arg != 0 {
+                out.push('#');
+                out.push_str(&arg.to_string());
+            }
+        }
+        out
+    }
+}
+
+/// One raw span event retained for the Chrome-trace export. Event
+/// retention is capped ([`EVENT_CAP`]); the canonical tree is exact
+/// regardless.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// What the span was.
+    pub kind: SpanKind,
+    /// Kind argument (depth / rung index), 0 when unused.
+    pub arg: u32,
+    /// Small per-thread integer id (assignment order is arbitrary).
+    pub tid: u32,
+    /// Nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Self work units of this individual span.
+    pub work: u64,
+}
+
+/// Maximum retained raw events; past it, events are counted as dropped
+/// rather than stored (~131k events ≈ a few MB).
+pub const EVENT_CAP: usize = 1 << 17;
+
+#[cfg(feature = "obs")]
+mod imp {
+    use super::EVENT_CAP;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+    use std::time::Instant;
+
+    /// Path key in the merged tree: `(kind discriminant, arg)` per level.
+    pub type Path = Vec<(u16, u32)>;
+
+    /// Per-path aggregate.
+    #[derive(Default)]
+    pub struct Agg {
+        pub count: u64,
+        pub work: u64,
+        pub wall_ns: u64,
+    }
+
+    /// Raw event as stored globally.
+    #[derive(Clone)]
+    pub struct RawEvent {
+        pub kind: u16,
+        pub arg: u32,
+        pub tid: u32,
+        pub start_ns: u64,
+        pub dur_ns: u64,
+        pub work: u64,
+    }
+
+    pub static TREE: Mutex<BTreeMap<Path, Agg>> = Mutex::new(BTreeMap::new());
+    pub static EVENTS: Mutex<Vec<RawEvent>> = Mutex::new(Vec::new());
+    pub static DROPPED: AtomicU64 = AtomicU64::new(0);
+    static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+    /// Nanoseconds since the process-wide trace epoch (first use).
+    pub fn now_ns() -> u64 {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    /// Poison-tolerant lock: both tables only ever receive additive
+    /// merges, so state abandoned mid-panic is still valid.
+    pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// One open frame on a thread's span stack.
+    pub struct Frame {
+        pub kind: u16,
+        pub arg: u32,
+        pub start_ns: u64,
+        pub self_work: u64,
+    }
+
+    /// A finished record awaiting its batched merge into the globals.
+    pub struct Pending {
+        pub path: Path,
+        /// 1 for a real span, 0 for a worker fragment.
+        pub count: u64,
+        pub work: u64,
+        pub wall_ns: u64,
+        /// `(start_ns, dur_ns)` for real spans; fragments carry none.
+        pub event: Option<(u64, u64)>,
+    }
+
+    /// Flush the pending buffer once it reaches this length.
+    const FLUSH_EVERY: usize = 64;
+
+    /// Per-thread span state. The `Drop` impl flushes what is left when
+    /// the thread exits — scoped workers exit before their fork-join
+    /// operation returns, so their records are merged before any serial
+    /// checkpoint can snapshot.
+    pub struct ThreadCtx {
+        pub tid: u32,
+        /// Virtual prefix installed by `adopt` (the forking thread's
+        /// path at spawn time).
+        pub adopted: Path,
+        /// Work charged while no local frame is open; flushed as a
+        /// fragment against `adopted`.
+        pub adopted_work: u64,
+        pub frames: Vec<Frame>,
+        pub pending: Vec<Pending>,
+    }
+
+    impl ThreadCtx {
+        fn new() -> ThreadCtx {
+            ThreadCtx {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                adopted: Vec::new(),
+                adopted_work: 0,
+                frames: Vec::new(),
+                pending: Vec::new(),
+            }
+        }
+
+        /// Full current path: adopted prefix plus open frames.
+        pub fn current_path(&self) -> Path {
+            let mut path = self.adopted.clone();
+            path.extend(self.frames.iter().map(|f| (f.kind, f.arg)));
+            path
+        }
+
+        /// Queue the outside-any-frame work accumulated so far as a
+        /// fragment record against the adopted prefix.
+        pub fn stash_adopted_work(&mut self) {
+            if self.adopted_work > 0 {
+                let work = std::mem::take(&mut self.adopted_work);
+                self.pending.push(Pending {
+                    path: self.adopted.clone(),
+                    count: 0,
+                    work,
+                    wall_ns: 0,
+                    event: None,
+                });
+            }
+        }
+
+        pub fn maybe_flush(&mut self) {
+            if self.pending.len() >= FLUSH_EVERY {
+                self.flush();
+            }
+        }
+
+        /// Merge all pending records into the global tree and event
+        /// buffer (one lock acquisition each).
+        pub fn flush(&mut self) {
+            if self.pending.is_empty() {
+                return;
+            }
+            let records = std::mem::take(&mut self.pending);
+            {
+                let mut tree = lock(&TREE);
+                for r in &records {
+                    let agg = tree.entry(r.path.clone()).or_default();
+                    agg.count += r.count;
+                    agg.work += r.work;
+                    agg.wall_ns += r.wall_ns;
+                }
+            }
+            let mut events = lock(&EVENTS);
+            for r in records {
+                let Some((start_ns, dur_ns)) = r.event else {
+                    continue;
+                };
+                if events.len() >= EVENT_CAP {
+                    DROPPED.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let Some(&(kind, arg)) = r.path.last() else {
+                    continue;
+                };
+                events.push(RawEvent {
+                    kind,
+                    arg,
+                    tid: self.tid,
+                    start_ns,
+                    dur_ns,
+                    work: r.work,
+                });
+            }
+        }
+    }
+
+    impl Drop for ThreadCtx {
+        fn drop(&mut self) {
+            self.stash_adopted_work();
+            self.flush();
+        }
+    }
+
+    thread_local! {
+        pub static CTX: RefCell<ThreadCtx> = RefCell::new(ThreadCtx::new());
+    }
+
+    /// Run `f` on this thread's span context. Silently a no-op during
+    /// thread teardown or (impossible by construction) re-entrancy —
+    /// the instrumentation layer must never panic (lint L1).
+    pub fn with_ctx(f: impl FnOnce(&mut ThreadCtx)) {
+        let _ = CTX.try_with(|cell| {
+            if let Ok(mut ctx) = cell.try_borrow_mut() {
+                f(&mut ctx);
+            }
+        });
+    }
+}
+
+/// Drop-guard for one open span; created by [`enter`] / [`enter_arg`].
+/// Guards are strictly scoped (LIFO per thread). Zero-sized with the
+/// feature off.
+#[must_use = "the span is open until the guard drops"]
+pub struct SpanGuard {
+    #[cfg(feature = "obs")]
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Open a span of `kind` (argument 0) until the guard drops.
+#[inline(always)]
+pub fn enter(kind: SpanKind) -> SpanGuard {
+    enter_arg(kind, 0)
+}
+
+/// Open a span of `kind` with an explicit argument (recursion depth,
+/// rung index) until the guard drops.
+#[inline(always)]
+pub fn enter_arg(kind: SpanKind, arg: u32) -> SpanGuard {
+    #[cfg(feature = "obs")]
+    {
+        imp::with_ctx(|ctx| {
+            ctx.frames.push(imp::Frame {
+                kind: kind as u16,
+                arg,
+                start_ns: imp::now_ns(),
+                self_work: 0,
+            });
+        });
+        SpanGuard {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = (kind, arg);
+        SpanGuard {}
+    }
+}
+
+#[cfg(feature = "obs")]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = imp::now_ns();
+        imp::with_ctx(|ctx| {
+            let Some(frame) = ctx.frames.pop() else {
+                return;
+            };
+            let path = {
+                let mut p = ctx.current_path();
+                p.push((frame.kind, frame.arg));
+                p
+            };
+            let wall_ns = end.saturating_sub(frame.start_ns);
+            let wall_only = SpanKind::ALL[frame.kind as usize].wall_only();
+            ctx.pending.push(imp::Pending {
+                path,
+                count: u64::from(!wall_only),
+                work: frame.self_work,
+                wall_ns,
+                event: Some((frame.start_ns, wall_ns)),
+            });
+            ctx.maybe_flush();
+        });
+    }
+}
+
+/// Attribute `n` work units to the innermost open span on this thread
+/// (or to the adopted prefix / root when none is open). Called by
+/// [`crate::work::charge`]; not part of the public API surface.
+#[inline(always)]
+pub(crate) fn attribute(n: u64) {
+    #[cfg(feature = "obs")]
+    if n > 0 {
+        imp::with_ctx(|ctx| match ctx.frames.last_mut() {
+            Some(frame) => frame.self_work += n,
+            None => ctx.adopted_work += n,
+        });
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = n;
+}
+
+/// A captured span path, taken on a forking thread with
+/// [`fork_context`] and installed on workers with [`adopt`]. Cloneable
+/// and shareable across the spawned closures. Zero-sized with the
+/// feature off.
+#[derive(Clone, Debug, Default)]
+pub struct ForkCtx {
+    #[cfg(feature = "obs")]
+    path: Vec<(u16, u32)>,
+}
+
+/// Capture the calling thread's current span path for worker adoption.
+#[inline(always)]
+pub fn fork_context() -> ForkCtx {
+    #[cfg(feature = "obs")]
+    {
+        let mut path = Vec::new();
+        imp::with_ctx(|ctx| path = ctx.current_path());
+        ForkCtx { path }
+    }
+    #[cfg(not(feature = "obs"))]
+    ForkCtx {}
+}
+
+/// Drop-guard restoring the previous adoption state; see [`adopt`].
+#[must_use = "the adopted span context is installed until the guard drops"]
+pub struct AdoptGuard {
+    #[cfg(feature = "obs")]
+    prev_adopted: Vec<(u16, u32)>,
+    #[cfg(feature = "obs")]
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Install `ctx` as this thread's virtual span prefix: spans opened
+/// here record paths as if they were nested under the forking thread's
+/// open frames, and bare work charges are flushed as fragments against
+/// the prefix when the guard drops. This is the **only** span API the
+/// parallel execution layer may use (lint L3 rejects holding
+/// [`SpanGuard`]s across its join boundaries).
+#[inline(always)]
+pub fn adopt(ctx: &ForkCtx) -> AdoptGuard {
+    #[cfg(feature = "obs")]
+    {
+        let mut prev_adopted = Vec::new();
+        imp::with_ctx(|tctx| {
+            // Any work accumulated against the previous prefix belongs
+            // to it, not to the new one.
+            tctx.stash_adopted_work();
+            prev_adopted = std::mem::replace(&mut tctx.adopted, ctx.path.clone());
+        });
+        AdoptGuard {
+            prev_adopted,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = ctx;
+        AdoptGuard {}
+    }
+}
+
+#[cfg(feature = "obs")]
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        imp::with_ctx(|ctx| {
+            ctx.stash_adopted_work();
+            ctx.adopted = std::mem::take(&mut self.prev_adopted);
+            ctx.flush();
+        });
+    }
+}
+
+/// Record a wall-only scheduler interval (worker busy / join wait) that
+/// started at `start_ns` and lasted `dur_ns`. Feeds the Chrome-trace
+/// event buffer only, never the canonical tree.
+#[cfg(feature = "obs")]
+#[inline(always)]
+pub(crate) fn sched_event(kind: SpanKind, start_ns: u64, dur_ns: u64) {
+    use std::sync::atomic::Ordering;
+    imp::with_ctx(|ctx| {
+        let mut events = imp::lock(&imp::EVENTS);
+        if events.len() >= EVENT_CAP {
+            imp::DROPPED.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push(imp::RawEvent {
+                kind: kind as u16,
+                arg: 0,
+                tid: ctx.tid,
+                start_ns,
+                dur_ns,
+                work: 0,
+            });
+        }
+    });
+}
+
+/// Nanoseconds since the trace epoch. Used by [`crate::StopWatch`] to
+/// timestamp scheduler intervals.
+#[cfg(feature = "obs")]
+#[inline(always)]
+pub(crate) fn epoch_ns() -> u64 {
+    imp::now_ns()
+}
+
+/// Flush the calling thread's buffered records into the global tables.
+/// [`crate::Recorder::snapshot`] calls this; exited worker threads have
+/// already flushed via their TLS destructor.
+pub fn flush_current_thread() {
+    #[cfg(feature = "obs")]
+    imp::with_ctx(|ctx| {
+        ctx.stash_adopted_work();
+        ctx.flush();
+    });
+}
+
+/// Clear the merged tree, the event buffer, the drop counter, and the
+/// calling thread's pending records. Like [`crate::work::reset`], only
+/// meaningful at serial checkpoints (no parallel region still
+/// recording).
+pub fn reset() {
+    #[cfg(feature = "obs")]
+    {
+        use std::sync::atomic::Ordering;
+        imp::with_ctx(|ctx| {
+            ctx.pending.clear();
+            ctx.adopted_work = 0;
+            for frame in &mut ctx.frames {
+                // Frames still open keep their identity but restart
+                // their tallies, mirroring the counter reset.
+                frame.self_work = 0;
+                frame.start_ns = imp::now_ns();
+            }
+        });
+        imp::lock(&imp::TREE).clear();
+        imp::lock(&imp::EVENTS).clear();
+        imp::DROPPED.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot the canonical merged span tree, sorted by path. Counts and
+/// work are covered by the determinism contract; `wall_ns` is not.
+pub fn snapshot_tree() -> Vec<SpanNode> {
+    #[cfg(feature = "obs")]
+    {
+        flush_current_thread();
+        imp::lock(&imp::TREE)
+            .iter()
+            .map(|(path, agg)| SpanNode {
+                path: path
+                    .iter()
+                    .map(|&(kind, arg)| (SpanKind::ALL[kind as usize].name(), arg))
+                    .collect(),
+                count: agg.count,
+                work: agg.work,
+                wall_ns: agg.wall_ns,
+            })
+            .collect()
+    }
+    #[cfg(not(feature = "obs"))]
+    Vec::new()
+}
+
+/// Snapshot the retained raw events (for the Chrome exporter) plus the
+/// number of events dropped past [`EVENT_CAP`].
+pub fn snapshot_events() -> (Vec<SpanEvent>, u64) {
+    #[cfg(feature = "obs")]
+    {
+        use std::sync::atomic::Ordering;
+        flush_current_thread();
+        let events = imp::lock(&imp::EVENTS)
+            .iter()
+            .map(|e| SpanEvent {
+                kind: SpanKind::ALL[e.kind as usize],
+                arg: e.arg,
+                tid: e.tid,
+                start_ns: e.start_ns,
+                dur_ns: e.dur_ns,
+                work: e.work,
+            })
+            .collect();
+        (events, imp::DROPPED.load(Ordering::Relaxed))
+    }
+    #[cfg(not(feature = "obs"))]
+    (Vec::new(), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_distinct_and_indexed() {
+        let mut names: Vec<&str> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate span kind name");
+        for (i, k) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "ALL order must match discriminants");
+        }
+    }
+
+    #[test]
+    fn path_string_formats_args() {
+        let node = SpanNode {
+            path: vec![("cli.partition", 0), ("core.hier.level", 2)],
+            count: 1,
+            work: 5,
+            wall_ns: 9,
+        };
+        assert_eq!(node.path_string(), "cli.partition;core.hier.level#2");
+        let root = SpanNode {
+            path: vec![],
+            count: 0,
+            work: 3,
+            wall_ns: 0,
+        };
+        assert_eq!(root.path_string(), "(root)");
+    }
+}

@@ -27,12 +27,16 @@ static WORK: AtomicU64 = AtomicU64::new(0);
 #[cfg(feature = "faultinject")]
 pub(crate) static MULTIPLIER: AtomicU64 = AtomicU64::new(1);
 
-/// Charge `n` abstract work units to the global meter.
+/// Charge `n` abstract work units to the global meter. The (possibly
+/// fault-multiplied) amount is also attributed to the innermost open
+/// span on the calling thread, which is what gives span nodes their
+/// deterministic work totals.
 #[inline]
 pub fn charge(n: u64) {
     #[cfg(feature = "faultinject")]
     let n = n.saturating_mul(MULTIPLIER.load(Ordering::Relaxed));
     WORK.fetch_add(n, Ordering::Relaxed);
+    crate::span::attribute(n);
 }
 
 /// Total work charged since the last [`reset`].

@@ -16,6 +16,7 @@ use crate::nicol::OneDimResult;
 /// Computes an optimal partition of the whole sequence into `m` intervals.
 pub fn dp_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
     assert!(m >= 1);
+    let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::DpSweep);
     let n = c.len();
     let w = n + 1;
     // One flat `m × (n+1)` table, row p at offset p·w: table[p·w + i] is

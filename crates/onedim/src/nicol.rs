@@ -55,6 +55,7 @@ pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
 pub fn nicol_in<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScratch) -> OneDimResult {
     assert!(m >= 1);
     rectpart_obs::incr(rectpart_obs::Counter::NicolCalls);
+    let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolSolve);
     let n = c.len();
     if n == 0 {
         return OneDimResult {
@@ -63,8 +64,15 @@ pub fn nicol_in<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScratch) ->
         };
     }
     // Incumbent from the RB heuristic; enables the lb_global early exit.
-    let incumbent = rb_incumbent(c, m, scratch);
-    let best = nicol_search(c, m, incumbent);
+    let incumbent = {
+        let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolIncumbent);
+        rb_incumbent(c, m, scratch)
+    };
+    let best = {
+        let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolBisect);
+        nicol_search(c, m, incumbent)
+    };
+    let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolReconstruct);
     // lint:allow(panic) -- invariant: `best` was returned feasible by the search above; re-probing at it cannot fail
     let cuts = probe(c, m, best).expect("invariant: Nicol bottleneck must be feasible");
     debug_assert_eq!(cuts.bottleneck(c), best, "probe must attain the optimum");
@@ -82,11 +90,16 @@ pub fn nicol_in<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScratch) ->
 pub fn nicol_bottleneck<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScratch) -> u64 {
     assert!(m >= 1);
     rectpart_obs::incr(rectpart_obs::Counter::NicolCalls);
+    let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolSolve);
     let n = c.len();
     if n == 0 {
         return 0;
     }
-    let incumbent = rb_incumbent(c, m, scratch);
+    let incumbent = {
+        let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolIncumbent);
+        rb_incumbent(c, m, scratch)
+    };
+    let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolBisect);
     nicol_search(c, m, incumbent)
 }
 
@@ -166,6 +179,7 @@ pub fn nicol_bounded<C: IntervalCost>(c: &C, m: usize, cutoff: u64) -> Option<On
 /// third independent optimal solver. Exact for any monotone cost.
 pub fn parametric_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
     assert!(m >= 1);
+    let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::ParametricSolve);
     let n = c.len();
     if n == 0 {
         return OneDimResult {

@@ -92,6 +92,14 @@ pub fn set_global_threads(n: usize) {
     GLOBAL_THREADS.store(n, Ordering::Relaxed);
 }
 
+/// Detected hardware parallelism of the host, ignoring every configured
+/// or scoped budget. Provenance only (stats / bench emitters record it);
+/// use [`current_threads`] for scheduling decisions. Lives here because
+/// thread APIs outside `crates/parallel` are rejected by lint L2.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
 /// Runs `f` with the thread budget pinned to `n` (≥ 1) on this thread,
 /// including inside nested [`join`] branches. Restores the previous
 /// budget afterwards, also on panic.
@@ -153,9 +161,11 @@ where
         let b_budget = threads / 2;
         let a_budget = threads - b_budget;
         rectpart_obs::exec_add(rectpart_obs::ExecStat::TasksSpawned, 1);
+        let span_ctx = rectpart_obs::span::fork_context();
         std::thread::scope(|scope| {
             let handle = scope.spawn(move || {
                 let _guard = ScopedGuard::set(b_budget);
+                let _adopt = rectpart_obs::span::adopt(&span_ctx);
                 let busy = rectpart_obs::StopWatch::start();
                 let rb = b();
                 busy.stop(rectpart_obs::ExecStat::WorkerBusyNs);
@@ -209,6 +219,8 @@ where
         let workers = threads.min(n);
         rectpart_obs::exec_add(rectpart_obs::ExecStat::TasksSpawned, workers as u64);
         let f = &f;
+        let span_ctx = rectpart_obs::span::fork_context();
+        let span_ctx = &span_ctx;
         let mut blocks: Vec<Vec<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
@@ -224,6 +236,7 @@ where
                             panic!("injected worker fault");
                         }
                         let _guard = ScopedGuard::set(1);
+                        let _adopt = rectpart_obs::span::adopt(span_ctx);
                         let busy = rectpart_obs::StopWatch::start();
                         let block = (lo..hi).map(f).collect::<Vec<R>>();
                         busy.stop(rectpart_obs::ExecStat::WorkerBusyNs);
@@ -317,6 +330,8 @@ where
         let workers = threads.min(n);
         rectpart_obs::exec_add(rectpart_obs::ExecStat::TasksSpawned, workers as u64);
         let f = &f;
+        let span_ctx = rectpart_obs::span::fork_context();
+        let span_ctx = &span_ctx;
         std::thread::scope(|scope| {
             let mut rest = items;
             let mut offset = 0;
@@ -329,6 +344,7 @@ where
                 offset = hi;
                 handles.push(scope.spawn(move || {
                     let _guard = ScopedGuard::set(1);
+                    let _adopt = rectpart_obs::span::adopt(span_ctx);
                     let busy = rectpart_obs::StopWatch::start();
                     for (i, item) in block.iter_mut().enumerate() {
                         f(base + i, item);
@@ -373,6 +389,8 @@ where
         let workers = threads.min(n_chunks);
         rectpart_obs::exec_add(rectpart_obs::ExecStat::TasksSpawned, workers as u64);
         let f = &f;
+        let span_ctx = rectpart_obs::span::fork_context();
+        let span_ctx = &span_ctx;
         let mut blocks: Vec<Vec<R>> = std::thread::scope(|scope| {
             let mut rest = items;
             let mut chunk_offset = 0;
@@ -388,6 +406,7 @@ where
                 chunk_offset = hi_chunk;
                 handles.push(scope.spawn(move || {
                     let _guard = ScopedGuard::set(1);
+                    let _adopt = rectpart_obs::span::adopt(span_ctx);
                     let busy = rectpart_obs::StopWatch::start();
                     let out = block
                         .chunks_mut(chunk)
@@ -610,6 +629,13 @@ mod tests {
         let got = with_threads(4, || map_range(500, |i| (i as u64) * 7));
         rectpart_obs::fault::clear();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn host_cores_is_positive_and_budget_independent() {
+        let n = host_cores();
+        assert!(n >= 1);
+        assert_eq!(with_threads(1, host_cores), n);
     }
 
     #[test]

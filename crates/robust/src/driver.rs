@@ -361,6 +361,11 @@ impl SolverDriver {
                 }
             }
             let rung_mark = work::Mark::now();
+            // The rung span wraps the panic boundary from outside: guards
+            // are plain RAII, so an unwinding rung still exits its span
+            // here rather than leaking an open frame into the next rung.
+            let _rung_span =
+                rectpart_obs::span::enter_arg(rectpart_obs::span::SpanKind::DriverRung, idx as u32);
             // lint:allow(panic) -- the workspace's one intentional panic boundary: a panicking rung demotes to the next ladder entry instead of tearing down the caller
             let solved = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 #[cfg(feature = "faultinject")]

@@ -35,6 +35,7 @@ pub fn jag_pq_heur_best_p(m: usize, n1: usize, n2: usize) -> f64 {
 pub fn jag_m_heur_ratio(delta: f64, p: usize, m: usize, n1: usize, n2: usize) -> f64 {
     assert!(delta >= 1.0 && p < m && p < n1 + 1);
     let (m, p, n1, n2) = (m as f64, p as f64, n1 as f64, n2 as f64);
+    // lint:allow(panic-reach) -- f64 division is total (never panics)
     m / (m - p) * (1.0 + delta / n2) + delta * m / (p * n2) * (1.0 + delta * p / n1)
 }
 
@@ -43,6 +44,7 @@ pub fn jag_m_heur_ratio(delta: f64, p: usize, m: usize, n1: usize, n2: usize) ->
 /// clamp to `[1, min(m − 1, n1)]`).
 pub fn jag_m_heur_best_p(delta: f64, m: usize, n2: usize) -> f64 {
     let (m, n2) = (m as f64, n2 as f64);
+    // lint:allow(panic-reach) -- f64 division is total (never panics)
     m * ((delta * (delta + n2)).sqrt() - delta) / n2
 }
 

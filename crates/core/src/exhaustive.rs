@@ -73,6 +73,8 @@ fn search(
     let Some(idx) = (0..rows * cols).find(|&i| mask & (1u64 << i) == 0) else {
         return;
     };
+    // lint:allow(panic-reach) -- this line only runs when the find over
+    // 0..rows*cols produced an index, so cols >= 1
     let (r, c) = (idx / cols, idx % cols);
     // Average-based pruning: the remaining load cannot be spread better
     // than evenly over the remaining parts.

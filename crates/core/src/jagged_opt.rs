@@ -152,6 +152,8 @@ fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
     let mut scratch = SolveScratch::new();
     let mut probe_idx = 0u64;
     while lb < ub {
+        // lint:allow(checked-arith) -- lb <= ub in the loop, so
+        // lb + (ub-lb)/2 <= ub: no overflow possible
         let mid = lb + (ub - lb) / 2;
         rectpart_obs::trace_point(
             rectpart_obs::TraceId::JagMOptBudget,

@@ -103,17 +103,21 @@ impl LoadMatrix {
     /// Cell load at `(r, c)`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> u32 {
+        // lint:allow(panic-reach) -- API contract: r < rows, c < cols, and
+        // data.len() = rows * cols, so r*cols + c < len
         self.data[r * self.cols + c]
     }
 
     /// Mutable cell access.
     #[inline]
     pub fn get_mut(&mut self, r: usize, c: usize) -> &mut u32 {
+        // lint:allow(panic-reach) -- same bounds contract as `get`
         &mut self.data[r * self.cols + c]
     }
 
     /// Row `r` as a slice.
     pub fn row(&self, r: usize) -> &[u32] {
+        // lint:allow(panic-reach) -- r < rows, so (r+1)*cols <= len
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 

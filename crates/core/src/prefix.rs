@@ -346,8 +346,12 @@ impl PrefixSum2D {
         let mut checked_ops = 0u64;
         for r in 0..rows {
             let src = a.row(r);
+            // lint:allow(panic-reach) -- g.len() = (rows+1)*w and r < rows,
+            // so the midpoint (r+1)*w <= rows*w is always in bounds
             let (head, tail) = g.split_at_mut((r + 1) * w);
+            // lint:allow(panic-reach) -- head.len() = (r+1)*w > r*w
             let prev = &head[r * w..];
+            // lint:allow(panic-reach) -- tail.len() = (rows-r)*w >= w
             let cur = &mut tail[..w];
             let mut carry = 0u64;
             let mut t0 = 0usize;
@@ -623,6 +627,9 @@ impl PrefixSum2D {
         match &self.repr {
             Repr::Dense(g) => {
                 let w = self.cols + 1;
+                // lint:allow(panic-reach) -- API contract (debug_assert
+                // above): r* <= rows, c* <= cols, and g.len() = (rows+1)*w,
+                // so every corner index r*w + c <= rows*w + cols < g.len()
                 g[r1 * w + c1] + g[r0 * w + c0] - g[r0 * w + c1] - g[r1 * w + c0]
             }
             Repr::Sparse(s) => s.sum4(r0, r1, c0, c1),

@@ -43,6 +43,8 @@ impl PartitionStats {
             .map(|(i, _)| i)
             .collect();
         let lmax = loads.iter().copied().max().unwrap_or(0);
+        // lint:allow(panic-reach) -- active holds enumerate() indices of
+        // rects(), and loads() has one entry per rect
         let lmin = active.iter().map(|&i| loads[i]).min().unwrap_or(0);
         let mean = loads.iter().sum::<u64>() as f64 / parts as f64;
         let var = loads
@@ -56,6 +58,7 @@ impl PartitionStats {
         let max_aspect = active
             .iter()
             .map(|&i| {
+                // lint:allow(panic-reach) -- i is an enumerate() index of rects()
                 let r = &part.rects()[i];
                 let (a, b) = (r.height().max(r.width()), r.height().min(r.width()));
                 a as f64 / b as f64
@@ -64,6 +67,7 @@ impl PartitionStats {
         let total_perimeter = active
             .iter()
             .map(|&i| {
+                // lint:allow(panic-reach) -- i is an enumerate() index of rects()
                 let r = &part.rects()[i];
                 2 * (r.height() + r.width())
             })

@@ -63,6 +63,8 @@ pub(crate) fn grid_dims(m: usize) -> (usize, usize) {
     while !m.is_multiple_of(p) {
         p -= 1;
     }
+    // lint:allow(panic-reach) -- p starts at isqrt(m) >= 1 and the loop
+    // stops at p = 1 at the latest (1 divides everything), so p != 0
     (p, m / p)
 }
 

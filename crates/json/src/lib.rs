@@ -255,6 +255,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, Error> {
+        // lint:allow(panic-reach) -- parser invariant: pos only advances by
+        // the length of consumed input, so pos <= bytes.len() throughout
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
@@ -355,6 +357,8 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     // Consume one UTF-8 character (multi-byte safe).
+                    // lint:allow(panic-reach) -- peek() returned a byte, so
+                    // pos < bytes.len() and the range start is in bounds
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| Error::parse("invalid UTF-8", start))?;
                     // `peek()` returned a byte, so `rest` is non-empty;
@@ -385,6 +389,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
+        // lint:allow(panic-reach) -- start was an earlier value of pos and
+        // pos only moves forward, bounded by bytes.len()
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error::parse("invalid number", start))?;
         if !is_float {

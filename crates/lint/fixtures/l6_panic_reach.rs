@@ -1,0 +1,31 @@
+//! L6 fixture: direct panic constructs, a transitive call chain, and
+//! the `lint:allow(panic-reach)` escape hatch.
+
+fn leaf(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+pub fn mid(xs: &[u64]) -> u64 {
+    leaf(xs, 1)
+}
+
+pub fn top(xs: &[u64], d: u64) -> u64 {
+    mid(xs) % d
+}
+
+pub fn copies(dst: &mut [u64], src: &[u64]) {
+    dst.copy_from_slice(src);
+}
+
+pub fn literal_index_is_fine(xs: &[u64]) -> u64 {
+    xs[0]
+}
+
+pub fn waived(xs: &[u64], i: usize) -> u64 {
+    // lint:allow(panic-reach) -- fixture: callers pass i < xs.len()
+    xs[i]
+}
+
+pub fn sealed_roots_do_not_propagate(xs: &[u64]) -> u64 {
+    waived(xs, 0)
+}

@@ -1,0 +1,19 @@
+//! L7 fixture: unchecked weight-domain arithmetic, plus the checked and
+//! waived forms that must stay silent.
+
+pub fn violating(g: &PrefixSum2D) -> u64 {
+    let w = g.load(0, 1, 0, 1);
+    let bad = w + 1;
+    g.load(1, 2, 0, 1) + bad
+}
+
+pub fn checked_is_fine(g: &PrefixSum2D) -> Option<u64> {
+    let w = g.load(0, 1, 0, 1);
+    w.checked_add(g.load(1, 2, 0, 1))
+}
+
+pub fn waived(g: &PrefixSum2D) -> u64 {
+    let w = g.load(0, 1, 0, 1);
+    // lint:allow(checked-arith) -- fixture: bounded by total(), fits u64
+    w + 1
+}

@@ -1,0 +1,30 @@
+//! L8 fixture: nested shard guards, a guard held across a parallel
+//! join boundary, and the scoped/waived forms that must stay silent.
+
+pub fn violating_nest(&self, a: &Key, b: &Key) {
+    let ga = Self::lock(self.shard(a));
+    let gb = Self::lock(self.shard(b));
+    drop((ga, gb));
+}
+
+pub fn violating_join(m: &std::sync::Mutex<u32>) {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = rectpart_parallel::map_range(4, |i| i);
+    drop(g);
+}
+
+pub fn scoped_guard_is_fine(m: &std::sync::Mutex<u32>) {
+    {
+        let g = m.lock().unwrap_or_else(|e| e.into_inner());
+        drop(g);
+    }
+    let _ = rectpart_parallel::map_range(4, |i| i);
+}
+
+pub fn waived_join(m: &std::sync::Mutex<u32>) {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    // lint:allow(lock-discipline) -- fixture: the guard is read-only and
+    // the mapped closure never touches the mutex
+    let _ = rectpart_parallel::map_range(4, |i| i);
+    drop(g);
+}

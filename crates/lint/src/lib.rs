@@ -29,10 +29,13 @@
 //! `cargo test` executes on every run. See DESIGN.md §11 for the full
 //! catalog and rationale.
 
+pub mod analyze;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
 pub use rules::{lint_file, Diagnostic, FileContext, Rule};
-pub use workspace::{default_root, lint_workspace, report};
+pub use workspace::{default_root, lint_workspace, lint_workspace_v2, report, report_v2};

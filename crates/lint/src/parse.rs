@@ -1,0 +1,581 @@
+//! A lightweight item parser on top of the channel lexer.
+//!
+//! The v2 rules (L6–L8, see [`crate::analyze`]) need more structure
+//! than per-line pattern matching: *which function* a line belongs to,
+//! *what that function calls*, and *which `use` aliases* are in scope.
+//! This module extracts exactly that — no types, no expressions, no
+//! generics — by walking the comment/string-stripped `code` channel of
+//! [`crate::lexer::lex`] with a brace-depth scope stack:
+//!
+//! * `fn` items (free functions, inherent/trait methods, nested fns),
+//!   each with its declaration line, body line range, enclosing
+//!   `impl`/`trait` type, and test-ness;
+//! * `impl [Trait for] Type` / `trait Name` blocks (methods inside are
+//!   keyed `Type::name`);
+//! * `use` declarations, flattened to `alias → path` pairs (including
+//!   brace groups and `as` renames) for cross-crate call resolution;
+//! * call expressions inside each body: `path::to::f(...)` with its
+//!   segment list, or `.method(...)` marked as a method call.
+//!
+//! The parser is deliberately forgiving: anything it cannot classify is
+//! simply not recorded, and the rule engines treat unknown calls as
+//! opaque (no call-graph edge). That direction of error weakens the
+//! transitive analysis but never produces a false symbol.
+
+use crate::lexer::Lexed;
+
+/// One `fn` item: declaration site, body extent, and extracted calls.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name (last identifier after `fn`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if the fn is a method.
+    pub self_type: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 0-based line range `[body_open, body_close]` of the body braces.
+    /// Equal to `(decl_line, decl_line)` for bodyless trait signatures
+    /// (which are recorded but carry no calls).
+    pub body: (usize, usize),
+    /// `true` when the declaration line sits in a `#[cfg(test)]` region
+    /// or under `#[test]`.
+    pub is_test: bool,
+    /// Call expressions found inside the body, in source order.
+    pub calls: Vec<Call>,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// 0-based source line of the call.
+    pub line: usize,
+    /// Path segments, e.g. `["rectpart_core", "PrefixSum2D", "try_new"]`
+    /// or just `["helper"]`. Method calls carry a single segment.
+    pub path: Vec<String>,
+    /// `true` for `.name(...)` receiver calls.
+    pub is_method: bool,
+    /// For method calls only: `true` when the receiver is literally
+    /// `self`, which lets the resolver use the enclosing impl type.
+    pub self_receiver: bool,
+}
+
+/// One flattened `use` mapping: the in-scope alias and the full path.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Name the item is visible as in this file.
+    pub alias: String,
+    /// Full path segments, e.g. `["rectpart_core", "cache", "StripeCache"]`.
+    pub path: Vec<String>,
+}
+
+/// Parsed view of one file: functions and use aliases.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All `fn` items in source order.
+    pub functions: Vec<FnItem>,
+    /// Flattened `use` aliases.
+    pub uses: Vec<UseDecl>,
+}
+
+/// Rust keywords that look like call heads but are not (`if (x)`, ...),
+/// plus declaration forms.
+const NON_CALL_KEYWORDS: [&str; 16] = [
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "else", "fn", "impl",
+    "where", "let", "mut", "ref",
+];
+
+#[derive(Debug)]
+enum ScopeKind {
+    /// Index into `ParsedFile::functions`.
+    Fn(usize),
+    /// `impl`/`trait` block with its subject type name.
+    Type(String),
+    Other,
+}
+
+/// A `fn name` seen, waiting for its body `{` (or a `;` that reveals a
+/// bodyless trait signature).
+struct PendingFn {
+    name: String,
+    decl_line: usize,
+    is_test: bool,
+}
+
+/// Parses `source` (already lexed) into functions, calls and uses.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut scopes: Vec<ScopeKind> = Vec::new();
+    let mut pending_fn: Option<PendingFn> = None;
+    let mut pending_type: Option<String> = None;
+    // `use` declarations can span lines; accumulate until `;`.
+    let mut pending_use: Option<String> = None;
+
+    for (line_no, line) in lexed.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let tokens = tokenize(code);
+        let mut t = 0;
+        while t < tokens.len() {
+            match &tokens[t] {
+                Token::Ident(w) if w == "fn" && pending_fn.is_none() => {
+                    if let Some(Token::Ident(name)) = tokens.get(t + 1) {
+                        pending_fn = Some(PendingFn {
+                            name: name.clone(),
+                            decl_line: line_no,
+                            is_test: line.in_test,
+                        });
+                        t += 2;
+                        continue;
+                    }
+                }
+                Token::Ident(w) if (w == "impl" || w == "trait") && pending_type.is_none() => {
+                    if let Some(name) = impl_subject(&tokens[t + 1..]) {
+                        pending_type = Some(name);
+                    }
+                }
+                Token::Ident(w) if w == "use" && pending_use.is_none() => {
+                    pending_use = Some(String::new());
+                }
+                Token::Open => {
+                    if let Some(p) = pending_fn.take() {
+                        let self_type = scopes.iter().rev().find_map(|s| match s {
+                            ScopeKind::Type(n) => Some(n.clone()),
+                            _ => None,
+                        });
+                        out.functions.push(FnItem {
+                            name: p.name,
+                            self_type,
+                            decl_line: p.decl_line,
+                            body: (line_no, line_no),
+                            is_test: p.is_test || line.in_test,
+                            calls: Vec::new(),
+                        });
+                        scopes.push(ScopeKind::Fn(out.functions.len() - 1));
+                    } else if let Some(name) = pending_type.take() {
+                        scopes.push(ScopeKind::Type(name));
+                    } else if let Some(buf) = pending_use.as_mut() {
+                        // Brace *inside* a use tree, not a scope.
+                        buf.push('{');
+                    } else {
+                        scopes.push(ScopeKind::Other);
+                    }
+                }
+                Token::Close => {
+                    if let Some(buf) = pending_use.as_mut() {
+                        buf.push('}');
+                    } else if let Some(ScopeKind::Fn(idx)) = scopes.pop() {
+                        out.functions[idx].body.1 = line_no;
+                    }
+                }
+                Token::Semi => {
+                    if let Some(buf) = pending_use.take() {
+                        flatten_use(&buf, &mut out.uses);
+                    }
+                    // A `;` before any `{`: bodyless trait signature.
+                    if let Some(p) = pending_fn.take() {
+                        let self_type = scopes.iter().rev().find_map(|s| match s {
+                            ScopeKind::Type(n) => Some(n.clone()),
+                            _ => None,
+                        });
+                        out.functions.push(FnItem {
+                            name: p.name,
+                            self_type,
+                            decl_line: p.decl_line,
+                            body: (p.decl_line, p.decl_line),
+                            is_test: p.is_test,
+                            calls: Vec::new(),
+                        });
+                    }
+                    pending_type = None;
+                }
+                Token::Other(_) | Token::Ident(_) => {}
+            }
+            if let (Some(buf), Token::Ident(w) | Token::Other(w)) =
+                (pending_use.as_mut(), &tokens[t])
+            {
+                // `as` must stay separable from its neighbours once the
+                // whitespace is gone; everything else can be glued.
+                if w == "as" {
+                    buf.push_str(" as ");
+                } else if w != "use" {
+                    buf.push_str(w);
+                }
+            }
+            t += 1;
+        }
+        // Calls: attribute this line to the innermost open fn. The body
+        // open line itself may still hold signature text; accepting it
+        // costs at most a spurious unresolvable "call" in a signature.
+        if let Some(ScopeKind::Fn(idx)) =
+            scopes.iter().rev().find(|s| matches!(s, ScopeKind::Fn(_)))
+        {
+            let idx = *idx;
+            extract_calls(code, line_no, &mut out.functions[idx].calls);
+        }
+    }
+    out
+}
+
+/// Subject type of an `impl`/`trait` header: the identifier after `for`
+/// if present, else the first capitalized identifier outside the
+/// `<...>` generic-parameter list.
+fn impl_subject(tokens: &[Token]) -> Option<String> {
+    let mut angle = 0i32;
+    let mut names: Vec<&String> = Vec::new();
+    for tok in tokens {
+        match tok {
+            Token::Open | Token::Semi => break,
+            Token::Other(p) if p == "<" => angle += 1,
+            Token::Other(p) if p == ">" => angle -= 1,
+            Token::Ident(w) if angle == 0 => names.push(w),
+            _ => {}
+        }
+    }
+    if let Some(pos) = names.iter().position(|w| *w == "for") {
+        names.get(pos + 1).map(|s| (*s).clone())
+    } else {
+        names
+            .iter()
+            .find(|w| w.chars().next().is_some_and(|c| c.is_uppercase()))
+            .map(|s| (*s).clone())
+    }
+}
+
+/// Flattens a (possibly braced) use tree into alias → path pairs.
+/// `a::b::{c, d as e, f::g}` yields `c → a::b::c`, `e → a::b::d`,
+/// `g → a::b::f::g`. Glob imports are dropped.
+fn flatten_use(tree: &str, out: &mut Vec<UseDecl>) {
+    fn walk(prefix: &[String], tree: &str, out: &mut Vec<UseDecl>) {
+        // Split top-level commas.
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        let mut parts = Vec::new();
+        for (i, c) in tree.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    parts.push(&tree[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        parts.push(&tree[start..]);
+        for part in parts {
+            let part = part.trim();
+            if part.is_empty() || part == "*" {
+                continue;
+            }
+            if let Some(open) = part.find('{') {
+                let head = part[..open].trim_end_matches(':');
+                let inner = part[open + 1..].trim_end_matches('}');
+                let mut p = prefix.to_vec();
+                p.extend(head.split("::").filter(|s| !s.is_empty()).map(String::from));
+                walk(&p, inner, out);
+                continue;
+            }
+            // `path as alias` — the accumulator preserved ` as ` with
+            // its surrounding spaces exactly so it stays separable here.
+            let (path_str, alias) = match part.rfind(" as ") {
+                Some(pos) => (part[..pos].trim_end(), Some(part[pos + 4..].trim())),
+                None => (part, None),
+            };
+            let mut p = prefix.to_vec();
+            p.extend(
+                path_str
+                    .split("::")
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty() && *s != "self")
+                    .map(String::from),
+            );
+            if p.is_empty() {
+                continue;
+            }
+            let alias = alias
+                .map(String::from)
+                .unwrap_or_else(|| p[p.len() - 1].clone());
+            if !alias.is_empty() {
+                out.push(UseDecl { alias, path: p });
+            }
+        }
+    }
+    walk(&[], tree, out);
+}
+
+#[derive(Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    /// `{`
+    Open,
+    /// `}`
+    Close,
+    /// `;`
+    Semi,
+    /// Any other punctuation run we keep verbatim (e.g. `::`, `as` glue).
+    Other(String),
+}
+
+/// Splits a code-channel line into identifier and punctuation tokens.
+fn tokenize(code: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token::Ident(chars[start..i].iter().collect()));
+            continue;
+        }
+        match c {
+            '{' => out.push(Token::Open),
+            '}' => out.push(Token::Close),
+            ';' => out.push(Token::Semi),
+            c if c.is_whitespace() => {}
+            _ => {
+                // Keep `::` as one token; everything else 1 char.
+                if c == ':' && chars.get(i + 1) == Some(&':') {
+                    out.push(Token::Other("::".into()));
+                    i += 2;
+                    continue;
+                }
+                out.push(Token::Other(c.to_string()));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts call expressions from one code-channel line.
+pub fn extract_calls(code: &str, line_no: usize, out: &mut Vec<Call>) {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'(' {
+            i += 1;
+            continue;
+        }
+        // Identifier immediately before `(`.
+        let mut end = i;
+        while end > 0 && (bytes[end - 1] as char).is_whitespace() {
+            end -= 1;
+        }
+        let mut start = end;
+        while start > 0 {
+            let c = bytes[start - 1] as char;
+            if c.is_alphanumeric() || c == '_' {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        if start == end || (bytes[start] as char).is_numeric() {
+            i += 1;
+            continue;
+        }
+        let name: String = code[start..end].to_string();
+        if NON_CALL_KEYWORDS.contains(&name.as_str()) {
+            i += 1;
+            continue;
+        }
+        // Declaration heads are not calls: `fn name(`, `struct S(u32)`.
+        {
+            let mut d = start;
+            while d > 0 && (bytes[d - 1] as char).is_whitespace() {
+                d -= 1;
+            }
+            let mut ks = d;
+            while ks > 0 {
+                let c = bytes[ks - 1] as char;
+                if c.is_alphanumeric() || c == '_' {
+                    ks -= 1;
+                } else {
+                    break;
+                }
+            }
+            if matches!(&code[ks..d], "fn" | "struct" | "enum" | "union") {
+                i += 1;
+                continue;
+            }
+        }
+        // Macro heads (`name!(`) never reach here: the `!` between the
+        // identifier and the paren makes the backward ident scan come up
+        // empty, which the `start == end` guard above already rejects.
+        // Walk path segments / method dot backwards from `start`.
+        let mut seg_end = start;
+        let mut path = vec![name];
+        let mut is_method = false;
+        let mut self_receiver = false;
+        loop {
+            while seg_end > 0 && (bytes[seg_end - 1] as char).is_whitespace() {
+                seg_end -= 1;
+            }
+            if seg_end >= 2 && &code[seg_end - 2..seg_end] == "::" {
+                seg_end -= 2;
+                while seg_end > 0 && (bytes[seg_end - 1] as char).is_whitespace() {
+                    seg_end -= 1;
+                }
+                // A `>` closes a turbofish/qualified generic; give up on
+                // the deeper path but keep what we have.
+                let mut s = seg_end;
+                while s > 0 {
+                    let c = bytes[s - 1] as char;
+                    if c.is_alphanumeric() || c == '_' {
+                        s -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                if s == seg_end {
+                    break;
+                }
+                path.insert(0, code[s..seg_end].to_string());
+                seg_end = s;
+                continue;
+            }
+            if seg_end >= 1 && bytes[seg_end - 1] == b'.' {
+                is_method = true;
+                // Peek the receiver token before the dot.
+                let mut s = seg_end - 1;
+                while s > 0 && (bytes[s - 1] as char).is_whitespace() {
+                    s -= 1;
+                }
+                let mut r = s;
+                while r > 0 {
+                    let c = bytes[r - 1] as char;
+                    if c.is_alphanumeric() || c == '_' {
+                        r -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                self_receiver = &code[r..s] == "self";
+            }
+            break;
+        }
+        if is_method && path.len() > 1 {
+            // `a.b::c(` cannot happen; defensive.
+            path = vec![path.pop().unwrap_or_default()];
+        }
+        out.push(Call {
+            line: line_no,
+            path,
+            is_method,
+            self_receiver,
+        });
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_free_fns_and_bodies() {
+        let src = "fn a() {\n    b();\n}\n\nfn b() {}\n";
+        let p = parse(&lex(src));
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.functions[0].name, "a");
+        assert_eq!(p.functions[0].body, (0, 2));
+        assert_eq!(p.functions[0].calls.len(), 1);
+        assert_eq!(p.functions[0].calls[0].path, vec!["b"]);
+        assert_eq!(p.functions[1].name, "b");
+    }
+
+    #[test]
+    fn methods_get_impl_type() {
+        let src = "struct S;\nimpl S {\n    pub fn m(&self) -> u32 {\n        self.n()\n    }\n    fn n(&self) -> u32 { 1 }\n}\n";
+        let p = parse(&lex(src));
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.functions[0].self_type.as_deref(), Some("S"));
+        assert!(p.functions[0].calls[0].is_method);
+        assert!(p.functions[0].calls[0].self_receiver);
+    }
+
+    #[test]
+    fn trait_impl_uses_for_type() {
+        let src = "impl Display for Widget {\n    fn fmt(&self) -> u32 { 0 }\n}\n";
+        let p = parse(&lex(src));
+        assert_eq!(p.functions[0].self_type.as_deref(), Some("Widget"));
+    }
+
+    #[test]
+    fn path_calls_keep_segments() {
+        let src = "fn f() {\n    rectpart_core::prefix::build(1);\n    Type::assoc(2);\n}\n";
+        let p = parse(&lex(src));
+        let calls = &p.functions[0].calls;
+        assert_eq!(calls[0].path, vec!["rectpart_core", "prefix", "build"]);
+        assert_eq!(calls[1].path, vec!["Type", "assoc"]);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let src = "fn f(x: bool) {\n    if (x) {}\n    vec![1];\n    println!(\"{}\", 1);\n    while (x) {}\n}\n";
+        let p = parse(&lex(src));
+        assert!(
+            p.functions[0].calls.is_empty(),
+            "{:?}",
+            p.functions[0].calls
+        );
+    }
+
+    #[test]
+    fn use_aliases_flatten() {
+        let src = "use rectpart_core::{PrefixSum2D, cache::StripeCache};\nuse rectpart_onedim::nicol as n;\n";
+        let p = parse(&lex(src));
+        let find = |a: &str| p.uses.iter().find(|u| u.alias == a).map(|u| u.path.clone());
+        assert_eq!(
+            find("PrefixSum2D"),
+            Some(vec!["rectpart_core".into(), "PrefixSum2D".into()])
+        );
+        assert_eq!(
+            find("StripeCache"),
+            Some(vec![
+                "rectpart_core".into(),
+                "cache".into(),
+                "StripeCache".into()
+            ])
+        );
+        assert_eq!(
+            find("n"),
+            Some(vec!["rectpart_onedim".into(), "nicol".into()])
+        );
+    }
+
+    #[test]
+    fn bodyless_trait_fn_is_recorded_without_calls() {
+        let src = "trait T {\n    fn sig(&self) -> u32;\n    fn with_default(&self) -> u32 {\n        self.sig()\n    }\n}\n";
+        let p = parse(&lex(src));
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.functions[0].name, "sig");
+        assert!(p.functions[0].calls.is_empty());
+        assert_eq!(p.functions[1].self_type.as_deref(), Some("T"));
+        assert_eq!(p.functions[1].calls.len(), 1);
+    }
+
+    #[test]
+    fn nested_fn_calls_attribute_to_inner() {
+        let src = "fn outer() {\n    fn inner() {\n        leaf();\n    }\n    inner();\n}\n";
+        let p = parse(&lex(src));
+        let outer = p.functions.iter().find(|f| f.name == "outer").unwrap();
+        let inner = p.functions.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(inner.calls.len(), 1);
+        assert_eq!(inner.calls[0].path, vec!["leaf"]);
+        assert_eq!(outer.calls.len(), 1);
+        assert_eq!(outer.calls[0].path, vec!["inner"]);
+    }
+
+    #[test]
+    fn test_region_marks_fn() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let p = parse(&lex(src));
+        assert!(!p.functions[0].is_test);
+        assert!(p.functions[1].is_test);
+    }
+}

@@ -33,6 +33,15 @@ pub enum Rule {
     /// L5 — `unsafe` confined to the audited `simexec` stencil block;
     /// everything else forbids it.
     Unsafe,
+    /// L6 — transitive panic-reachability in the panic-free crates
+    /// (call-graph pass; see [`crate::analyze`]).
+    PanicReach,
+    /// L7 — weight-domain arithmetic must be checked/saturating outside
+    /// the approved accumulator modules (call-graph pass).
+    CheckedArith,
+    /// L8 — lock discipline: no nested shard guards, no guard held
+    /// across a `crates/parallel` join boundary (call-graph pass).
+    LockDiscipline,
     /// Malformed or unknown `lint:allow` marker.
     AllowSyntax,
 }
@@ -46,6 +55,9 @@ impl Rule {
             Rule::Determinism => "L3",
             Rule::Feature => "L4",
             Rule::Unsafe => "L5",
+            Rule::PanicReach => "L6",
+            Rule::CheckedArith => "L7",
+            Rule::LockDiscipline => "L8",
             Rule::AllowSyntax => "L0",
         }
     }
@@ -58,17 +70,23 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::Feature => "feature",
             Rule::Unsafe => "unsafe",
+            Rule::PanicReach => "panic-reach",
+            Rule::CheckedArith => "checked-arith",
+            Rule::LockDiscipline => "lock-discipline",
             Rule::AllowSyntax => "allow-syntax",
         }
     }
 
     /// All waivable rules.
-    pub const WAIVABLE: [Rule; 5] = [
+    pub const WAIVABLE: [Rule; 8] = [
         Rule::Panic,
         Rule::Thread,
         Rule::Determinism,
         Rule::Feature,
         Rule::Unsafe,
+        Rule::PanicReach,
+        Rule::CheckedArith,
+        Rule::LockDiscipline,
     ];
 }
 
@@ -83,6 +101,10 @@ pub struct Diagnostic {
     pub rule: Rule,
     /// Human-readable description of the violation.
     pub message: String,
+    /// For L6 transitive diagnostics: the witness call chain as
+    /// `(qualified caller, file, line)` hops, ending at the function
+    /// containing the panic root. Empty for every other rule.
+    pub chain: Vec<(String, String, usize)>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -167,7 +189,7 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> Vec<Diagnostic> {
 /// may push a chained call several lines below its comment, so the scan
 /// walks up through continuation lines until a statement boundary —
 /// a line containing `;`, `{` or `}` — or an 8-line cap).
-fn allowed(lexed: &Lexed, idx: usize, rule: Rule) -> bool {
+pub(crate) fn allowed(lexed: &Lexed, idx: usize, rule: Rule) -> bool {
     let marker = format!("lint:allow({})", rule.slug());
     if lexed.lines[idx].comment.contains(&marker) {
         return true;
@@ -205,12 +227,13 @@ fn push(
         line: idx + 1,
         rule,
         message,
+        chain: Vec::new(),
     });
 }
 
 /// Finds `pat` in `hay` at non-identifier boundaries (so `todo!` does
 /// not fire inside `my_todo!`-like names), returning `true` on a hit.
-fn word_hit(hay: &str, pat: &str) -> bool {
+pub(crate) fn word_hit(hay: &str, pat: &str) -> bool {
     let mut from = 0;
     while let Some(off) = hay[from..].find(pat) {
         let at = from + off;
@@ -646,5 +669,6 @@ pub fn check_forbid_attr(ctx: &FileContext, source: &str) -> Option<Diagnostic> 
         line: 1,
         rule: Rule::Unsafe,
         message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+        chain: Vec::new(),
     })
 }

@@ -9,6 +9,8 @@
 //!    and assert it triggers exactly its own rule (and that the
 //!    `lint:allow` escape hatch behaves).
 
+use rectpart_lint::analyze::analyze_files;
+use rectpart_lint::workspace::{default_baseline, lint_workspace_v2, render_json, WorkspaceReport};
 use rectpart_lint::{default_root, lint_file, lint_workspace, Diagnostic, FileContext, Rule};
 use std::collections::BTreeSet;
 
@@ -137,6 +139,166 @@ fn fixture_clean_has_no_false_positives() {
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+/// Runs the v2 analyzer over a single fixture, standing in for library
+/// code of the panic-free `core` crate.
+fn analyze_fixture(src: &str) -> Vec<Diagnostic> {
+    let ctx = FileContext {
+        crate_name: "core".into(),
+        rel_path: "crates/core/src/fixture.rs".into(),
+        ..strict_ctx()
+    };
+    analyze_files(&[(ctx, src.to_string())]).diagnostics
+}
+
+#[test]
+fn fixture_l6_panic_reach() {
+    let diags = analyze_fixture(include_str!("../fixtures/l6_panic_reach.rs"));
+    // Direct index, transitive call, division + transitive call, copy
+    // family; the literal index, the waiver and the sealed root are
+    // silent.
+    assert_only(&diags, Rule::PanicReach, &[5, 9, 13, 17]);
+    let chain = diags
+        .iter()
+        .find(|d| d.line == 13 && d.message.contains("can reach a panic"))
+        .expect("chain diagnostic at the `top` call site");
+    assert!(
+        chain.message.contains("core::mid -> core::leaf"),
+        "{}",
+        chain.message
+    );
+    assert!(
+        chain.message.contains("root: slice index `xs[i]`"),
+        "{}",
+        chain.message
+    );
+    assert_eq!(chain.chain.len(), 2, "witness chain must carry both hops");
+}
+
+#[test]
+fn fixture_l7_checked_arith() {
+    let diags = analyze_fixture(include_str!("../fixtures/l7_checked_arith.rs"));
+    // Tracked ident `w + 1` and the direct-source `g.load(..) + bad`;
+    // `checked_add` and the waived sum are silent.
+    assert_only(&diags, Rule::CheckedArith, &[6, 7]);
+}
+
+#[test]
+fn fixture_l8_lock() {
+    let diags = analyze_fixture(include_str!("../fixtures/l8_lock.rs"));
+    // Second shard guard while the first is live, and a plain mutex
+    // guard spanning a fan-out; the scoped and waived joins are silent.
+    assert_only(&diags, Rule::LockDiscipline, &[6, 12]);
+    assert!(diags.iter().any(|d| d.message.contains("shard")));
+    assert!(diags.iter().any(|d| d.message.contains("join boundary")));
+}
+
+#[test]
+fn workspace_is_clean_v2() {
+    let root = default_root();
+    let report =
+        lint_workspace_v2(&root, Some(&default_baseline(&root))).expect("workspace walk failed");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has L1-L8 violations beyond the baseline:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "stale baseline entries (regenerate with --update-baseline):\n{}",
+        report.stale_baseline.join("\n")
+    );
+    // The acceptance floor for the symbol table: resolution regressions
+    // that silently unresolve the workspace fail here.
+    assert!(
+        report.functions >= 300,
+        "symbol table shrank: {} functions",
+        report.functions
+    );
+    assert!(
+        report.resolved_calls >= 300,
+        "call resolution regressed: {} resolved",
+        report.resolved_calls
+    );
+}
+
+#[test]
+fn json_output_round_trips() {
+    // Schema pin (DESIGN.md §15.5): a synthetic report with a chain
+    // diagnostic must survive a round trip through rectpart-json.
+    let report = WorkspaceReport {
+        diagnostics: vec![Diagnostic {
+            file: "crates/core/src/x.rs".into(),
+            line: 12,
+            rule: Rule::PanicReach,
+            message: "call into `core::mid` can reach a panic: core::mid -> \
+                      core::leaf; root: slice index `xs[i]` at crates/core/src/x.rs:5"
+                .into(),
+            chain: vec![
+                ("core::mid".into(), "crates/core/src/x.rs".into(), 8),
+                ("core::leaf".into(), "crates/core/src/x.rs".into(), 4),
+            ],
+        }],
+        suppressed: 3,
+        stale_baseline: vec!["old entry".into()],
+        functions: 42,
+        resolved_calls: 17,
+        unresolved_calls: 5,
+    };
+    let doc = rectpart_json::parse(&render_json(&report)).expect("emitted JSON must parse");
+    assert_eq!(
+        doc.field("schema").unwrap().as_str(),
+        Some("rectpart-lint/v2")
+    );
+    let summary = doc.field("summary").unwrap();
+    assert_eq!(summary.field("violations").unwrap().as_u64(), Some(1));
+    assert_eq!(summary.field("suppressed").unwrap().as_u64(), Some(3));
+    assert_eq!(summary.field("stale_baseline").unwrap().as_u64(), Some(1));
+    assert_eq!(summary.field("functions").unwrap().as_u64(), Some(42));
+    assert_eq!(summary.field("resolved_calls").unwrap().as_u64(), Some(17));
+    assert_eq!(summary.field("unresolved_calls").unwrap().as_u64(), Some(5));
+    let diags = doc.field("diagnostics").unwrap().as_array().unwrap();
+    assert_eq!(diags.len(), 1);
+    let d = &diags[0];
+    assert_eq!(
+        d.field("file").unwrap().as_str(),
+        Some("crates/core/src/x.rs")
+    );
+    assert_eq!(d.field("line").unwrap().as_u64(), Some(12));
+    assert_eq!(d.field("rule").unwrap().as_str(), Some("L6"));
+    assert_eq!(d.field("slug").unwrap().as_str(), Some("panic-reach"));
+    assert!(d
+        .field("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("xs[i]"));
+    let chain = d.field("chain").unwrap().as_array().unwrap();
+    assert_eq!(chain.len(), 2);
+    assert_eq!(
+        chain[0].field("function").unwrap().as_str(),
+        Some("core::mid")
+    );
+    assert_eq!(chain[1].field("line").unwrap().as_u64(), Some(4));
+
+    // And the real workspace document (pre-baseline, so messages with
+    // backticks and snippets are exercised) must parse too.
+    let real = lint_workspace_v2(&default_root(), None).expect("workspace walk failed");
+    let doc = rectpart_json::parse(&render_json(&real)).expect("real JSON must parse");
+    assert_eq!(
+        doc.field("summary")
+            .unwrap()
+            .field("violations")
+            .unwrap()
+            .as_usize(),
+        Some(real.diagnostics.len())
     );
 }
 

@@ -297,6 +297,8 @@ mod imp {
     /// only writes, so a buffer abandoned mid-panic is still a valid
     /// (possibly truncated) point list worth reporting.
     pub fn lock_trace(id: usize) -> std::sync::MutexGuard<'static, Vec<TracePoint>> {
+        // lint:allow(panic-reach) -- every caller passes `TraceId as usize`
+        // (discriminants 0..TRACE_COUNT) or a loop index over 0..TRACE_COUNT
         TRACES[id]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -307,6 +309,8 @@ mod imp {
 #[inline(always)]
 pub fn add(counter: Counter, n: u64) {
     #[cfg(feature = "obs")]
+    // lint:allow(panic-reach) -- COUNTERS is sized by COUNTER_COUNT, which
+    // Counter::ALL pins to the number of enum variants; `as usize` < len
     imp::COUNTERS[counter as usize].fetch_add(n, std::sync::atomic::Ordering::Relaxed);
     #[cfg(not(feature = "obs"))]
     let _ = (counter, n);
@@ -322,6 +326,8 @@ pub fn incr(counter: Counter) {
 #[inline(always)]
 pub fn exec_add(stat: ExecStat, n: u64) {
     #[cfg(feature = "obs")]
+    // lint:allow(panic-reach) -- EXEC is sized by EXEC_STAT_COUNT, pinned to
+    // the ExecStat variant count by ExecStat::ALL; `as usize` < len
     imp::EXEC[stat as usize].fetch_add(n, std::sync::atomic::Ordering::Relaxed);
     #[cfg(not(feature = "obs"))]
     let _ = (stat, n);

@@ -183,6 +183,8 @@ impl IntervalCost for PrefixCosts {
     #[inline]
     fn cost(&self, lo: usize, hi: usize) -> u64 {
         debug_assert!(lo <= hi && hi < self.prefix.len());
+        // lint:allow(panic-reach) -- API contract (debug_assert above):
+        // lo <= hi < prefix.len(); this is the hottest query in the crate
         self.prefix[hi] - self.prefix[lo]
     }
 

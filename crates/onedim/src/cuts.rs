@@ -31,6 +31,7 @@ impl Cuts {
     /// near-uniform *length* (sizes differ by at most one).
     pub fn uniform(n: usize, m: usize) -> Self {
         assert!(m >= 1);
+        // lint:allow(panic-reach) -- m >= 1 asserted above
         let points = (0..=m).map(|j| j * n / m).collect();
         Self { points }
     }
@@ -49,6 +50,8 @@ impl Cuts {
 
     /// The half-open interval `[lo, hi)` of part `j`.
     pub fn interval(&self, j: usize) -> (usize, usize) {
+        // lint:allow(panic-reach) -- API contract: j < parts() and
+        // points.len() = parts() + 1, so j+1 is in bounds
         (self.points[j], self.points[j + 1])
     }
 

@@ -23,27 +23,34 @@ pub fn dp_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
     // the optimal bottleneck of [0, i) in p+1 parts. A single allocation
     // instead of one per DP row.
     let mut table = vec![0u64; m * w];
-    for (i, slot) in table[..w].iter_mut().enumerate() {
+    for (i, slot) in table.iter_mut().take(w).enumerate() {
         *slot = c.cost(0, i);
     }
     rectpart_obs::add(rectpart_obs::Counter::DpCells, w as u64);
     for p in 1..m {
+        // lint:allow(panic-reach) -- p < m, so the midpoint p*w < m*w = len
         let (head, tail) = table.split_at_mut(p * w);
+        // lint:allow(panic-reach) -- head.len() = p*w >= (p-1)*w
         let prev = &head[(p - 1) * w..];
-        for (i, slot) in tail[..w].iter_mut().enumerate() {
+        for (i, slot) in tail.iter_mut().take(w).enumerate() {
             *slot = best_split(c, prev, i).1;
         }
         rectpart_obs::add(rectpart_obs::Counter::DpCells, w as u64);
     }
     rectpart_obs::work::charge((m * w) as u64);
-    let bottleneck = table[(m - 1) * w + n];
+    // The corner cell (m-1)·w + n is exactly the last cell of the flat
+    // table (w = n+1), so `last()` reads it without an index proof.
+    let bottleneck = table.last().copied().unwrap_or(0);
     // Reconstruct cuts right-to-left.
     let mut points = vec![0usize; m + 1];
+    // lint:allow(panic-reach) -- points.len() = m+1 > m
     points[m] = n;
     let mut i = n;
     for p in (1..m).rev() {
+        // lint:allow(panic-reach) -- 1 <= p < m, so p*w <= (m-1)*w < len
         let prev = &table[(p - 1) * w..p * w];
         let (k, _) = best_split(c, prev, i);
+        // lint:allow(panic-reach) -- p < m < points.len()
         points[p] = k;
         i = k;
     }
@@ -59,12 +66,16 @@ fn best_split<C: IntervalCost>(c: &C, prev: &[u64], i: usize) -> (usize, u64) {
     let (mut a, mut b) = (0usize, i);
     while a < b {
         let mid = a + (b - a) / 2;
+        // lint:allow(panic-reach) -- mid < b <= i, and callers pass a full
+        // DP row: prev.len() = n+1 > i
         if prev[mid] >= c.cost(mid, i) {
             b = mid;
         } else {
             a = mid + 1;
         }
     }
+    // lint:allow(panic-reach) -- k <= i < prev.len() (callers pass a full
+    // DP row of length n+1)
     let eval = |k: usize| prev[k].max(c.cost(k, i));
     let mut best = (a, eval(a));
     if a > 0 {

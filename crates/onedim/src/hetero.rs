@@ -81,11 +81,13 @@ pub fn hetero_optimal<C: IntervalCost>(c: &C, speeds: &[f64]) -> HeteroResult {
     assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
     let total = c.total() as f64;
     let speed_sum: f64 = speeds.iter().sum();
+    // lint:allow(panic-reach) -- f64 division is total (never panics)
     let mut lo = total / speed_sum; // perfect speed-proportional split
     let mut hi = {
         // Everything on the fastest processor always succeeds when it
         // comes first; as a general upper bound use total / min speed.
         let min_speed = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        // lint:allow(panic-reach) -- f64 division is total (never panics)
         total / min_speed
     }
     .max(lo);

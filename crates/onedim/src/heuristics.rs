@@ -25,6 +25,8 @@ pub fn direct_cut<C: IntervalCost>(c: &C, m: usize) -> Cuts {
     let mut prev = 0usize;
     for j in 1..m {
         // smallest i >= prev with cost(0, i) * m > j * total
+        // lint:allow(checked-arith) -- u128 widening: j <= m (usize) times
+        // a u64 total cannot overflow 128 bits
         let target = j as u128 * total;
         let (mut a, mut b) = (prev, n);
         while a < b {
@@ -79,6 +81,8 @@ fn split_key<C: IntervalCost>(c: &C, lo: usize, s: usize, hi: usize, m1: usize, 
     // max(l1/m1, l2/m2) == max(l1*m2, l2*m1) / (m1*m2); m1*m2 is constant
     // across candidate s for a fixed (m1, m2) ordering, and when comparing
     // the two orderings of an odd split the denominators also agree.
+    // lint:allow(checked-arith) -- u128 widening: u64 loads times usize
+    // part counts cannot overflow 128 bits
     (l1 * m2 as u128).max(l2 * m1 as u128)
 }
 

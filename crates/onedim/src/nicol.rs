@@ -194,6 +194,8 @@ pub fn parametric_optimal<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
     while lo < hi {
         rectpart_obs::incr(rectpart_obs::Counter::ParametricSteps);
         steps += 1;
+        // lint:allow(checked-arith) -- lo <= hi in the loop, so
+        // lo + (hi-lo)/2 <= hi: no overflow possible
         let mid = lo + (hi - lo) / 2;
         if probe_feasible(c, m, mid) {
             hi = mid;

@@ -19,18 +19,24 @@ pub fn direct_cut_refined<C: IntervalCost>(c: &C, m: usize) -> Cuts {
     let mut points = cuts.points().to_vec();
     for j in 1..m {
         // Moving cut j left by one shifts one item from part j-1's right
-        // edge into part j.
-        while points[j] > points[j - 1] {
-            let left = c.cost(points[j - 1], points[j]);
-            let right = c.cost(points[j], points[j + 1]);
-            let new_left = c.cost(points[j - 1], points[j] - 1);
-            let new_right = c.cost(points[j] - 1, points[j + 1]);
+        // edge into part j. The neighbours are loop-invariant (only cut j
+        // moves), so hoist all three points out of the descent loop.
+        // lint:allow(panic-reach) -- j in 1..m and points.len() = m+1, so
+        // j-1, j and j+1 are all in bounds
+        let (left_pt, mut pj, right_pt) = (points[j - 1], points[j], points[j + 1]);
+        while pj > left_pt {
+            let left = c.cost(left_pt, pj);
+            let right = c.cost(pj, right_pt);
+            let new_left = c.cost(left_pt, pj - 1);
+            let new_right = c.cost(pj - 1, right_pt);
             if new_left.max(new_right) < left.max(right) {
-                points[j] -= 1;
+                pj -= 1;
             } else {
                 break;
             }
         }
+        // lint:allow(panic-reach) -- j < m < points.len()
+        points[j] = pj;
     }
     Cuts::new(points)
 }
@@ -62,8 +68,10 @@ pub fn probe_feasible_sliced<C: IntervalCost>(c: &C, m: usize, budget: u64) -> b
         if c.cost(lo, lo + 1) > budget {
             return false;
         }
-        // Target prefix value the cut must not exceed.
-        let target = c.cost(0, lo) + budget;
+        // Target prefix value the cut must not exceed. Saturating: a
+        // budget near u64::MAX means every cut is feasible, and a clamped
+        // target keeps exactly that meaning in the comparisons below.
+        let target = c.cost(0, lo).saturating_add(budget);
         // Advance to the first chunk whose end exceeds the target; the
         // cut lies in it. Amortized O(1): `slice` only moves forward.
         while (slice + 1) * chunk < n && c.cost(0, ((slice + 1) * chunk).min(n)) <= target {

@@ -224,7 +224,10 @@ where
         let mut blocks: Vec<Vec<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
+                    // lint:allow(panic-reach) -- w ranges over 0..workers,
+                    // so this body only runs when workers >= 1
                     let lo = w * n / workers;
+                    // lint:allow(panic-reach) -- same: workers >= 1 here
                     let hi = (w + 1) * n / workers;
                     scope.spawn(move || {
                         #[cfg(feature = "faultinject")]
@@ -256,7 +259,10 @@ where
                     // on the calling thread and propagates normally.
                     Err(_payload) => {
                         rectpart_obs::exec_add(rectpart_obs::ExecStat::WorkerPanicsCaught, 1);
+                        // lint:allow(panic-reach) -- retry path for worker w
+                        // in 0..workers, so workers >= 1
                         let lo = w * n / workers;
+                        // lint:allow(panic-reach) -- same: workers >= 1 here
                         let hi = (w + 1) * n / workers;
                         rectpart_obs::exec_add(
                             rectpart_obs::ExecStat::PanicRetries,
@@ -288,6 +294,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    // lint:allow(panic-reach) -- map_range hands out i in 0..items.len()
     map_range(items.len(), |i| f(&items[i]))
 }
 
@@ -301,6 +308,7 @@ where
     F: Fn(&T) -> I + Sync,
 {
     let nested = map_range(items.len(), |i| {
+        // lint:allow(panic-reach) -- map_range hands out i in 0..items.len()
         f(&items[i]).into_iter().collect::<Vec<R>>()
     });
     nested.into_iter().flatten().collect()
@@ -337,7 +345,10 @@ where
             let mut offset = 0;
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
+                // lint:allow(panic-reach) -- loop over 0..workers: workers >= 1
                 let hi = (w + 1) * n / workers;
+                // lint:allow(panic-reach) -- the per-worker [offset, hi)
+                // blocks partition 0..n, so hi - offset <= rest.len()
                 let (block, tail) = rest.split_at_mut(hi - offset);
                 rest = tail;
                 let base = offset;
@@ -397,9 +408,12 @@ where
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 // Worker w owns chunks [w*n_chunks/workers, (w+1)*n_chunks/workers).
+                // lint:allow(panic-reach) -- loop over 0..workers: workers >= 1
                 let hi_chunk = (w + 1) * n_chunks / workers;
                 let hi_elem = (hi_chunk * chunk).min(n);
                 let lo_elem = (chunk_offset * chunk).min(n);
+                // lint:allow(panic-reach) -- the per-worker element blocks
+                // partition 0..n, so hi_elem - lo_elem <= rest.len()
                 let (block, tail) = rest.split_at_mut(hi_elem - lo_elem);
                 rest = tail;
                 let base = chunk_offset;
@@ -459,6 +473,8 @@ where
     map_range(n_chunks, |i| {
         let lo = i * chunk;
         let hi = (lo + chunk).min(items.len());
+        // lint:allow(panic-reach) -- i < n_chunks implies lo < items.len()
+        // (ceil division), and hi is clamped to items.len()
         f(i, &items[lo..hi])
     })
 }

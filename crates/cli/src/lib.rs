@@ -71,6 +71,15 @@ pub enum Command {
         /// Fallback ladder: `Some("-")` = default ladder, otherwise a
         /// comma-separated algorithm list. `None` = direct solve.
         fallback: Option<String>,
+        /// Checksummed progress-snapshot destination; written at every
+        /// ladder rung boundary and on cancellation.
+        checkpoint: Option<PathBuf>,
+        /// Minimum work units between routine snapshots (0 = every
+        /// rung boundary).
+        checkpoint_interval: Option<u64>,
+        /// Snapshot file to resume a previous run from; the ladder and
+        /// budget recorded in the snapshot are used.
+        resume: Option<PathBuf>,
     },
     /// `rectpart evaluate --input F --algo A -m M [--stats [F]]`
     Evaluate {
@@ -116,6 +125,9 @@ pub enum CliError {
     /// The work budget ran out before any ladder rung could be
     /// admitted (exit 4).
     Budget(String),
+    /// A `--resume` snapshot that cannot be trusted: torn or corrupt
+    /// file, or a snapshot of a different instance (exit 5).
+    Snapshot(String),
     /// Everything else — an algorithm bug or environment failure
     /// (exit 1).
     Internal(String),
@@ -128,6 +140,7 @@ impl CliError {
             CliError::Usage(_) => 2,
             CliError::Input(_) => 3,
             CliError::Budget(_) => 4,
+            CliError::Snapshot(_) => 5,
             CliError::Internal(_) => 1,
         }
     }
@@ -137,7 +150,10 @@ impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Usage(e) => write!(f, "{e}"),
-            CliError::Input(m) | CliError::Budget(m) | CliError::Internal(m) => {
+            CliError::Input(m)
+            | CliError::Budget(m)
+            | CliError::Snapshot(m)
+            | CliError::Internal(m) => {
                 write!(f, "{m}")
             }
         }
@@ -171,6 +187,8 @@ impl From<RectpartError> for CliError {
             CliError::Input(e.to_string())
         } else if matches!(e, RectpartError::BudgetExhausted { .. }) {
             CliError::Budget(e.to_string())
+        } else if matches!(e, RectpartError::SnapshotCorrupt { .. }) {
+            CliError::Snapshot(e.to_string())
         } else {
             CliError::Internal(e.to_string())
         }
@@ -185,6 +203,7 @@ impl From<DriverFailure> for CliError {
         match &f.error {
             e if e.is_input_error() => CliError::Input(detail),
             RectpartError::BudgetExhausted { .. } => CliError::Budget(detail),
+            RectpartError::SnapshotCorrupt { .. } => CliError::Snapshot(detail),
             _ => CliError::Internal(detail),
         }
     }
@@ -315,6 +334,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             trace: trace_out_flag(args)?,
             budget: parse_flag(args, "--budget")?,
             fallback: optional_value_flag(args, "--fallback"),
+            checkpoint: flag(args, "--checkpoint").map(PathBuf::from),
+            checkpoint_interval: parse_flag(args, "--checkpoint-interval")?,
+            resume: flag(args, "--resume").map(PathBuf::from),
         }),
         "evaluate" => Ok(Command::Evaluate {
             input: require(flag(args, "--input").map(PathBuf::from), "--input")?,
@@ -385,12 +407,27 @@ fn stats_json(
     m: usize,
     summary: &rectpart_core::Summary,
     pfx: &PrefixSum2D,
+    budget: Option<u64>,
+    degradation: Option<&rectpart_robust::DegradationReport>,
 ) -> rectpart_json::Json {
     use rectpart_json::Json;
     let report = rectpart_obs::Recorder::global().snapshot();
+    // Driver runs expose their budget and the fallback ladder they
+    // walked (rung names in ladder order); direct solves report null.
+    let fallback = match degradation {
+        Some(rep) => Json::Arr(
+            rep.rungs
+                .iter()
+                .map(|r| Json::Str(r.name.clone()))
+                .collect(),
+        ),
+        None => Json::Null,
+    };
     Json::obj(vec![
         ("algorithm", Json::Str(algo.to_string())),
         ("m", Json::UInt(m as u64)),
+        ("budget", budget.map(Json::UInt).unwrap_or(Json::Null)),
+        ("fallback", fallback),
         ("gamma_mode", Json::Str(gamma_mode().as_str().to_string())),
         (
             "gamma_backend",
@@ -507,6 +544,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             trace,
             budget,
             fallback,
+            checkpoint,
+            checkpoint_interval,
+            resume,
         } => {
             let stats_dst = stats_target(stats);
             let trace_dst = trace_target(trace);
@@ -522,18 +562,37 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             };
             RectpartError::check_problem(matrix.rows(), matrix.cols(), m)?;
             let pfx = PrefixSum2D::try_new_with(&matrix, gamma_mode())?;
-            let (part, degradation) = if budget.is_some() || fallback.is_some() {
+            let driver_run =
+                budget.is_some() || fallback.is_some() || checkpoint.is_some() || resume.is_some();
+            let (part, degradation, sink) = if driver_run {
                 // Fault-tolerant path: walk the fallback ladder under
-                // the (optional) deterministic work budget.
+                // the (optional) deterministic work budget, snapshotting
+                // rung-boundary progress when a checkpoint file is
+                // named. A resumed run takes its ladder and budget from
+                // the snapshot, not from the command line.
                 let mut driver =
                     SolverDriver::new().with_ladder(ladder_from(&algo, fallback.as_deref()));
                 if let Some(units) = budget {
                     driver = driver.with_budget(units);
                 }
+                let mut sink = checkpoint.as_ref().map(|path| {
+                    rectpart_resume::FileCheckpointer::new(path, checkpoint_interval.unwrap_or(0))
+                });
                 let _p = rectpart_obs::phase(rectpart_obs::Phase::Partition);
                 let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliPartition);
-                let outcome = driver.try_solve(&matrix, m)?;
-                (outcome.partition, Some(outcome.report))
+                let outcome = match (&resume, &mut sink) {
+                    (Some(snap), Some(s)) => {
+                        let progress = rectpart_resume::load_snapshot(snap)?;
+                        driver.resume_checkpointed(&progress, &matrix, m, s)?
+                    }
+                    (Some(snap), None) => {
+                        let progress = rectpart_resume::load_snapshot(snap)?;
+                        driver.resume_from(&progress, &matrix, m)?
+                    }
+                    (None, Some(s)) => driver.try_solve_checkpointed(&matrix, m, s)?,
+                    (None, None) => driver.try_solve(&matrix, m)?,
+                };
+                (outcome.partition, Some(outcome.report), sink)
             } else {
                 let algorithm = algorithm_by_name(&algo).ok_or_else(|| {
                     UsageError(format!("unknown algorithm {algo:?}; see `rectpart algos`"))
@@ -548,7 +607,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliValidate);
                     part.validate(&pfx)?;
                 }
-                (part, None)
+                (part, None, None)
             };
             let algo = degradation
                 .as_ref()
@@ -584,12 +643,36 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 std::fs::write(&path, rectpart_json::to_string_pretty(&part))?;
                 out.push_str(&format!("\n  partition     -> {}", path.display()));
             }
-            if let Some(report) = degradation {
+            if let Some(s) = &sink {
+                out.push_str(&format!(
+                    "\n  checkpoint    -> {} ({} snapshots)",
+                    s.path().display(),
+                    s.writes()
+                ));
+                if let Some(e) = s.last_error() {
+                    out.push_str(&format!("\n  warning: last snapshot write failed: {e}"));
+                }
+            }
+            if let Some(report) = &degradation {
                 out.push_str("\nfallback:\n");
                 out.push_str(&report.to_string());
             }
             if let Some(dst) = stats_dst {
-                emit_stats(&mut out, &dst, &stats_json(&algo, m, &summary, &pfx))?;
+                // A resumed run's budget lives in the snapshot; the
+                // degradation report carries the authoritative value.
+                let effective_budget = degradation.as_ref().and_then(|r| r.budget).or(budget);
+                emit_stats(
+                    &mut out,
+                    &dst,
+                    &stats_json(
+                        &algo,
+                        m,
+                        &summary,
+                        &pfx,
+                        effective_budget,
+                        degradation.as_ref(),
+                    ),
+                )?;
             }
             if let Some(dst) = trace_dst {
                 emit_trace(&mut out, &dst)?;
@@ -644,7 +727,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 100.0 * rep.efficiency,
             );
             if let Some(dst) = stats_dst {
-                emit_stats(&mut out, &dst, &stats_json(&algo, m, &summary, &pfx))?;
+                emit_stats(
+                    &mut out,
+                    &dst,
+                    &stats_json(&algo, m, &summary, &pfx, None, None),
+                )?;
             }
             if let Some(dst) = trace_dst {
                 emit_trace(&mut out, &dst)?;
@@ -664,7 +751,8 @@ USAGE:
   rectpart partition --input FILE.csv -m N [--algo NAME] [--owners OUT.csv]
                      [--save PARTITION.json] [--stats [OUT.json]]
                      [--trace-out TRACE.json] [--budget UNITS]
-                     [--fallback [A,B,...]]
+                     [--fallback [A,B,...]] [--checkpoint SNAP]
+                     [--checkpoint-interval UNITS] [--resume SNAP]
   rectpart evaluate  --input FILE.csv -m N [--algo NAME] [--stats [OUT.json]]
                      [--trace-out TRACE.json]
   rectpart algos
@@ -706,6 +794,22 @@ GLOBAL OPTIONS:
                  value: a comma-separated algorithm list, tried in
                  order; a rung that panics or returns an invalid cover
                  demotes to the next.
+  --checkpoint SNAP
+                 write a checksummed progress snapshot to SNAP at every
+                 fallback-ladder rung boundary (and on cancellation), so
+                 an interrupted run can be continued with --resume.
+                 Snapshots are written atomically (tmp file + rename);
+                 implies the fault-tolerant driver path.
+  --checkpoint-interval UNITS
+                 downsample routine snapshots: write one only after at
+                 least UNITS work units since the last (default 0 =
+                 every rung boundary)
+  --resume SNAP  continue an interrupted run from the snapshot at SNAP.
+                 The ladder and budget recorded in the snapshot are
+                 used (--algo/--fallback/--budget are ignored); the
+                 resumed outcome is bit-identical to an uninterrupted
+                 run. A torn or corrupt snapshot, or one taken for a
+                 different instance, exits 5.
 
 EXIT CODES:
   0  success
@@ -713,6 +817,8 @@ EXIT CODES:
   2  usage error (malformed command line)
   3  invalid input (unreadable/ragged CSV, empty matrix, infeasible m)
   4  work budget exhausted before any algorithm could run
+  5  unusable snapshot (torn/corrupt --resume file, or an instance or
+     ladder mismatch)
 "
     .to_string()
 }
@@ -759,6 +865,9 @@ mod tests {
                 trace: None,
                 budget: None,
                 fallback: None,
+                checkpoint: None,
+                checkpoint_interval: None,
+                resume: None,
             }
         );
     }
@@ -786,6 +895,175 @@ mod tests {
         };
         assert_eq!((budget, fallback), (None, Some("-".into())));
         assert!(parse(&argv("partition --input a.csv -m 4 --budget lots")).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_and_resume_flags() {
+        let Command::Partition {
+            checkpoint,
+            checkpoint_interval,
+            resume,
+            ..
+        } = parse(&argv(
+            "partition --input a.csv -m 4 --checkpoint s.snap --checkpoint-interval 500 --resume old.snap",
+        ))
+        .unwrap()
+        else {
+            panic!("expected partition");
+        };
+        assert_eq!(checkpoint, Some(PathBuf::from("s.snap")));
+        assert_eq!(checkpoint_interval, Some(500));
+        assert_eq!(resume, Some(PathBuf::from("old.snap")));
+        assert!(parse(&argv(
+            "partition --input a.csv -m 4 --checkpoint-interval soon"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn checkpoint_then_resume_matches_direct_run() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("rectpart-cli-ckpt-{}.csv", std::process::id()));
+        let snap = dir.join(format!("rectpart-cli-ckpt-{}.snap", std::process::id()));
+        run(Command::Generate {
+            class: "peak".into(),
+            rows: 16,
+            cols: 16,
+            seed: 9,
+            delta: 1.2,
+            out: input.clone(),
+        })
+        .unwrap();
+        let base = |checkpoint: Option<PathBuf>, resume: Option<PathBuf>| Command::Partition {
+            input: input.clone(),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 4,
+            owners: None,
+            save: None,
+            stats: None,
+            trace: None,
+            budget: None,
+            fallback: None,
+            checkpoint,
+            checkpoint_interval: None,
+            resume,
+        };
+        // --checkpoint alone selects the driver path and leaves a
+        // loadable snapshot behind.
+        let watched = run(base(Some(snap.clone()), None)).unwrap();
+        assert!(watched.contains("checkpoint    ->"), "{watched}");
+        assert!(watched.contains("fallback:"), "{watched}");
+        assert!(snap.exists());
+        rectpart_resume::load_snapshot(&snap).expect("checkpoint must be loadable");
+        // Resuming from the final boundary snapshot reproduces the
+        // uninterrupted answer (same Lmax line, same answering rung).
+        let resumed = run(base(None, Some(snap.clone()))).unwrap();
+        let lmax = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("Lmax"))
+                .map(str::to_string)
+                .expect("report has an Lmax line")
+        };
+        assert_eq!(lmax(&resumed), lmax(&watched));
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&snap).ok();
+    }
+
+    #[test]
+    fn corrupt_resume_snapshot_exits_five() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("rectpart-cli-badsnap-{}.csv", std::process::id()));
+        let snap = dir.join(format!("rectpart-cli-badsnap-{}.snap", std::process::id()));
+        std::fs::write(&input, "1,2\n3,4\n").unwrap();
+        std::fs::write(&snap, "definitely not a snapshot").unwrap();
+        let err = run(Command::Partition {
+            input: input.clone(),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 2,
+            owners: None,
+            save: None,
+            stats: None,
+            trace: None,
+            budget: None,
+            fallback: None,
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: Some(snap.clone()),
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+        assert!(err.to_string().contains("snapshot"), "{err}");
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&snap).ok();
+    }
+
+    #[test]
+    fn stats_block_reports_budget_and_fallback_ladder() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("rectpart-cli-statsb-{}.csv", std::process::id()));
+        run(Command::Generate {
+            class: "peak".into(),
+            rows: 12,
+            cols: 12,
+            seed: 4,
+            delta: 1.2,
+            out: input.clone(),
+        })
+        .unwrap();
+        let msg = run(Command::Partition {
+            input: input.clone(),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 4,
+            owners: None,
+            save: None,
+            stats: Some("-".into()),
+            trace: None,
+            budget: Some(1_000_000),
+            fallback: Some("-".into()),
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: None,
+        })
+        .unwrap();
+        let (_, json_text) = msg.split_once("stats:\n").expect("stats block present");
+        let json = rectpart_json::parse(json_text).unwrap();
+        assert_eq!(json.get("budget").and_then(|j| j.as_u64()), Some(1_000_000));
+        let rectpart_json::Json::Arr(ladder) = json.get("fallback").expect("fallback present")
+        else {
+            panic!("fallback must be an array of rung names");
+        };
+        let names: Vec<&str> = ladder.iter().filter_map(|j| j.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["JAG-M-HEUR-BEST", "JAG-M-OPT-BEST", "RECT-UNIFORM"]
+        );
+        // A direct (non-driver) run reports null for both.
+        let msg = run(Command::Partition {
+            input: input.clone(),
+            algo: "JAG-M-HEUR-BEST".into(),
+            m: 4,
+            owners: None,
+            save: None,
+            stats: Some("-".into()),
+            trace: None,
+            budget: None,
+            fallback: None,
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: None,
+        })
+        .unwrap();
+        let (_, json_text) = msg.split_once("stats:\n").expect("stats block present");
+        let json = rectpart_json::parse(json_text).unwrap();
+        assert!(matches!(
+            json.get("budget"),
+            Some(rectpart_json::Json::Null)
+        ));
+        assert!(matches!(
+            json.get("fallback"),
+            Some(rectpart_json::Json::Null)
+        ));
+        std::fs::remove_file(&input).ok();
     }
 
     #[test]
@@ -832,6 +1110,9 @@ mod tests {
             trace: None,
             budget: Some(1_000_000),
             fallback: Some("-".into()),
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: None,
         };
         let msg = run(base).unwrap();
         assert!(msg.contains("fallback:"), "{msg}");
@@ -847,6 +1128,9 @@ mod tests {
             trace: None,
             budget: Some(3),
             fallback: None,
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: None,
         })
         .unwrap_err();
         assert_eq!(err.exit_code(), 4, "{err}");
@@ -862,6 +1146,9 @@ mod tests {
             trace: None,
             budget: None,
             fallback: None,
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: None,
         })
         .unwrap_err();
         assert_eq!(err.exit_code(), 3, "{err}");
@@ -876,6 +1163,9 @@ mod tests {
             trace: None,
             budget: None,
             fallback: None,
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: None,
         })
         .unwrap_err();
         assert_eq!(err.exit_code(), 3, "{err}");
@@ -980,6 +1270,9 @@ mod tests {
             trace: None,
             budget: None,
             fallback: None,
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: None,
         })
         .unwrap();
         assert!(msg.contains("imbalance"));
@@ -1021,6 +1314,9 @@ mod tests {
             trace: None,
             budget: None,
             fallback: None,
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: None,
         })
         .unwrap();
         let json = std::fs::read_to_string(&saved).unwrap();
@@ -1046,6 +1342,9 @@ mod tests {
             trace: None,
             budget: None,
             fallback: None,
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown algorithm"));
@@ -1077,6 +1376,9 @@ mod tests {
             trace: None,
             budget: None,
             fallback: None,
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: None,
         })
         .unwrap();
         let (_, json_text) = msg.split_once("stats:\n").expect("stats block present");

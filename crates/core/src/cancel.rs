@@ -1,0 +1,102 @@
+//! Cooperative cancellation checkpoints for the algorithm loops.
+//!
+//! The cancellation *flag* lives in [`rectpart_obs::cancel`] (a work-unit
+//! deadline against the deterministic meter); this module provides the
+//! core-side [`Checker`] that algorithm loops thread through their serial
+//! checkpoints. A checker is either *live* — it polls the armed deadline
+//! and yields [`RectpartError::Cancelled`] once it fires — or *off*, in
+//! which case [`Checker::check`] is a constant `Ok(())` and the fallible
+//! plumbing collapses to the historical infallible behaviour.
+//!
+//! The [`Partitioner::partition`](crate::Partitioner::partition) contract
+//! stays infallible: the default implementations route through the same
+//! checked code paths with [`Checker::OFF`], and only
+//! [`Partitioner::try_partition`](crate::Partitioner::try_partition)
+//! (used by the solver driver) runs with a live checker.
+
+use crate::error::RectpartError;
+
+/// A cancellation probe threaded through checkpointed algorithm loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Checker {
+    live: bool,
+}
+
+impl Checker {
+    /// A checker that never cancels; `check` is a constant `Ok(())`.
+    pub const OFF: Checker = Checker { live: false };
+
+    /// A checker polling the process-wide work-unit deadline
+    /// ([`rectpart_obs::cancel`]).
+    pub const fn active() -> Checker {
+        Checker { live: true }
+    }
+
+    /// Whether this checker can ever cancel.
+    #[inline]
+    pub const fn is_live(&self) -> bool {
+        self.live
+    }
+
+    /// Serial checkpoint: `Err(Cancelled)` once a live checker observes
+    /// the armed deadline, `Ok(())` otherwise. Cheap enough to call once
+    /// per loop iteration (two relaxed atomic loads when live, a branch
+    /// when off).
+    #[inline]
+    pub fn check(&self) -> Result<(), RectpartError> {
+        if self.live && rectpart_obs::cancel::requested() {
+            Err(RectpartError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Maps a cancellation-aware 1D solve ([`rectpart_onedim::try_nicol_in`])
+    /// into the checked-path idiom: live checkers forward the solver's
+    /// polling verdict, off checkers run the plain infallible solve.
+    #[inline]
+    pub fn nicol_in<C: rectpart_onedim::IntervalCost>(
+        &self,
+        cost: &C,
+        m: usize,
+        scratch: &mut rectpart_onedim::SolveScratch,
+    ) -> Result<rectpart_onedim::OneDimResult, RectpartError> {
+        if self.live {
+            rectpart_onedim::try_nicol_in(cost, m, scratch)
+                .map_err(|rectpart_onedim::Cancelled| RectpartError::Cancelled)
+        } else {
+            Ok(rectpart_onedim::nicol_in(cost, m, scratch))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test so nothing else in this binary races the global deadline.
+    #[test]
+    fn off_never_cancels_and_live_observes_the_deadline() {
+        rectpart_obs::cancel::disarm();
+        assert_eq!(Checker::OFF.check(), Ok(()));
+        assert_eq!(Checker::active().check(), Ok(()));
+
+        rectpart_obs::cancel::arm_now();
+        assert_eq!(Checker::OFF.check(), Ok(()));
+        assert_eq!(Checker::active().check(), Err(RectpartError::Cancelled));
+
+        // The 1D bridge follows the same split.
+        let cost = rectpart_onedim::PrefixCosts::from_loads(&[3u64, 1, 4, 1, 5]);
+        let mut scratch = rectpart_onedim::SolveScratch::new();
+        assert!(Checker::OFF.nicol_in(&cost, 2, &mut scratch).is_ok());
+        assert_eq!(
+            Checker::active().nicol_in(&cost, 2, &mut scratch),
+            Err(RectpartError::Cancelled)
+        );
+
+        rectpart_obs::cancel::disarm();
+        let checked = Checker::active().nicol_in(&cost, 2, &mut scratch);
+        let plain = rectpart_onedim::nicol(&cost, 2);
+        assert_eq!(checked, Ok(plain));
+    }
+}

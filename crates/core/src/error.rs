@@ -73,6 +73,18 @@ pub enum RectpartError {
     InvalidSolution(PartitionError),
     /// An algorithm name (CLI `--algo`, driver ladder) is not registered.
     UnknownAlgorithm(String),
+    /// The solve was cancelled cooperatively at a work-meter checkpoint
+    /// (armed via `rectpart_obs::cancel`). Partial work is discarded;
+    /// the resume protocol restarts from the last good snapshot.
+    Cancelled,
+    /// A progress snapshot could not be used: torn write, checksum
+    /// mismatch, malformed payload, or a payload that does not describe
+    /// the instance being resumed. Never silently ignored — the CLI
+    /// maps this to its dedicated exit code.
+    SnapshotCorrupt {
+        /// Human-readable reason the snapshot was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RectpartError {
@@ -106,6 +118,12 @@ impl fmt::Display for RectpartError {
             }
             RectpartError::InvalidSolution(e) => write!(f, "solver produced invalid cover: {e}"),
             RectpartError::UnknownAlgorithm(name) => write!(f, "unknown algorithm {name:?}"),
+            RectpartError::Cancelled => {
+                write!(f, "solve cancelled at a work-meter checkpoint")
+            }
+            RectpartError::SnapshotCorrupt { reason } => {
+                write!(f, "snapshot unusable: {reason}")
+            }
         }
     }
 }
@@ -208,6 +226,11 @@ mod tests {
                 "{err} should mention {needle:?}"
             );
         }
+        assert!(RectpartError::Cancelled.to_string().contains("cancelled"));
+        let snap = RectpartError::SnapshotCorrupt {
+            reason: "checksum mismatch".into(),
+        };
+        assert!(snap.to_string().contains("checksum mismatch"));
     }
 
     #[test]
@@ -220,6 +243,13 @@ mod tests {
         }
         .is_input_error());
         assert!(!RectpartError::WorkerPanic { rung: "X".into() }.is_input_error());
+        // Cancellation and snapshot problems are never the input's fault:
+        // one is a caller-armed deadline, the other a damaged artifact.
+        assert!(!RectpartError::Cancelled.is_input_error());
+        assert!(!RectpartError::SnapshotCorrupt {
+            reason: "torn".into()
+        }
+        .is_input_error());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! processors go to each side, evaluating subproblems with the
 //! average-load relaxation `L(sub)/j` instead of a recursive solve.
 
+use crate::cancel::Checker;
+use crate::error::RectpartError;
 use crate::geometry::{Axis, Rect};
 use crate::prefix::PrefixSum2D;
 use crate::solution::Partition;
@@ -25,32 +27,33 @@ const PARALLEL_PROCS_MIN: usize = 32;
 /// separate tasks when `m` is large enough and threads are available.
 /// The first half's rectangles are always appended before the second
 /// half's, so the output order is bit-identical to serial recursion.
+/// Cancellation in either half cancels the node wholesale — partial
+/// subtrees are discarded, never merged into a completed result.
 fn recurse_halves(
     out: &mut Vec<Rect>,
     m: usize,
-    first: impl FnOnce(&mut Vec<Rect>) + Send,
-    second: impl FnOnce(&mut Vec<Rect>) + Send,
-) {
+    first: impl FnOnce(&mut Vec<Rect>) -> Result<(), RectpartError> + Send,
+    second: impl FnOnce(&mut Vec<Rect>) -> Result<(), RectpartError> + Send,
+) -> Result<(), RectpartError> {
     // One bipartition node regardless of whether its halves fork.
     rectpart_obs::incr(rectpart_obs::Counter::HierBisections);
     if m >= PARALLEL_PROCS_MIN && rectpart_parallel::current_threads() >= 2 {
         let (a, b) = rectpart_parallel::join(
             || {
                 let mut v = Vec::new();
-                first(&mut v);
-                v
+                first(&mut v).map(|()| v)
             },
             || {
                 let mut v = Vec::new();
-                second(&mut v);
-                v
+                second(&mut v).map(|()| v)
             },
         );
-        out.extend(a);
-        out.extend(b);
+        out.extend(a?);
+        out.extend(b?);
+        Ok(())
     } else {
-        first(out);
-        second(out);
+        first(out)?;
+        second(out)
     }
 }
 
@@ -146,12 +149,34 @@ impl Partitioner for HierRb {
         assert!(m >= 1);
         let mut rects = Vec::with_capacity(m);
         let full = Rect::new(0, pfx.rows(), 0, pfx.cols());
-        rb_recurse(pfx, self.variant, full, m, 0, &mut rects);
+        if rb_recurse(pfx, self.variant, full, m, 0, &mut rects, Checker::OFF).is_err() {
+            // Unreachable with Checker::OFF; a valid one-part fallback.
+            one_part_rects(full, m, &mut rects);
+        }
         debug_assert_eq!(rects.len(), m);
         Partition::new(rects)
     }
+
+    fn try_partition(&self, pfx: &PrefixSum2D, m: usize) -> Result<Partition, RectpartError> {
+        if m == 0 {
+            return Err(RectpartError::ZeroParts);
+        }
+        let mut rects = Vec::with_capacity(m);
+        let full = Rect::new(0, pfx.rows(), 0, pfx.cols());
+        rb_recurse(pfx, self.variant, full, m, 0, &mut rects, Checker::active())?;
+        Ok(Partition::new(rects))
+    }
 }
 
+/// Discharges the unreachable `Err` arm of the infallible entry points:
+/// the whole matrix on one processor, the rest idle.
+fn one_part_rects(full: Rect, m: usize, out: &mut Vec<Rect>) {
+    out.clear();
+    out.push(full);
+    out.extend(std::iter::repeat_n(Rect::EMPTY, m - 1));
+}
+
+#[allow(clippy::too_many_arguments)]
 fn rb_recurse(
     pfx: &PrefixSum2D,
     variant: HierVariant,
@@ -159,11 +184,15 @@ fn rb_recurse(
     m: usize,
     depth: usize,
     out: &mut Vec<Rect>,
-) {
+    check: Checker,
+) -> Result<(), RectpartError> {
     if m == 1 {
         out.push(rect);
-        return;
+        return Ok(());
     }
+    // One poll per bipartition node: each node's split search is the
+    // recursion's serial work quantum.
+    check.check()?;
     // Span depth mirrors the bipartition tree depth: each level nests one
     // `core.hier.level#d` inside its parent's (forked halves re-root under
     // the captured parent path, so the tree is thread-count independent).
@@ -174,7 +203,7 @@ fn rb_recurse(
         // Unsplittable (≤ 1 cell): one processor takes it, the rest idle.
         out.push(rect);
         out.extend(std::iter::repeat_n(Rect::EMPTY, m - 1));
-        return;
+        return Ok(());
     }
     let m1 = m / 2;
     let m2 = m - m1;
@@ -193,9 +222,9 @@ fn rb_recurse(
     recurse_halves(
         out,
         m,
-        |v| rb_recurse(pfx, variant, a, ma, depth + 1, v),
-        |v| rb_recurse(pfx, variant, b, m - ma, depth + 1, v),
-    );
+        |v| rb_recurse(pfx, variant, a, ma, depth + 1, v, check),
+        |v| rb_recurse(pfx, variant, b, m - ma, depth + 1, v, check),
+    )
 }
 
 /// The one or two ways to hand `⌊m/2⌋ + ⌈m/2⌉` processors to the halves.
@@ -298,12 +327,45 @@ impl Partitioner for HierRelaxed {
         assert!(m >= 1);
         let mut rects = Vec::with_capacity(m);
         let full = Rect::new(0, pfx.rows(), 0, pfx.cols());
-        relaxed_recurse(pfx, self.variant, self.balance_bias, full, m, 0, &mut rects);
+        let run = relaxed_recurse(
+            pfx,
+            self.variant,
+            self.balance_bias,
+            full,
+            m,
+            0,
+            &mut rects,
+            Checker::OFF,
+        );
+        if run.is_err() {
+            // Unreachable with Checker::OFF; a valid one-part fallback.
+            one_part_rects(full, m, &mut rects);
+        }
         debug_assert_eq!(rects.len(), m);
         Partition::new(rects)
     }
+
+    fn try_partition(&self, pfx: &PrefixSum2D, m: usize) -> Result<Partition, RectpartError> {
+        if m == 0 {
+            return Err(RectpartError::ZeroParts);
+        }
+        let mut rects = Vec::with_capacity(m);
+        let full = Rect::new(0, pfx.rows(), 0, pfx.cols());
+        relaxed_recurse(
+            pfx,
+            self.variant,
+            self.balance_bias,
+            full,
+            m,
+            0,
+            &mut rects,
+            Checker::active(),
+        )?;
+        Ok(Partition::new(rects))
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn relaxed_recurse(
     pfx: &PrefixSum2D,
     variant: HierVariant,
@@ -312,18 +374,21 @@ fn relaxed_recurse(
     m: usize,
     depth: usize,
     out: &mut Vec<Rect>,
-) {
+    check: Checker,
+) -> Result<(), RectpartError> {
     if m == 1 {
         out.push(rect);
-        return;
+        return Ok(());
     }
+    // One poll per bipartition node, mirroring `rb_recurse`.
+    check.check()?;
     let _span =
         rectpart_obs::span::enter_arg(rectpart_obs::span::SpanKind::HierLevel, depth as u32);
     let candidates = variant.candidates(&rect, depth);
     if candidates.is_empty() {
         out.push(rect);
         out.extend(std::iter::repeat_n(Rect::EMPTY, m - 1));
-        return;
+        return Ok(());
     }
     // Relaxed keys compare across different processor splits, so the
     // cross-product trick no longer has a common denominator; loads are
@@ -357,9 +422,9 @@ fn relaxed_recurse(
     recurse_halves(
         out,
         m,
-        |v| relaxed_recurse(pfx, variant, bias, a, j, depth + 1, v),
-        |v| relaxed_recurse(pfx, variant, bias, b, m - j, depth + 1, v),
-    );
+        |v| relaxed_recurse(pfx, variant, bias, a, j, depth + 1, v, check),
+        |v| relaxed_recurse(pfx, variant, bias, b, m - j, depth + 1, v, check),
+    )
 }
 
 #[cfg(test)]

@@ -9,8 +9,10 @@
 //! stripe loads, which Theorem 3 shows improves the worst case and §4
 //! shows dominates in practice.
 
-use rectpart_onedim::{nicol, FnCost};
+use rectpart_onedim::{nicol, Cuts, FnCost, SolveScratch};
 
+use crate::cancel::Checker;
+use crate::error::RectpartError;
 use crate::geometry::{Axis, Rect};
 use crate::prefix::{PrefixSum2D, View};
 use crate::solution::Partition;
@@ -63,6 +65,29 @@ impl JaggedVariant {
             }
         }
     }
+
+    /// Fallible twin of [`run`](JaggedVariant::run) for the
+    /// cancellation-aware solve paths. Under `-BEST` both orientations
+    /// still run (on separate tasks); if either observes the cancellation
+    /// deadline the whole solve reports `Cancelled` — partial work is
+    /// discarded wholesale, so the nondeterministic interleaving of the
+    /// two tasks never leaks into a completed result.
+    pub(crate) fn try_run(
+        self,
+        pfx: &PrefixSum2D,
+        f: impl Fn(View<'_>) -> Result<Partition, RectpartError> + Sync,
+    ) -> Result<Partition, RectpartError> {
+        match self {
+            JaggedVariant::Hor => f(pfx.view(Axis::Rows)),
+            JaggedVariant::Ver => f(pfx.view(Axis::Cols)),
+            JaggedVariant::Best => {
+                let (a, b) =
+                    rectpart_parallel::join(|| f(pfx.view(Axis::Rows)), || f(pfx.view(Axis::Cols)));
+                let (a, b) = (a?, b?);
+                Ok(if a.lmax(pfx) <= b.lmax(pfx) { a } else { b })
+            }
+        }
+    }
 }
 
 /// `JAG-PQ-HEUR` (§3.2.1): optimal 1D split of the main-dimension
@@ -94,15 +119,47 @@ impl Partitioner for JagPqHeur {
         let (p, q) = self.grid.unwrap_or_else(|| grid_dims(m));
         assert!(p * q <= m, "grid {p}x{q} exceeds {m} processors");
         self.variant.run(pfx, |view| {
-            let main = main_cuts(&view, p);
-            let stripes: Vec<(usize, usize)> = main.intervals().filter(|(a, b)| a < b).collect();
-            // Stripes are independent 1D problems (paper §3.2.1): fan out.
-            let rects: Vec<Rect> = rectpart_parallel::flat_map_slice(&stripes, |&(s0, s1)| {
-                stripe_rects(&view, s0, s1, q)
-            });
-            Partition::with_parts(rects, m)
+            pq_heur_view(&view, m, p, q, Checker::OFF)
+                .unwrap_or_else(|_| one_part_partition(&view, m))
         })
     }
+
+    fn try_partition(&self, pfx: &PrefixSum2D, m: usize) -> Result<Partition, RectpartError> {
+        if m == 0 {
+            return Err(RectpartError::ZeroParts);
+        }
+        let (p, q) = self.grid.unwrap_or_else(|| grid_dims(m));
+        assert!(p * q <= m, "grid {p}x{q} exceeds {m} processors");
+        let check = Checker::active();
+        self.variant
+            .try_run(pfx, |view| pq_heur_view(&view, m, p, q, check))
+    }
+}
+
+/// The `JAG-PQ-HEUR` core on a fixed orientation. The main-dimension cut
+/// is the serial cancellation checkpoint; the per-stripe solves are
+/// independent parallel quanta and run to completion once launched.
+fn pq_heur_view(
+    view: &View<'_>,
+    m: usize,
+    p: usize,
+    q: usize,
+    check: Checker,
+) -> Result<Partition, RectpartError> {
+    let main = main_cuts(view, p, check)?;
+    check.check()?;
+    let stripes: Vec<(usize, usize)> = main.intervals().filter(|(a, b)| a < b).collect();
+    // Stripes are independent 1D problems (paper §3.2.1): fan out.
+    let rects: Vec<Rect> =
+        rectpart_parallel::flat_map_slice(&stripes, |&(s0, s1)| stripe_rects(view, s0, s1, q));
+    Ok(Partition::with_parts(rects, m))
+}
+
+/// Discharges the unreachable `Err` arm of the infallible entry points:
+/// with [`Checker::OFF`] the checked cores can never cancel, but the
+/// fallback must still be a valid partition rather than a panic.
+fn one_part_partition(view: &View<'_>, m: usize) -> Partition {
+    Partition::with_parts(vec![view.rect(0, view.n_main(), 0, view.n_aux())], m)
 }
 
 /// Stripe-count policy for [`JagMHeur`].
@@ -179,12 +236,38 @@ impl Partitioner for JagMHeur {
             Partition::with_parts(jag_m_heur_view(&view, m, p), m)
         })
     }
+
+    fn try_partition(&self, pfx: &PrefixSum2D, m: usize) -> Result<Partition, RectpartError> {
+        if m == 0 {
+            return Err(RectpartError::ZeroParts);
+        }
+        let check = Checker::active();
+        self.variant.try_run(pfx, |view| {
+            let p = self.resolve_p(pfx, &view, m);
+            let rects = try_jag_m_heur_view(&view, m, p, check)?;
+            Ok(Partition::with_parts(rects, m))
+        })
+    }
 }
 
 /// The `JAG-M-HEUR` core on a fixed orientation, returning the raw
 /// rectangles; also used by `JAG-M-OPT` to seed its upper bound.
 pub(crate) fn jag_m_heur_view(view: &View<'_>, m: usize, p: usize) -> Vec<Rect> {
-    let main = main_cuts(view, p);
+    try_jag_m_heur_view(view, m, p, Checker::OFF)
+        .unwrap_or_else(|_| vec![view.rect(0, view.n_main(), 0, view.n_aux())])
+}
+
+/// Cancellation-aware `JAG-M-HEUR` core: the main-dimension cut and the
+/// inter-phase boundary poll the deadline; the per-stripe solves are
+/// uninterruptible parallel quanta.
+pub(crate) fn try_jag_m_heur_view(
+    view: &View<'_>,
+    m: usize,
+    p: usize,
+    check: Checker,
+) -> Result<Vec<Rect>, RectpartError> {
+    let main = main_cuts(view, p, check)?;
+    check.check()?;
     let stripes: Vec<(usize, usize)> = main.intervals().filter(|(a, b)| a < b).collect();
     let loads: Vec<u64> = stripes
         .iter()
@@ -194,15 +277,20 @@ pub(crate) fn jag_m_heur_view(view: &View<'_>, m: usize, p: usize) -> Vec<Rect> 
     // Stripes are independent 1D problems (paper §3.2.1): fan out; the
     // in-order collect keeps the processor numbering deterministic.
     let tasks: Vec<((usize, usize), usize)> = stripes.into_iter().zip(procs).collect();
-    rectpart_parallel::flat_map_slice(&tasks, |&((s0, s1), qs)| stripe_rects(view, s0, s1, qs))
+    Ok(rectpart_parallel::flat_map_slice(
+        &tasks,
+        |&((s0, s1), qs)| stripe_rects(view, s0, s1, qs),
+    ))
 }
 
 /// Optimal 1D cuts of the main-dimension projection (no materialized
-/// projection: interval loads come straight from Γ, §3.2.1).
-fn main_cuts(view: &View<'_>, p: usize) -> rectpart_onedim::Cuts {
+/// projection: interval loads come straight from Γ, §3.2.1). Polls the
+/// cancellation deadline once per candidate part when `check` is live.
+fn main_cuts(view: &View<'_>, p: usize, check: Checker) -> Result<Cuts, RectpartError> {
     let n_aux = view.n_aux();
     let cost = FnCost::additive(view.n_main(), |a, b| view.load(a, b, 0, n_aux));
-    nicol(&cost, p).cuts
+    let mut scratch = SolveScratch::new();
+    Ok(check.nicol_in(&cost, p, &mut scratch)?.cuts)
 }
 
 /// Optimally partitions stripe `[s0, s1)` into `q` rectangles along the

@@ -25,8 +25,10 @@ use std::collections::HashMap;
 use rectpart_onedim::{nicol, nicol_bottleneck, FnCost, IntervalCost, SolveScratch};
 
 use crate::cache::StripeCache;
+use crate::cancel::Checker;
+use crate::error::RectpartError;
 use crate::geometry::Rect;
-use crate::jagged::{jag_m_heur_view, JaggedVariant};
+use crate::jagged::{jag_m_heur_view, try_jag_m_heur_view, JaggedVariant};
 use crate::prefix::{PrefixSum2D, View};
 use crate::solution::Partition;
 use crate::traits::{grid_dims, isqrt, Partitioner};
@@ -124,19 +126,42 @@ impl Partitioner for JagMOpt {
             Partition::with_parts(rects, m)
         })
     }
+
+    fn try_partition(&self, pfx: &PrefixSum2D, m: usize) -> Result<Partition, RectpartError> {
+        if m == 0 {
+            return Err(RectpartError::ZeroParts);
+        }
+        let check = Checker::active();
+        self.variant.try_run(pfx, |view| {
+            let rects = try_jag_m_opt_view(&view, m, check)?;
+            Ok(Partition::with_parts(rects, m))
+        })
+    }
 }
 
 /// One-orientation exact m-way jagged optimum via parametric search.
 fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
+    try_jag_m_opt_view(view, m, Checker::OFF)
+        .unwrap_or_else(|_| jag_m_heur_view(view, m, isqrt(m).max(1).min(m)))
+}
+
+/// Cancellation-aware parametric search: the deadline is polled once per
+/// parametric probe (each probe is one serial feasibility DP, the
+/// algorithm's natural work quantum).
+fn try_jag_m_opt_view(
+    view: &View<'_>,
+    m: usize,
+    check: Checker,
+) -> Result<Vec<Rect>, RectpartError> {
     let n = view.n_main();
     let n_aux = view.n_aux();
     if n == 0 || n_aux == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let pfx = view.prefix();
     let mut lb = pfx.lower_bound(m);
     // Incumbent: JAG-M-HEUR on the same orientation.
-    let heur = jag_m_heur_view(view, m, isqrt(m).max(1).min(m));
+    let heur = try_jag_m_heur_view(view, m, isqrt(m).max(1).min(m), check)?;
     let mut ub = heur
         .iter()
         .map(|r| pfx.load(r))
@@ -152,6 +177,7 @@ fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
     let mut scratch = SolveScratch::new();
     let mut probe_idx = 0u64;
     while lb < ub {
+        check.check()?;
         // lint:allow(checked-arith) -- lb <= ub in the loop, so
         // lb + (ub-lb)/2 <= ub: no overflow possible
         let mid = lb + (ub - lb) / 2;
@@ -168,12 +194,13 @@ fn jag_m_opt_view(view: &View<'_>, m: usize) -> Vec<Rect> {
             lb = mid + 1;
         }
     }
+    check.check()?;
     if feasible(view, m, ub, &mut scratch) {
-        reconstruct(view, ub, scratch.jag_choice())
+        Ok(reconstruct(view, ub, scratch.jag_choice()))
     } else {
         // The incumbent's own bottleneck is always feasible; if the DP
         // cannot see it (it can), fall back to the heuristic rectangles.
-        heur
+        Ok(heur)
     }
 }
 

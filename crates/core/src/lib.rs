@@ -35,6 +35,7 @@
 
 pub mod bounds;
 pub mod cache;
+mod cancel;
 mod error;
 mod exhaustive;
 mod geometry;
@@ -57,6 +58,7 @@ mod stats;
 mod traits;
 
 pub use cache::{ShardedMemo, StripeCache, StripeKey};
+pub use cancel::Checker;
 pub use error::RectpartError;
 pub use exhaustive::exhaustive_opt;
 pub use geometry::{Axis, Rect};

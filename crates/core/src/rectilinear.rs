@@ -9,6 +9,8 @@
 
 use rectpart_onedim::{nicol_in, Cuts, FnCost, SolveScratch};
 
+use crate::cancel::Checker;
+use crate::error::RectpartError;
 use crate::geometry::{Axis, Rect};
 use crate::prefix::PrefixSum2D;
 use crate::solution::Partition;
@@ -69,12 +71,32 @@ impl RectNicol {
     /// experiment checks that claim).
     pub fn partition_with_iterations(&self, pfx: &PrefixSum2D, m: usize) -> (Partition, usize) {
         assert!(m >= 1);
+        self.refine_with_checker(pfx, m, Checker::OFF)
+            .unwrap_or_else(|_| {
+                // Unreachable with Checker::OFF; a valid grid regardless.
+                let (p, q) = self.grid.unwrap_or_else(|| grid_dims(m));
+                let rows = Cuts::uniform(pfx.rows(), p);
+                let cols = Cuts::uniform(pfx.cols(), q);
+                (Partition::with_parts(grid_rects(&rows, &cols), m), 0)
+            })
+    }
+
+    /// The refinement loop with a cancellation checkpoint per iteration
+    /// (one iteration = one row + one column optimal 1D re-solve, the
+    /// algorithm's natural serial quantum).
+    fn refine_with_checker(
+        &self,
+        pfx: &PrefixSum2D,
+        m: usize,
+        check: Checker,
+    ) -> Result<(Partition, usize), RectpartError> {
         let (p, q) = self.grid.unwrap_or_else(|| grid_dims(m));
         assert!(p * q <= m, "grid {p}x{q} exceeds {m} processors");
 
         // One scratch arena for the whole refinement: every 1D solve in
         // the loop below reuses the same incumbent buffer.
         let mut scratch = SolveScratch::new();
+        check.check()?;
         // Start from the optimal 1D partition of the row projection.
         let row_proj = FnCost::additive(pfx.rows(), |a, b| pfx.load4(a, b, 0, pfx.cols()));
         let mut rows = nicol_in(&row_proj, p, &mut scratch).cuts;
@@ -85,6 +107,7 @@ impl RectNicol {
         rectpart_obs::trace_point(rectpart_obs::TraceId::RectNicolLmax, 0, 0, best);
 
         for _ in 0..self.max_iters {
+            check.check()?;
             let new_rows = refine(pfx, &cols, Axis::Rows, p, &mut scratch);
             let new_cols = refine(pfx, &new_rows.cuts, Axis::Cols, q, &mut scratch);
             let lmax = grid_lmax(pfx, &new_rows.cuts, &new_cols.cuts);
@@ -103,10 +126,10 @@ impl RectNicol {
             rows = new_rows.cuts;
             cols = new_cols.cuts;
         }
-        (
+        Ok((
             Partition::with_parts(grid_rects(&rows, &cols), m),
             iterations,
-        )
+        ))
     }
 }
 
@@ -117,6 +140,14 @@ impl Partitioner for RectNicol {
 
     fn partition(&self, pfx: &PrefixSum2D, m: usize) -> Partition {
         self.partition_with_iterations(pfx, m).0
+    }
+
+    fn try_partition(&self, pfx: &PrefixSum2D, m: usize) -> Result<Partition, RectpartError> {
+        if m == 0 {
+            return Err(RectpartError::ZeroParts);
+        }
+        self.refine_with_checker(pfx, m, Checker::active())
+            .map(|(part, _)| part)
     }
 }
 

@@ -1,5 +1,6 @@
 //! The common partitioner interface.
 
+use crate::error::RectpartError;
 use crate::prefix::PrefixSum2D;
 use crate::solution::Partition;
 
@@ -19,6 +20,22 @@ pub trait Partitioner: Sync {
     /// every implementation upholds this for any `m ≥ 1`, padding with
     /// empty rectangles when fewer than `m` are needed.
     fn partition(&self, pfx: &PrefixSum2D, m: usize) -> Partition;
+
+    /// Cancellation-aware twin of [`partition`](Partitioner::partition).
+    ///
+    /// Algorithms with serial checkpoint loops override this to poll the
+    /// process-wide work-unit deadline ([`rectpart_obs::cancel`]) via
+    /// [`crate::Checker`] and return
+    /// [`RectpartError::Cancelled`] mid-solve instead of running to
+    /// completion. The default simply runs the infallible path — correct
+    /// for algorithms whose whole solve is one uninterruptible quantum.
+    ///
+    /// A cancelled solve discards all partial work; callers (the solver
+    /// driver) restart the rung from scratch on resume, which is what
+    /// keeps resumed runs bit-identical to uninterrupted ones.
+    fn try_partition(&self, pfx: &PrefixSum2D, m: usize) -> Result<Partition, RectpartError> {
+        Ok(self.partition(pfx, m))
+    }
 }
 
 impl<T: Partitioner + ?Sized> Partitioner for &T {
@@ -28,6 +45,9 @@ impl<T: Partitioner + ?Sized> Partitioner for &T {
     fn partition(&self, pfx: &PrefixSum2D, m: usize) -> Partition {
         (**self).partition(pfx, m)
     }
+    fn try_partition(&self, pfx: &PrefixSum2D, m: usize) -> Result<Partition, RectpartError> {
+        (**self).try_partition(pfx, m)
+    }
 }
 
 impl Partitioner for Box<dyn Partitioner> {
@@ -36,6 +56,9 @@ impl Partitioner for Box<dyn Partitioner> {
     }
     fn partition(&self, pfx: &PrefixSum2D, m: usize) -> Partition {
         (**self).partition(pfx, m)
+    }
+    fn try_partition(&self, pfx: &PrefixSum2D, m: usize) -> Result<Partition, RectpartError> {
+        (**self).try_partition(pfx, m)
     }
 }
 

@@ -142,7 +142,9 @@ pub struct FileContext {
 /// to the same bar: its `catch_unwind` boundary and injected-fault
 /// panics are individually waived at the site, so any new panic
 /// construct needs its own justification.
-const PANIC_FREE_CRATES: [&str; 6] = ["core", "onedim", "parallel", "obs", "json", "robust"];
+const PANIC_FREE_CRATES: [&str; 7] = [
+    "core", "onedim", "parallel", "obs", "json", "robust", "resume",
+];
 
 /// Crates allowed to touch wall clocks anywhere in their library code
 /// (L3): the measurement binaries, whose whole purpose is timing.

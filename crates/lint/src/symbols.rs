@@ -497,9 +497,11 @@ pub struct FileSymbols {
 
 /// Set of crate dir names treated as panic-free (shared with rules v1).
 pub fn panic_free_crates() -> BTreeSet<&'static str> {
-    ["core", "onedim", "parallel", "obs", "json", "robust"]
-        .into_iter()
-        .collect()
+    [
+        "core", "onedim", "parallel", "obs", "json", "robust", "resume",
+    ]
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

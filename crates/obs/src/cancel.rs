@@ -1,0 +1,86 @@
+//! Cooperative cancellation armed against the deterministic work meter.
+//!
+//! Like the [`work`](crate::work) meter this module is compiled
+//! unconditionally: the solver driver and the checkpointed algorithm
+//! loops poll it at their existing serial work-meter checkpoints, so it
+//! must exist in every build. Cancellation is expressed as a *work-unit
+//! deadline*, never a wall-clock one — a solve is cancelled when
+//! [`crate::work::spent`] reaches the armed deadline, which keeps the
+//! set of checkpoints that observe the cancellation a pure function of
+//! the armed value and the algorithm's own charges.
+//!
+//! # Determinism
+//!
+//! A cancelled solve discards all partial work (the resume protocol
+//! restarts the interrupted rung from its last snapshot), so the exact
+//! checkpoint that first observes the deadline does not influence any
+//! *completed* result. What matters — and holds — is that with the
+//! deadline disarmed no checkpoint ever fires, and that an armed
+//! deadline below the work a solve charges always fires at some
+//! checkpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Disarmed sentinel: no charge total ever reaches it by comparison
+/// (`spent() >= u64::MAX` only after a full wrap, which the meter's
+/// relaxed additions cannot produce within a process lifetime).
+const DISARMED: u64 = u64::MAX;
+
+static DEADLINE: AtomicU64 = AtomicU64::new(DISARMED);
+
+/// Arm cancellation: checkpoints fire once [`crate::work::spent`]
+/// reaches `deadline_work_units`. Passing `0` cancels at the very next
+/// checkpoint.
+pub fn arm_at(deadline_work_units: u64) {
+    DEADLINE.store(deadline_work_units, Ordering::Relaxed);
+}
+
+/// Request immediate cancellation (the next checkpoint fires).
+pub fn arm_now() {
+    arm_at(0);
+}
+
+/// Disarm cancellation; checkpoints stop firing.
+pub fn disarm() {
+    DEADLINE.store(DISARMED, Ordering::Relaxed);
+}
+
+/// Whether a deadline is currently armed (fired or not).
+pub fn armed() -> bool {
+    DEADLINE.load(Ordering::Relaxed) != DISARMED
+}
+
+/// Whether cancellation has been requested: a deadline is armed and the
+/// work meter has reached it. Cheap enough for per-iteration polling
+/// (two relaxed atomic loads).
+#[inline]
+pub fn requested() -> bool {
+    crate::work::spent() >= DEADLINE.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test so nothing else in this binary races the global deadline
+    // (the work meter itself is owned by the `work` module's test).
+    #[test]
+    fn arm_poll_disarm_roundtrip() {
+        disarm();
+        assert!(!armed());
+        assert!(!requested());
+
+        // A deadline far above anything charged never fires…
+        arm_at(u64::MAX - 1);
+        assert!(armed());
+        assert!(!requested());
+
+        // …an immediate one always does.
+        arm_now();
+        assert!(requested());
+
+        disarm();
+        assert!(!armed());
+        assert!(!requested());
+    }
+}

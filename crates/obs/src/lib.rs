@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod chrome;
 #[cfg(feature = "faultinject")]
 pub mod fault;
@@ -95,10 +96,19 @@ pub enum Counter {
     /// `SolveScratch` buffer checkouts served entirely from already-owned
     /// capacity — the per-call `Vec` churn the scratch arena removed.
     ScratchReuses,
+    /// Progress snapshots persisted by a checkpoint sink (one per file
+    /// actually written, not per driver checkpoint offered).
+    SnapshotWrites,
+    /// Solves warm-started from a verified snapshot
+    /// (`SolverDriver::resume_from` entries that passed validation).
+    ResumeHits,
+    /// Deterministic retry backoffs charged by the driver's rung retry
+    /// loop (one per re-attempt after a contained rung panic).
+    RetryBackoffs,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 19;
+pub const COUNTER_COUNT: usize = 22;
 
 impl Counter {
     /// All counters, in stable report order.
@@ -122,6 +132,9 @@ impl Counter {
         Counter::SparseGammaRuns,
         Counter::ScratchAllocs,
         Counter::ScratchReuses,
+        Counter::SnapshotWrites,
+        Counter::ResumeHits,
+        Counter::RetryBackoffs,
     ];
 
     /// Dotted `layer.name` identifier used as the JSON key.
@@ -146,6 +159,9 @@ impl Counter {
             Counter::SparseGammaRuns => "core.gamma.sparse_runs",
             Counter::ScratchAllocs => "onedim.scratch.allocs",
             Counter::ScratchReuses => "onedim.scratch.reuses",
+            Counter::SnapshotWrites => "resume.snapshot_writes",
+            Counter::ResumeHits => "resume.resume_hits",
+            Counter::RetryBackoffs => "robust.retry_backoffs",
         }
     }
 }

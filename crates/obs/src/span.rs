@@ -90,10 +90,16 @@ pub enum SpanKind {
     WorkerBusy,
     /// Wall-only: a forking thread blocked joining its workers.
     JoinWait,
+    /// One progress snapshot offered to the checkpoint sink by the
+    /// solver driver (whether or not the sink persisted it).
+    DriverSnapshot,
+    /// Warm-start setup of `SolverDriver::resume_from` (snapshot
+    /// validation + Γ rebuild, before the first resumed rung).
+    DriverResume,
 }
 
 /// Number of [`SpanKind`] variants.
-pub const SPAN_KIND_COUNT: usize = 19;
+pub const SPAN_KIND_COUNT: usize = 21;
 
 impl SpanKind {
     /// All kinds, in stable order (index = discriminant).
@@ -117,6 +123,8 @@ impl SpanKind {
         SpanKind::DriverRung,
         SpanKind::WorkerBusy,
         SpanKind::JoinWait,
+        SpanKind::DriverSnapshot,
+        SpanKind::DriverResume,
     ];
 
     /// Dotted `layer.name` identifier used in exports.
@@ -141,6 +149,8 @@ impl SpanKind {
             SpanKind::DriverRung => "driver.rung",
             SpanKind::WorkerBusy => "parallel.worker_busy",
             SpanKind::JoinWait => "parallel.join_wait",
+            SpanKind::DriverSnapshot => "driver.snapshot",
+            SpanKind::DriverResume => "driver.resume",
         }
     }
 

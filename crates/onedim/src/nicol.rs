@@ -31,6 +31,21 @@ pub struct OneDimResult {
     pub bottleneck: u64,
 }
 
+/// Marker error returned by the cancellation-aware solver entry points
+/// ([`try_nicol_in`]) when the armed work-unit deadline
+/// ([`rectpart_obs::cancel`]) fires at a candidate checkpoint. Carries
+/// no payload: the caller maps it into its own error taxonomy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "1D solve cancelled at a work-meter checkpoint")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
 /// Optimal 1D partitioning of the whole sequence into `m` intervals.
 ///
 /// `O((m log n)²)` cost queries in the worst case, far fewer with the
@@ -53,15 +68,56 @@ pub fn nicol<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
 /// problems (per-stripe solves, refinement sweeps) reuses one buffer
 /// instead of allocating per call. Only the returned [`Cuts`] allocate.
 pub fn nicol_in<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScratch) -> OneDimResult {
+    match try_nicol_in_polling(c, m, scratch, false) {
+        Ok(r) => r,
+        // With polling off the search never cancels; a valid one-part
+        // fallback discharges the arm without a panic path.
+        Err(Cancelled) => one_part_fallback(c, m),
+    }
+}
+
+/// Cancellation-aware [`nicol_in`]: polls the armed work-unit deadline
+/// ([`rectpart_obs::cancel`]) once per candidate part — the existing
+/// serial work-meter checkpoint of the candidate walk — and returns
+/// `Err(Cancelled)` instead of completing the solve. Identical to
+/// [`nicol_in`] (bit-for-bit) whenever it returns `Ok`.
+pub fn try_nicol_in<C: IntervalCost>(
+    c: &C,
+    m: usize,
+    scratch: &mut SolveScratch,
+) -> Result<OneDimResult, Cancelled> {
+    try_nicol_in_polling(c, m, scratch, true)
+}
+
+/// All rectangles to the first part: the panic-free discharge of the
+/// unreachable `Err` arm of the non-polling search.
+fn one_part_fallback<C: IntervalCost>(c: &C, m: usize) -> OneDimResult {
+    let n = c.len();
+    let mut points = vec![n; m + 1];
+    if let Some(first) = points.first_mut() {
+        *first = 0;
+    }
+    OneDimResult {
+        bottleneck: c.cost(0, n),
+        cuts: Cuts::new(points),
+    }
+}
+
+fn try_nicol_in_polling<C: IntervalCost>(
+    c: &C,
+    m: usize,
+    scratch: &mut SolveScratch,
+    poll: bool,
+) -> Result<OneDimResult, Cancelled> {
     assert!(m >= 1);
     rectpart_obs::incr(rectpart_obs::Counter::NicolCalls);
     let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolSolve);
     let n = c.len();
     if n == 0 {
-        return OneDimResult {
+        return Ok(OneDimResult {
             cuts: Cuts::new(vec![0; m + 1]),
             bottleneck: 0,
-        };
+        });
     }
     // Incumbent from the RB heuristic; enables the lb_global early exit.
     let incumbent = {
@@ -70,16 +126,16 @@ pub fn nicol_in<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScratch) ->
     };
     let best = {
         let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolBisect);
-        nicol_search(c, m, incumbent)
+        nicol_search_polling(c, m, incumbent, poll)?
     };
     let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolReconstruct);
     // lint:allow(panic) -- invariant: `best` was returned feasible by the search above; re-probing at it cannot fail
     let cuts = probe(c, m, best).expect("invariant: Nicol bottleneck must be feasible");
     debug_assert_eq!(cuts.bottleneck(c), best, "probe must attain the optimum");
-    OneDimResult {
+    Ok(OneDimResult {
         cuts,
         bottleneck: best,
-    }
+    })
 }
 
 /// Bottleneck-only variant of [`nicol`] for the stripe-cost hot loops:
@@ -100,7 +156,8 @@ pub fn nicol_bottleneck<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScr
         rb_incumbent(c, m, scratch)
     };
     let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::NicolBisect);
-    nicol_search(c, m, incumbent)
+    // Never cancels with polling off; the incumbent is a feasible value.
+    nicol_search_polling(c, m, incumbent, false).unwrap_or(incumbent)
 }
 
 /// Recursive-bisection incumbent bottleneck, built in `scratch`.
@@ -116,7 +173,15 @@ fn rb_incumbent<C: IntervalCost>(c: &C, m: usize, scratch: &mut SolveScratch) ->
 
 /// The candidate walk shared by [`nicol`] and [`nicol_bottleneck`]:
 /// returns the optimal bottleneck given a feasible `incumbent` value.
-fn nicol_search<C: IntervalCost>(c: &C, m: usize, incumbent: u64) -> u64 {
+/// With `poll` set, the armed work-unit deadline is checked once per
+/// candidate part (the same granularity the meter is charged at); with
+/// it clear, the walk never returns `Err`.
+fn nicol_search_polling<C: IntervalCost>(
+    c: &C,
+    m: usize,
+    incumbent: u64,
+    poll: bool,
+) -> Result<u64, Cancelled> {
     let n = c.len();
     let lb_global = c.partition_lower_bound(0, m).max(c.max_unit_cost());
     let mut best = incumbent;
@@ -124,6 +189,13 @@ fn nicol_search<C: IntervalCost>(c: &C, m: usize, incumbent: u64) -> u64 {
     let mut steps = 0u64;
     let mut low = 0usize;
     for j in 0..m {
+        if poll && rectpart_obs::cancel::requested() {
+            // Charge the steps taken so far: a cancelled solve's charges
+            // are discarded wholesale by the resume protocol, but the
+            // meter must never under-report inside this process.
+            rectpart_obs::work::charge(steps + 1);
+            return Err(Cancelled);
+        }
         if best == lb_global || low == n {
             break;
         }
@@ -156,7 +228,7 @@ fn nicol_search<C: IntervalCost>(c: &C, m: usize, incumbent: u64) -> u64 {
         low = if a > low { a - 1 } else { low };
     }
     rectpart_obs::work::charge(steps + 1);
-    best
+    Ok(best)
 }
 
 /// Branch-and-bound variant: returns `None` without computing the exact

@@ -1,0 +1,58 @@
+//! `rectpart-soak` — replays the snapshot/resume fault campaign.
+//!
+//! Usage: `rectpart-soak [ARTIFACT_DIR]`
+//!
+//! Runs every [`rectpart_resume::campaign::CAMPAIGN`] case at each
+//! configured thread count, serially (the campaign mutates the
+//! process-global fault plan and cancellation deadline). On success the
+//! artifact directory is removed; on failure it is kept — including
+//! the snapshot file of every failing case — and the process exits 1
+//! so CI can upload the directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rectpart_resume::campaign::{run_case, CAMPAIGN};
+
+/// Thread counts the campaign is replayed at: the serial baseline and
+/// an oversubscribed pool, bracketing the determinism claim.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("rectpart-soak-{}", std::process::id()))
+        });
+
+    let mut passed = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        for &kind in CAMPAIGN {
+            let case_dir = dir.join(format!("t{threads}"));
+            match run_case(kind, threads, &case_dir) {
+                Ok(note) => {
+                    println!("PASS [{threads} thread(s)] {kind}: {note}");
+                    passed += 1;
+                }
+                Err(diag) => {
+                    println!("FAIL [{threads} thread(s)] {kind}: {diag}");
+                    failures.push(format!("[{threads} thread(s)] {kind}"));
+                }
+            }
+        }
+    }
+
+    println!("\nsoak: {passed}/{} cases passed", passed + failures.len());
+    if failures.is_empty() {
+        let _ = std::fs::remove_dir_all(&dir);
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            println!("  failed: {f}");
+        }
+        println!("artifacts kept in {}", dir.display());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,475 @@
+//! Deterministic fault-injection campaign over the snapshot/resume
+//! stack (feature `faultinject`).
+//!
+//! Each [`FaultKind`] is one reproducible failure scenario: a crash
+//! after the k-th checkpoint, a torn or bit-corrupted snapshot file, a
+//! snapshot replayed against the wrong instance (cache poisoning), a
+//! rung that panics on every retry until its circuit breaker opens, and
+//! a cooperative mid-rung cancellation. [`run_case`] executes one
+//! scenario at a given thread count and verifies the invariant the
+//! scenario attacks — resumed runs are bit-identical to uninterrupted
+//! ones, and damaged snapshots are always rejected, never loaded.
+//!
+//! The campaign mutates process-global state (the fault plan, the
+//! cancellation deadline), so cases must not run concurrently; the
+//! `rectpart-soak` binary replays [`CAMPAIGN`] serially and the test
+//! suite serializes on a mutex.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use rectpart_core::{LoadMatrix, RectpartError};
+use rectpart_parallel::with_threads;
+use rectpart_robust::{FaultPlan, RetryPolicy, RungOutcome, SolveOutcome, SolverDriver};
+
+use crate::snapshot::{load_snapshot, snapshot_from_str, write_snapshot, FileCheckpointer};
+use crate::MemorySink;
+
+/// One scenario of the fault campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The process dies right after the k-th rung-boundary checkpoint
+    /// was durably written; a fresh process resumes from it.
+    CrashAtCheckpoint(usize),
+    /// A cooperative cancellation lands mid-rung; the forced snapshot
+    /// is reloaded and the solve resumed.
+    CancelMidRung,
+    /// The snapshot file is truncated (torn write); loading must fail.
+    TornSnapshot,
+    /// One payload byte is flipped under an intact footer; loading must
+    /// fail on the checksum.
+    ChecksumCorruption,
+    /// A valid snapshot is replayed against a different instance or
+    /// part count (stale cache / cache poisoning); resume must refuse.
+    StaleSnapshot,
+    /// A rung panics on every attempt until its circuit breaker opens;
+    /// the run, its retries and a crash/resume across the open breaker
+    /// must all be deterministic.
+    RepeatedRungPanics,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::CrashAtCheckpoint(k) => write!(f, "crash-at-checkpoint-{k}"),
+            FaultKind::CancelMidRung => write!(f, "cancel-mid-rung"),
+            FaultKind::TornSnapshot => write!(f, "torn-snapshot"),
+            FaultKind::ChecksumCorruption => write!(f, "checksum-corruption"),
+            FaultKind::StaleSnapshot => write!(f, "stale-snapshot"),
+            FaultKind::RepeatedRungPanics => write!(f, "repeated-rung-panics"),
+        }
+    }
+}
+
+/// The full campaign matrix, replayed by the `rectpart-soak` binary at
+/// several thread counts.
+pub const CAMPAIGN: &[FaultKind] = &[
+    FaultKind::CrashAtCheckpoint(0),
+    FaultKind::CrashAtCheckpoint(1),
+    FaultKind::CrashAtCheckpoint(2),
+    FaultKind::CancelMidRung,
+    FaultKind::TornSnapshot,
+    FaultKind::ChecksumCorruption,
+    FaultKind::StaleSnapshot,
+    FaultKind::RepeatedRungPanics,
+];
+
+/// The campaign's fixed instance: big enough that every default-ladder
+/// rung does real work, small enough to replay the whole matrix in CI.
+pub fn campaign_matrix() -> LoadMatrix {
+    LoadMatrix::from_fn(24, 18, |r, c| ((r * 31 + c * 17) % 97 + 1) as u32)
+}
+
+/// Part count used by every campaign case.
+pub const CAMPAIGN_PARTS: usize = 6;
+
+fn ensure(cond: bool, msg: impl Into<String>) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg.into())
+    }
+}
+
+fn solved(
+    label: &str,
+    out: Result<SolveOutcome, rectpart_robust::DriverFailure>,
+) -> Result<SolveOutcome, String> {
+    out.map_err(|f| format!("{label} unexpectedly failed: {f}"))
+}
+
+/// Runs one campaign case at `threads` worker threads, writing any
+/// snapshot artifacts under `dir` (kept on failure for post-mortem).
+/// Returns a one-line pass note, or a diagnostic on violation.
+///
+/// Installs and clears the process-global fault plan and cancellation
+/// deadline; callers must serialize invocations.
+pub fn run_case(kind: FaultKind, threads: usize, dir: &Path) -> Result<String, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    FaultPlan::clear();
+    rectpart_obs::cancel::disarm();
+    let result = run_case_inner(kind, threads, dir);
+    // Never leak global state into the next case, pass or fail.
+    FaultPlan::clear();
+    rectpart_obs::cancel::disarm();
+    result
+}
+
+fn run_case_inner(kind: FaultKind, threads: usize, dir: &Path) -> Result<String, String> {
+    match kind {
+        FaultKind::CrashAtCheckpoint(k) => crash_at_checkpoint(k, threads, dir),
+        FaultKind::CancelMidRung => cancel_mid_rung(threads, dir),
+        FaultKind::TornSnapshot => torn_snapshot(threads, dir),
+        FaultKind::ChecksumCorruption => checksum_corruption(threads, dir),
+        FaultKind::StaleSnapshot => stale_snapshot(threads, dir),
+        FaultKind::RepeatedRungPanics => repeated_rung_panics(threads, dir),
+    }
+}
+
+/// Crash simulation: rungs 0 and 1 panic (single attempt), so the
+/// default ladder walks all three rungs and emits a checkpoint at each
+/// boundary. The k-th checkpoint is written to disk, "the process
+/// dies", and a fresh driver resumes from the reloaded file. The
+/// combined run must equal the uninterrupted one bit for bit.
+fn crash_at_checkpoint(k: usize, threads: usize, dir: &Path) -> Result<String, String> {
+    let matrix = campaign_matrix();
+    let m = CAMPAIGN_PARTS;
+    let driver = SolverDriver::new();
+    let plan = FaultPlan::new().panic_rung(0).panic_rung(1);
+
+    plan.install();
+    let clean = solved(
+        "clean run",
+        with_threads(threads, || driver.try_solve(&matrix, m)),
+    )?;
+    let mut sink = MemorySink::new();
+    let watched = solved(
+        "checkpointed run",
+        with_threads(threads, || {
+            driver.try_solve_checkpointed(&matrix, m, &mut sink)
+        }),
+    )?;
+    ensure(
+        watched == clean,
+        "checkpointing changed the solve outcome".to_string(),
+    )?;
+    ensure(
+        sink.checkpoints.len() == driver.ladder().len(),
+        format!(
+            "expected one checkpoint per rung boundary, got {}",
+            sink.checkpoints.len()
+        ),
+    )?;
+    let (progress, _) = sink
+        .checkpoints
+        .get(k)
+        .ok_or_else(|| format!("no checkpoint {k} captured"))?;
+
+    let path = dir.join(format!("crash_at_{k}_t{threads}.snapshot"));
+    write_snapshot(&path, progress).map_err(|e| format!("snapshot write failed: {e}"))?;
+    let reloaded = load_snapshot(&path).map_err(|e| format!("snapshot reload failed: {e}"))?;
+    ensure(
+        &reloaded == progress,
+        "snapshot round-trip altered the progress".to_string(),
+    )?;
+
+    // The fault plan is still installed: the resumed run must re-fail
+    // any injected rungs after the crash point exactly as the original.
+    let resumed = solved(
+        "resumed run",
+        with_threads(threads, || driver.resume_from(&reloaded, &matrix, m)),
+    )?;
+    FaultPlan::clear();
+    ensure(
+        resumed == clean,
+        format!(
+            "resume from checkpoint {k} diverged\nclean:\n{}\nresumed:\n{}",
+            clean.report, resumed.report
+        ),
+    )?;
+    Ok(format!(
+        "resume from checkpoint {k} bit-identical ({} rungs)",
+        clean.report.rungs.len()
+    ))
+}
+
+/// A cancellation deadline armed to land inside the first rung: the
+/// driver unwinds with `Cancelled`, force-writing a snapshot first. The
+/// reloaded snapshot warm-starts to the uninterrupted outcome.
+fn cancel_mid_rung(threads: usize, dir: &Path) -> Result<String, String> {
+    let matrix = campaign_matrix();
+    let m = CAMPAIGN_PARTS;
+    let driver = SolverDriver::new().with_ladder(["JAG-M-OPT-BEST", "RECT-UNIFORM"]);
+
+    let clean = solved(
+        "clean run",
+        with_threads(threads, || driver.try_solve(&matrix, m)),
+    )?;
+    let rung_work: u64 = clean.report.rungs.iter().map(|r| r.work).sum();
+    let pre_rung_work = clean.report.total_work.saturating_sub(rung_work);
+
+    let path = dir.join(format!("cancel_t{threads}.snapshot"));
+    let mut sink = FileCheckpointer::new(&path, 0);
+    // Deadline one unit past the Γ build: the first in-rung work-meter
+    // poll observes it.
+    rectpart_obs::cancel::arm_at(
+        rectpart_obs::work::spent()
+            .saturating_add(pre_rung_work)
+            .saturating_add(1),
+    );
+    let interrupted = with_threads(threads, || {
+        driver.try_solve_checkpointed(&matrix, m, &mut sink)
+    });
+    rectpart_obs::cancel::disarm();
+    match interrupted {
+        Err(failure) => ensure(
+            failure.error == RectpartError::Cancelled,
+            format!("expected Cancelled, got {}", failure.error),
+        )?,
+        Ok(_) => return Err("armed deadline did not cancel the solve".to_string()),
+    }
+    ensure(sink.writes() >= 1, "no snapshot written".to_string())?;
+    ensure(
+        sink.last_error().is_none(),
+        format!("snapshot write error: {:?}", sink.last_error()),
+    )?;
+
+    let progress = load_snapshot(&path).map_err(|e| format!("snapshot reload failed: {e}"))?;
+    let resumed = solved(
+        "resumed run",
+        with_threads(threads, || driver.resume_from(&progress, &matrix, m)),
+    )?;
+    ensure(
+        resumed == clean,
+        format!(
+            "resume after cancellation diverged\nclean:\n{}\nresumed:\n{}",
+            clean.report, resumed.report
+        ),
+    )?;
+    Ok("cancelled mid-rung, resumed bit-identical".to_string())
+}
+
+fn fresh_progress(threads: usize) -> Result<rectpart_robust::SolveProgress, String> {
+    let matrix = campaign_matrix();
+    let driver = SolverDriver::new();
+    let mut sink = MemorySink::new();
+    solved(
+        "snapshot-producing run",
+        with_threads(threads, || {
+            driver.try_solve_checkpointed(&matrix, CAMPAIGN_PARTS, &mut sink)
+        }),
+    )?;
+    sink.checkpoints
+        .first()
+        .map(|(p, _)| p.clone())
+        .ok_or_else(|| "no checkpoint captured".to_string())
+}
+
+/// Every proper prefix of a snapshot file must fail to load: the footer
+/// is the last line, so a torn write loses it (or truncates the
+/// payload it describes).
+fn torn_snapshot(threads: usize, dir: &Path) -> Result<String, String> {
+    let progress = fresh_progress(threads)?;
+    let path = dir.join(format!("torn_t{threads}.snapshot"));
+    write_snapshot(&path, &progress).map_err(|e| format!("snapshot write failed: {e}"))?;
+    let text = fs::read_to_string(&path).map_err(|e| format!("cannot read back snapshot: {e}"))?;
+
+    // Stop one byte short: the prefix missing only the final newline is
+    // byte-complete (payload and footer intact) and loads legitimately.
+    let full_content = text.len().saturating_sub(1);
+    let mut checked = 0usize;
+    let mut cut = 0usize;
+    while cut < full_content {
+        if let Some(torn) = text.get(..cut) {
+            // Valid UTF-8 boundary: this prefix is what a torn write
+            // could leave behind.
+            match snapshot_from_str(torn) {
+                Err(RectpartError::SnapshotCorrupt { .. }) => checked += 1,
+                Err(other) => {
+                    return Err(format!(
+                        "torn prefix of {cut} bytes gave non-snapshot error {other}"
+                    ))
+                }
+                Ok(_) => {
+                    let torn_path = dir.join(format!("torn_t{threads}_cut{cut}.snapshot"));
+                    let _ = fs::write(&torn_path, torn);
+                    return Err(format!(
+                        "torn prefix of {cut}/{} bytes loaded successfully (kept as {})",
+                        text.len(),
+                        torn_path.display()
+                    ));
+                }
+            }
+        }
+        cut += 1;
+    }
+    Ok(format!("all {checked} torn prefixes rejected"))
+}
+
+/// Flipping any single payload byte under an intact footer must be
+/// caught by the FNV-1a checksum.
+fn checksum_corruption(threads: usize, dir: &Path) -> Result<String, String> {
+    let progress = fresh_progress(threads)?;
+    let path = dir.join(format!("flip_t{threads}.snapshot"));
+    write_snapshot(&path, &progress).map_err(|e| format!("snapshot write failed: {e}"))?;
+    let text = fs::read_to_string(&path).map_err(|e| format!("cannot read back snapshot: {e}"))?;
+
+    let payload_len = text
+        .rfind(crate::SNAPSHOT_MAGIC)
+        .ok_or_else(|| "written snapshot has no footer".to_string())?;
+    let mut flipped = 0usize;
+    let mut at = 0usize;
+    while at < payload_len {
+        let mut evil = text.as_bytes().to_vec();
+        if let Some(b) = evil.get_mut(at) {
+            // Flip the low bit but stay ASCII, so the file is still
+            // valid UTF-8 and reaches the checksum check.
+            *b ^= 0x01;
+        }
+        let evil =
+            String::from_utf8(evil).map_err(|_| format!("flip at byte {at} produced non-UTF-8"))?;
+        match snapshot_from_str(&evil) {
+            Err(RectpartError::SnapshotCorrupt { .. }) => flipped += 1,
+            Err(other) => return Err(format!("flip at byte {at} gave non-snapshot error {other}")),
+            Ok(_) => {
+                let evil_path = dir.join(format!("flip_t{threads}_at{at}.snapshot"));
+                let _ = fs::write(&evil_path, &evil);
+                return Err(format!(
+                    "flipped byte {at} loaded successfully (kept as {})",
+                    evil_path.display()
+                ));
+            }
+        }
+        // Every 7th byte keeps the case fast while still sweeping the
+        // whole payload across campaign runs at different offsets.
+        at += 7;
+    }
+    Ok(format!("{flipped} single-byte corruptions rejected"))
+}
+
+/// A snapshot of instance A replayed against instance B (or a different
+/// part count) is poisoned state: resume must refuse it.
+fn stale_snapshot(threads: usize, dir: &Path) -> Result<String, String> {
+    let progress = fresh_progress(threads)?;
+    let path = dir.join(format!("stale_t{threads}.snapshot"));
+    write_snapshot(&path, &progress).map_err(|e| format!("snapshot write failed: {e}"))?;
+    let reloaded = load_snapshot(&path).map_err(|e| format!("snapshot reload failed: {e}"))?;
+
+    let driver = SolverDriver::new();
+    // Same shape, different loads: only the fingerprint can tell.
+    let poisoned = LoadMatrix::from_fn(24, 18, |r, c| ((r * 13 + c * 29) % 89 + 1) as u32);
+    match with_threads(threads, || {
+        driver.resume_from(&reloaded, &poisoned, CAMPAIGN_PARTS)
+    }) {
+        Ok(_) => return Err("resume accepted a snapshot of a different matrix".to_string()),
+        Err(failure) => ensure(
+            matches!(failure.error, RectpartError::SnapshotCorrupt { .. }),
+            format!(
+                "wrong-matrix resume gave {}, not SnapshotCorrupt",
+                failure.error
+            ),
+        )?,
+    }
+    // Same matrix, wrong part count.
+    let matrix = campaign_matrix();
+    match with_threads(threads, || {
+        driver.resume_from(&reloaded, &matrix, CAMPAIGN_PARTS + 1)
+    }) {
+        Ok(_) => return Err("resume accepted a snapshot with the wrong part count".to_string()),
+        Err(failure) => ensure(
+            matches!(failure.error, RectpartError::SnapshotCorrupt { .. }),
+            format!("wrong-m resume gave {}, not SnapshotCorrupt", failure.error),
+        )?,
+    }
+    Ok("stale snapshots refused on fingerprint and part count".to_string())
+}
+
+/// A rung that panics on every attempt must retry with deterministic
+/// backoff, open its circuit breaker at the configured trip count, and
+/// demote — identically on every run and across a crash/resume.
+fn repeated_rung_panics(threads: usize, dir: &Path) -> Result<String, String> {
+    let matrix = campaign_matrix();
+    let m = CAMPAIGN_PARTS;
+    let driver = SolverDriver::new().with_retry(RetryPolicy::retries(5, 3));
+    let plan = FaultPlan::new().panic_rung(0);
+
+    plan.install();
+    let first = solved(
+        "breaker run",
+        with_threads(threads, || driver.try_solve(&matrix, m)),
+    )?;
+    let again = solved(
+        "repeat breaker run",
+        with_threads(threads, || driver.try_solve(&matrix, m)),
+    )?;
+    ensure(
+        first == again,
+        "retry/breaker run is not deterministic".to_string(),
+    )?;
+    let rung0 = first
+        .report
+        .rungs
+        .first()
+        .ok_or_else(|| "empty rung report".to_string())?;
+    ensure(
+        rung0.outcome == RungOutcome::CircuitOpen { trips: 3 },
+        format!(
+            "rung 0 outcome is {:?}, expected CircuitOpen(3)",
+            rung0.outcome
+        ),
+    )?;
+    ensure(
+        rung0.attempts == 3,
+        format!("rung 0 ran {} attempts, expected 3", rung0.attempts),
+    )?;
+    ensure(
+        first.report.answered_by.as_deref() == Some("JAG-M-HEUR-BEST"),
+        format!(
+            "answered by {:?}, expected the demoted rung",
+            first.report.answered_by
+        ),
+    )?;
+
+    // Crash after the breaker opened (checkpoint at the rung-1
+    // boundary carries trips = [3, 0, 0]) and resume: the open breaker
+    // must survive the snapshot.
+    let mut sink = MemorySink::new();
+    let watched = solved(
+        "checkpointed breaker run",
+        with_threads(threads, || {
+            driver.try_solve_checkpointed(&matrix, m, &mut sink)
+        }),
+    )?;
+    ensure(
+        watched == first,
+        "checkpointing changed the outcome".to_string(),
+    )?;
+    let (boundary, _) = sink
+        .checkpoints
+        .get(1)
+        .ok_or_else(|| "no rung-1 boundary checkpoint".to_string())?;
+    ensure(
+        boundary.trips.first().copied() == Some(3),
+        format!(
+            "snapshot trips {:?} do not record the open breaker",
+            boundary.trips
+        ),
+    )?;
+    let path = dir.join(format!("breaker_t{threads}.snapshot"));
+    write_snapshot(&path, boundary).map_err(|e| format!("snapshot write failed: {e}"))?;
+    let reloaded = load_snapshot(&path).map_err(|e| format!("snapshot reload failed: {e}"))?;
+    let resumed = solved(
+        "resumed breaker run",
+        with_threads(threads, || driver.resume_from(&reloaded, &matrix, m)),
+    )?;
+    FaultPlan::clear();
+    ensure(
+        resumed == first,
+        format!(
+            "resume across the open breaker diverged\nclean:\n{}\nresumed:\n{}",
+            first.report, resumed.report
+        ),
+    )?;
+    Ok("breaker opened at 3 trips, deterministic, survives resume".to_string())
+}

@@ -1,0 +1,782 @@
+//! Snapshot serialization with a torn-write-detecting footer, plus the
+//! interval-based [`FileCheckpointer`] sink.
+//!
+//! # File format
+//!
+//! A snapshot file is a pretty-printed JSON payload (the serialized
+//! [`SolveProgress`]) followed by one footer line:
+//!
+//! ```text
+//! RECTPART-SNAPSHOT-V1 len=<payload bytes> fnv=<16-hex FNV-1a of payload>
+//! ```
+//!
+//! The footer is written *after* the payload in a single buffered write
+//! to a sibling `*.tmp` file, which is then atomically renamed over the
+//! destination. A crash mid-write therefore leaves either the previous
+//! complete snapshot or a `*.tmp` that is never read; a crash mid-rename
+//! is resolved by the filesystem. Even if a torn file does reach the
+//! loader (copied mid-write, truncated by a full disk), the footer
+//! catches it: a missing footer, a length mismatch or a checksum
+//! mismatch each yield [`RectpartError::SnapshotCorrupt`] — a damaged
+//! snapshot is never silently loaded.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rectpart_core::{PartitionError, Rect, RectpartError};
+use rectpart_json::Json;
+use rectpart_robust::{CheckpointSink, RungOutcome, RungReport, SolveProgress};
+
+/// Magic token opening the snapshot footer line; the `V1` suffix is the
+/// file-format version (bumped only on incompatible layout changes).
+pub const SNAPSHOT_MAGIC: &str = "RECTPART-SNAPSHOT-V1";
+
+/// Payload-level format version stored inside the JSON document.
+const PAYLOAD_VERSION: u64 = 1;
+
+/// FNV-1a over a byte slice — the snapshot footer checksum. The same
+/// fold [`rectpart_robust::matrix_fingerprint`] uses for instance
+/// identity, here applied to the serialized payload bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn corrupt(reason: impl Into<String>) -> RectpartError {
+    RectpartError::SnapshotCorrupt {
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON codecs. `SolveProgress` and its nested types live in
+// `rectpart-robust`, and `ToJson`/`FromJson` live in `rectpart-json`;
+// the orphan rule keeps this crate from implementing one for the other,
+// so the codecs are free functions.
+// ---------------------------------------------------------------------
+
+fn field_u64(j: &Json, key: &str) -> Result<u64, RectpartError> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt(format!("field `{key}` missing or not an unsigned integer")))
+}
+
+fn field_usize(j: &Json, key: &str) -> Result<usize, RectpartError> {
+    j.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| corrupt(format!("field `{key}` missing or not a usize")))
+}
+
+fn field_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, RectpartError> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(format!("field `{key}` missing or not a string")))
+}
+
+fn field_array<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], RectpartError> {
+    j.get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| corrupt(format!("field `{key}` missing or not an array")))
+}
+
+fn kind_of(j: &Json) -> Result<&str, RectpartError> {
+    field_str(j, "kind")
+}
+
+fn rect_to_json(r: &Rect) -> Json {
+    Json::obj(vec![
+        ("r0", Json::UInt(r.r0 as u64)),
+        ("r1", Json::UInt(r.r1 as u64)),
+        ("c0", Json::UInt(r.c0 as u64)),
+        ("c1", Json::UInt(r.c1 as u64)),
+    ])
+}
+
+fn rect_from_json(j: &Json) -> Result<Rect, RectpartError> {
+    let r0 = field_usize(j, "r0")?;
+    let r1 = field_usize(j, "r1")?;
+    let c0 = field_usize(j, "c0")?;
+    let c1 = field_usize(j, "c1")?;
+    if r0 > r1 || c0 > c1 {
+        return Err(corrupt(format!(
+            "inverted rectangle bounds in snapshot: rows {r0}..{r1}, cols {c0}..{c1}"
+        )));
+    }
+    Ok(Rect { r0, r1, c0, c1 })
+}
+
+fn partition_error_to_json(e: &PartitionError) -> Json {
+    match e {
+        PartitionError::OutOfBounds { index, rect } => Json::obj(vec![
+            ("kind", Json::Str("out_of_bounds".into())),
+            ("index", Json::UInt(*index as u64)),
+            ("rect", rect_to_json(rect)),
+        ]),
+        PartitionError::Overlap { a, b } => Json::obj(vec![
+            ("kind", Json::Str("overlap".into())),
+            ("a", Json::UInt(*a as u64)),
+            ("b", Json::UInt(*b as u64)),
+        ]),
+        PartitionError::Uncovered { covered, expected } => Json::obj(vec![
+            ("kind", Json::Str("uncovered".into())),
+            ("covered", Json::UInt(*covered as u64)),
+            ("expected", Json::UInt(*expected as u64)),
+        ]),
+        PartitionError::TooManyParts { parts, m } => Json::obj(vec![
+            ("kind", Json::Str("too_many_parts".into())),
+            ("parts", Json::UInt(*parts as u64)),
+            ("m", Json::UInt(*m as u64)),
+        ]),
+    }
+}
+
+fn partition_error_from_json(j: &Json) -> Result<PartitionError, RectpartError> {
+    match kind_of(j)? {
+        "out_of_bounds" => Ok(PartitionError::OutOfBounds {
+            index: field_usize(j, "index")?,
+            rect: rect_from_json(j.field("rect").map_err(|e| corrupt(e.to_string()))?)?,
+        }),
+        "overlap" => Ok(PartitionError::Overlap {
+            a: field_usize(j, "a")?,
+            b: field_usize(j, "b")?,
+        }),
+        "uncovered" => Ok(PartitionError::Uncovered {
+            covered: field_usize(j, "covered")?,
+            expected: field_usize(j, "expected")?,
+        }),
+        "too_many_parts" => Ok(PartitionError::TooManyParts {
+            parts: field_usize(j, "parts")?,
+            m: field_usize(j, "m")?,
+        }),
+        other => Err(corrupt(format!("unknown partition error kind {other:?}"))),
+    }
+}
+
+fn error_to_json(e: &RectpartError) -> Json {
+    match e {
+        RectpartError::Overflow => Json::obj(vec![("kind", Json::Str("overflow".into()))]),
+        RectpartError::EmptyMatrix { rows, cols } => Json::obj(vec![
+            ("kind", Json::Str("empty_matrix".into())),
+            ("rows", Json::UInt(*rows as u64)),
+            ("cols", Json::UInt(*cols as u64)),
+        ]),
+        RectpartError::RaggedRow { row, expected, got } => Json::obj(vec![
+            ("kind", Json::Str("ragged_row".into())),
+            ("row", Json::UInt(*row as u64)),
+            ("expected", Json::UInt(*expected as u64)),
+            ("got", Json::UInt(*got as u64)),
+        ]),
+        RectpartError::DimMismatch { rows, cols, len } => Json::obj(vec![
+            ("kind", Json::Str("dim_mismatch".into())),
+            ("rows", Json::UInt(*rows as u64)),
+            ("cols", Json::UInt(*cols as u64)),
+            ("len", Json::UInt(*len as u64)),
+        ]),
+        RectpartError::ZeroParts => Json::obj(vec![("kind", Json::Str("zero_parts".into()))]),
+        RectpartError::TooManyParts { m, cells } => Json::obj(vec![
+            ("kind", Json::Str("too_many_parts".into())),
+            ("m", Json::UInt(*m as u64)),
+            ("cells", Json::UInt(*cells as u64)),
+        ]),
+        RectpartError::BudgetExhausted { budget, spent } => Json::obj(vec![
+            ("kind", Json::Str("budget_exhausted".into())),
+            ("budget", Json::UInt(*budget)),
+            ("spent", Json::UInt(*spent)),
+        ]),
+        RectpartError::WorkerPanic { rung } => Json::obj(vec![
+            ("kind", Json::Str("worker_panic".into())),
+            ("rung", Json::Str(rung.clone())),
+        ]),
+        RectpartError::InvalidSolution(cause) => Json::obj(vec![
+            ("kind", Json::Str("invalid_solution".into())),
+            ("cause", partition_error_to_json(cause)),
+        ]),
+        RectpartError::UnknownAlgorithm(name) => Json::obj(vec![
+            ("kind", Json::Str("unknown_algorithm".into())),
+            ("name", Json::Str(name.clone())),
+        ]),
+        RectpartError::Cancelled => Json::obj(vec![("kind", Json::Str("cancelled".into()))]),
+        RectpartError::SnapshotCorrupt { reason } => Json::obj(vec![
+            ("kind", Json::Str("snapshot_corrupt".into())),
+            ("reason", Json::Str(reason.clone())),
+        ]),
+    }
+}
+
+fn error_from_json(j: &Json) -> Result<RectpartError, RectpartError> {
+    match kind_of(j)? {
+        "overflow" => Ok(RectpartError::Overflow),
+        "empty_matrix" => Ok(RectpartError::EmptyMatrix {
+            rows: field_usize(j, "rows")?,
+            cols: field_usize(j, "cols")?,
+        }),
+        "ragged_row" => Ok(RectpartError::RaggedRow {
+            row: field_usize(j, "row")?,
+            expected: field_usize(j, "expected")?,
+            got: field_usize(j, "got")?,
+        }),
+        "dim_mismatch" => Ok(RectpartError::DimMismatch {
+            rows: field_usize(j, "rows")?,
+            cols: field_usize(j, "cols")?,
+            len: field_usize(j, "len")?,
+        }),
+        "zero_parts" => Ok(RectpartError::ZeroParts),
+        "too_many_parts" => Ok(RectpartError::TooManyParts {
+            m: field_usize(j, "m")?,
+            cells: field_usize(j, "cells")?,
+        }),
+        "budget_exhausted" => Ok(RectpartError::BudgetExhausted {
+            budget: field_u64(j, "budget")?,
+            spent: field_u64(j, "spent")?,
+        }),
+        "worker_panic" => Ok(RectpartError::WorkerPanic {
+            rung: field_str(j, "rung")?.to_string(),
+        }),
+        "invalid_solution" => Ok(RectpartError::InvalidSolution(partition_error_from_json(
+            j.field("cause").map_err(|e| corrupt(e.to_string()))?,
+        )?)),
+        "unknown_algorithm" => Ok(RectpartError::UnknownAlgorithm(
+            field_str(j, "name")?.to_string(),
+        )),
+        "cancelled" => Ok(RectpartError::Cancelled),
+        "snapshot_corrupt" => Ok(RectpartError::SnapshotCorrupt {
+            reason: field_str(j, "reason")?.to_string(),
+        }),
+        other => Err(corrupt(format!("unknown error kind {other:?}"))),
+    }
+}
+
+fn outcome_to_json(o: &RungOutcome) -> Json {
+    match o {
+        RungOutcome::Answered { lmax } => Json::obj(vec![
+            ("kind", Json::Str("answered".into())),
+            ("lmax", Json::UInt(*lmax)),
+        ]),
+        RungOutcome::Failed { error } => Json::obj(vec![
+            ("kind", Json::Str("failed".into())),
+            ("error", error_to_json(error)),
+        ]),
+        RungOutcome::SkippedEstimate {
+            estimate,
+            remaining,
+        } => Json::obj(vec![
+            ("kind", Json::Str("skipped_estimate".into())),
+            ("estimate", Json::UInt(*estimate)),
+            ("remaining", Json::UInt(*remaining)),
+        ]),
+        RungOutcome::CircuitOpen { trips } => Json::obj(vec![
+            ("kind", Json::Str("circuit_open".into())),
+            ("trips", Json::UInt(u64::from(*trips))),
+        ]),
+        RungOutcome::NotReached => Json::obj(vec![("kind", Json::Str("not_reached".into()))]),
+    }
+}
+
+fn outcome_from_json(j: &Json) -> Result<RungOutcome, RectpartError> {
+    match kind_of(j)? {
+        "answered" => Ok(RungOutcome::Answered {
+            lmax: field_u64(j, "lmax")?,
+        }),
+        "failed" => Ok(RungOutcome::Failed {
+            error: error_from_json(j.field("error").map_err(|e| corrupt(e.to_string()))?)?,
+        }),
+        "skipped_estimate" => Ok(RungOutcome::SkippedEstimate {
+            estimate: field_u64(j, "estimate")?,
+            remaining: field_u64(j, "remaining")?,
+        }),
+        "circuit_open" => {
+            let trips = field_u64(j, "trips")?;
+            let trips = u32::try_from(trips)
+                .map_err(|_| corrupt(format!("circuit_open trips {trips} exceeds u32")))?;
+            Ok(RungOutcome::CircuitOpen { trips })
+        }
+        "not_reached" => Ok(RungOutcome::NotReached),
+        other => Err(corrupt(format!("unknown rung outcome kind {other:?}"))),
+    }
+}
+
+fn rung_to_json(r: &RungReport) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(r.name.clone())),
+        ("outcome", outcome_to_json(&r.outcome)),
+        ("work", Json::UInt(r.work)),
+        ("attempts", Json::UInt(u64::from(r.attempts))),
+        ("spent_after", Json::UInt(r.spent_after)),
+    ])
+}
+
+fn rung_from_json(j: &Json) -> Result<RungReport, RectpartError> {
+    let attempts = field_u64(j, "attempts")?;
+    let attempts = u32::try_from(attempts)
+        .map_err(|_| corrupt(format!("rung attempts {attempts} exceeds u32")))?;
+    Ok(RungReport {
+        name: field_str(j, "name")?.to_string(),
+        outcome: outcome_from_json(j.field("outcome").map_err(|e| corrupt(e.to_string()))?)?,
+        work: field_u64(j, "work")?,
+        attempts,
+        spent_after: field_u64(j, "spent_after")?,
+    })
+}
+
+/// Serializes a [`SolveProgress`] into the snapshot JSON document
+/// (payload only, no checksum footer).
+pub fn progress_to_json(p: &SolveProgress) -> Json {
+    Json::obj(vec![
+        ("version", Json::UInt(PAYLOAD_VERSION)),
+        (
+            "ladder",
+            Json::Arr(p.ladder.iter().map(|s| Json::Str(s.clone())).collect()),
+        ),
+        (
+            "budget",
+            match p.budget {
+                Some(b) => Json::UInt(b),
+                None => Json::Null,
+            },
+        ),
+        ("rows", Json::UInt(p.rows as u64)),
+        ("cols", Json::UInt(p.cols as u64)),
+        ("m", Json::UInt(p.m as u64)),
+        ("matrix_fingerprint", Json::UInt(p.matrix_fingerprint)),
+        ("next_rung", Json::UInt(p.next_rung as u64)),
+        (
+            "rungs",
+            Json::Arr(p.rungs.iter().map(rung_to_json).collect()),
+        ),
+        (
+            "trips",
+            Json::Arr(p.trips.iter().map(|t| Json::UInt(u64::from(*t))).collect()),
+        ),
+        ("work_spent", Json::UInt(p.work_spent)),
+    ])
+}
+
+/// Decodes a snapshot JSON document back into a [`SolveProgress`].
+/// Every malformation maps to [`RectpartError::SnapshotCorrupt`];
+/// semantic validation against the instance being resumed happens later
+/// in [`rectpart_robust::SolverDriver::resume_from`].
+pub fn progress_from_json(j: &Json) -> Result<SolveProgress, RectpartError> {
+    let version = field_u64(j, "version")?;
+    if version != PAYLOAD_VERSION {
+        return Err(corrupt(format!(
+            "snapshot payload version {version} is not the supported version {PAYLOAD_VERSION}"
+        )));
+    }
+    let ladder = field_array(j, "ladder")?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| corrupt("ladder entry is not a string"))
+        })
+        .collect::<Result<Vec<String>, RectpartError>>()?;
+    let budget = match j.field("budget").map_err(|e| corrupt(e.to_string()))? {
+        Json::Null => None,
+        other => Some(
+            other
+                .as_u64()
+                .ok_or_else(|| corrupt("budget is neither null nor an unsigned integer"))?,
+        ),
+    };
+    let rungs = field_array(j, "rungs")?
+        .iter()
+        .map(rung_from_json)
+        .collect::<Result<Vec<RungReport>, RectpartError>>()?;
+    let trips = field_array(j, "trips")?
+        .iter()
+        .map(|t| {
+            t.as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| corrupt("trip count is not a u32"))
+        })
+        .collect::<Result<Vec<u32>, RectpartError>>()?;
+    Ok(SolveProgress {
+        ladder,
+        budget,
+        rows: field_usize(j, "rows")?,
+        cols: field_usize(j, "cols")?,
+        m: field_usize(j, "m")?,
+        matrix_fingerprint: field_u64(j, "matrix_fingerprint")?,
+        next_rung: field_usize(j, "next_rung")?,
+        rungs,
+        trips,
+        work_spent: field_u64(j, "work_spent")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Snapshot text: payload + footer.
+// ---------------------------------------------------------------------
+
+/// Serializes a snapshot to its on-disk text: pretty JSON payload, a
+/// trailing newline, then the checksum footer line.
+pub fn snapshot_to_string(p: &SolveProgress) -> String {
+    let mut payload = progress_to_json(p).to_string_pretty();
+    payload.push('\n');
+    let footer = format!(
+        "{SNAPSHOT_MAGIC} len={} fnv={:016x}\n",
+        payload.len(),
+        fnv1a(payload.as_bytes())
+    );
+    payload.push_str(&footer);
+    payload
+}
+
+/// Parses snapshot text, verifying the footer before touching the
+/// payload: magic token, declared payload length (catches torn or
+/// truncated writes) and FNV-1a checksum (catches bit corruption). Only
+/// then is the payload parsed as JSON and decoded.
+pub fn snapshot_from_str(text: &str) -> Result<SolveProgress, RectpartError> {
+    let body = text.strip_suffix('\n').unwrap_or(text);
+    let boundary = body
+        .rfind('\n')
+        .ok_or_else(|| corrupt("missing checksum footer line"))?;
+    // `boundary` indexes an ASCII newline inside `body`, which is a
+    // prefix of `text`, so both splits sit on char boundaries.
+    let payload = text
+        .get(..boundary + 1)
+        .ok_or_else(|| corrupt("malformed footer boundary"))?;
+    let footer = body
+        .get(boundary + 1..)
+        .ok_or_else(|| corrupt("malformed footer boundary"))?;
+
+    let mut tokens = footer.split_whitespace();
+    if tokens.next() != Some(SNAPSHOT_MAGIC) {
+        return Err(corrupt(format!(
+            "footer does not open with {SNAPSHOT_MAGIC} — not a snapshot, or a torn write"
+        )));
+    }
+    let len: u64 = tokens
+        .next()
+        .and_then(|t| t.strip_prefix("len="))
+        .ok_or_else(|| corrupt("footer missing len= field"))?
+        .parse()
+        .map_err(|_| corrupt("footer len= is not a number"))?;
+    let fnv = u64::from_str_radix(
+        tokens
+            .next()
+            .and_then(|t| t.strip_prefix("fnv="))
+            .ok_or_else(|| corrupt("footer missing fnv= field"))?,
+        16,
+    )
+    .map_err(|_| corrupt("footer fnv= is not hexadecimal"))?;
+
+    if payload.len() as u64 != len {
+        return Err(corrupt(format!(
+            "torn snapshot: footer declares {len} payload bytes, found {}",
+            payload.len()
+        )));
+    }
+    let sum = fnv1a(payload.as_bytes());
+    if sum != fnv {
+        return Err(corrupt(format!(
+            "checksum mismatch: footer fnv={fnv:016x}, payload hashes to {sum:016x}"
+        )));
+    }
+    let json =
+        rectpart_json::parse(payload).map_err(|e| corrupt(format!("malformed payload: {e}")))?;
+    progress_from_json(&json)
+}
+
+// ---------------------------------------------------------------------
+// File IO.
+// ---------------------------------------------------------------------
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(std::ffi::OsStr::to_os_string)
+        .unwrap_or_else(|| "snapshot".into());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes a snapshot atomically: serialize to a sibling `*.tmp` file,
+/// then rename over `path`. Readers therefore only ever observe a
+/// complete previous snapshot or a complete new one.
+pub fn write_snapshot(path: &Path, progress: &SolveProgress) -> io::Result<()> {
+    let text = snapshot_to_string(progress);
+    let tmp = tmp_path(path);
+    fs::write(&tmp, text.as_bytes())?;
+    fs::rename(&tmp, path)
+}
+
+/// Reads and verifies a snapshot file. IO errors, torn writes, checksum
+/// mismatches and malformed payloads all surface as
+/// [`RectpartError::SnapshotCorrupt`].
+pub fn load_snapshot(path: &Path) -> Result<SolveProgress, RectpartError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| corrupt(format!("cannot read snapshot {}: {e}", path.display())))?;
+    snapshot_from_str(&text)
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint sinks.
+// ---------------------------------------------------------------------
+
+/// A [`CheckpointSink`] that persists snapshots to one file, at most
+/// once per `interval` work units (forced checkpoints — the run's last
+/// word before a cancellation unwind — are always written).
+///
+/// Write failures never panic or abort the solve: the sink records the
+/// error ([`FileCheckpointer::last_error`]) and the run continues with
+/// the previous on-disk snapshot intact.
+#[derive(Debug)]
+pub struct FileCheckpointer {
+    path: PathBuf,
+    interval: u64,
+    last_written: Option<u64>,
+    writes: u64,
+    last_error: Option<String>,
+}
+
+impl FileCheckpointer {
+    /// A checkpointer writing to `path` whenever at least `interval`
+    /// work units elapsed since the last write (0 = every checkpoint).
+    pub fn new(path: impl Into<PathBuf>, interval: u64) -> Self {
+        FileCheckpointer {
+            path: path.into(),
+            interval,
+            last_written: None,
+            writes: 0,
+            last_error: None,
+        }
+    }
+
+    /// The snapshot file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Snapshots successfully written so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The most recent write error, if any.
+    pub fn last_error(&self) -> Option<&str> {
+        self.last_error.as_deref()
+    }
+}
+
+impl CheckpointSink for FileCheckpointer {
+    fn on_checkpoint(&mut self, progress: &SolveProgress, force: bool) {
+        let due = force
+            || match self.last_written {
+                None => true,
+                Some(prev) => progress.work_spent.saturating_sub(prev) >= self.interval,
+            };
+        if !due {
+            return;
+        }
+        let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::DriverSnapshot);
+        match write_snapshot(&self.path, progress) {
+            Ok(()) => {
+                self.last_written = Some(progress.work_spent);
+                self.writes += 1;
+                rectpart_obs::incr(rectpart_obs::Counter::SnapshotWrites);
+            }
+            Err(e) => self.last_error = Some(e.to_string()),
+        }
+    }
+}
+
+/// A [`CheckpointSink`] that keeps every checkpoint in memory — the
+/// test and campaign harness for simulating a crash after the k-th
+/// checkpoint without touching the filesystem.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Every checkpoint observed, in order, with its `force` flag.
+    pub checkpoints: Vec<(SolveProgress, bool)>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The last forced checkpoint, if any (a cancelled run's final
+    /// word).
+    pub fn last_forced(&self) -> Option<&SolveProgress> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|(_, force)| *force)
+            .map(|(p, _)| p)
+    }
+}
+
+impl CheckpointSink for MemorySink {
+    fn on_checkpoint(&mut self, progress: &SolveProgress, force: bool) {
+        self.checkpoints.push((progress.clone(), force));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_progress() -> SolveProgress {
+        SolveProgress {
+            ladder: vec!["JAG-M-OPT-BEST".into(), "RECT-UNIFORM".into()],
+            budget: Some(123_456),
+            rows: 16,
+            cols: 12,
+            m: 6,
+            matrix_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            next_rung: 1,
+            rungs: vec![RungReport {
+                name: "JAG-M-OPT-BEST".into(),
+                outcome: RungOutcome::Failed {
+                    error: RectpartError::WorkerPanic {
+                        rung: "JAG-M-OPT-BEST".into(),
+                    },
+                },
+                work: 420,
+                attempts: 2,
+                spent_after: 613,
+            }],
+            trips: vec![2, 0],
+            work_spent: 613,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let p = sample_progress();
+        let json = progress_to_json(&p);
+        let back = progress_from_json(&json).unwrap();
+        assert_eq!(back, p);
+        // And through actual text.
+        let reparsed = rectpart_json::parse(&json.to_string_pretty()).unwrap();
+        assert_eq!(progress_from_json(&reparsed).unwrap(), p);
+    }
+
+    #[test]
+    fn outcome_variants_round_trip() {
+        let outcomes = vec![
+            RungOutcome::Answered { lmax: 99 },
+            RungOutcome::Failed {
+                error: RectpartError::InvalidSolution(PartitionError::OutOfBounds {
+                    index: 3,
+                    rect: Rect {
+                        r0: 1,
+                        r1: 5,
+                        c0: 2,
+                        c1: 9,
+                    },
+                }),
+            },
+            RungOutcome::Failed {
+                error: RectpartError::BudgetExhausted {
+                    budget: 10,
+                    spent: 11,
+                },
+            },
+            RungOutcome::Failed {
+                error: RectpartError::Cancelled,
+            },
+            RungOutcome::SkippedEstimate {
+                estimate: 1000,
+                remaining: 10,
+            },
+            RungOutcome::CircuitOpen { trips: 3 },
+            RungOutcome::NotReached,
+        ];
+        for o in outcomes {
+            let back = outcome_from_json(&outcome_to_json(&o)).unwrap();
+            assert_eq!(back, o);
+        }
+    }
+
+    #[test]
+    fn snapshot_text_round_trips() {
+        let p = sample_progress();
+        let text = snapshot_to_string(&p);
+        assert!(text.ends_with('\n'));
+        assert_eq!(snapshot_from_str(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let text = snapshot_to_string(&sample_progress());
+        // Every strict prefix must be rejected — except the one missing
+        // only the final newline, which is byte-complete (the footer
+        // and the 570-odd checksummed payload bytes are all present).
+        for cut in 0..text.len() - 1 {
+            let torn = &text[..cut];
+            assert!(
+                snapshot_from_str(torn).is_err(),
+                "torn prefix of {cut} bytes must not load"
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_detected() {
+        let p = sample_progress();
+        let text = snapshot_to_string(&p);
+        let bytes = text.as_bytes();
+        // Flip one payload byte (stay ASCII so the file is still UTF-8).
+        for at in [0usize, bytes.len() / 3, bytes.len() / 2] {
+            let mut evil = bytes.to_vec();
+            evil[at] ^= 0x01;
+            let evil = String::from_utf8(evil).unwrap();
+            let got = snapshot_from_str(&evil);
+            assert!(
+                got.is_err(),
+                "corrupting byte {at} must be detected, got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_footer_is_rejected() {
+        let p = sample_progress();
+        let payload = progress_to_json(&p).to_string_pretty();
+        let err = snapshot_from_str(&payload).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("snapshot unusable"), "{msg}");
+    }
+
+    #[test]
+    fn file_round_trip_and_atomic_write() {
+        let dir = std::env::temp_dir().join(format!("rectpart-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.snapshot");
+        let p = sample_progress();
+        write_snapshot(&path, &p).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap(), p);
+        // No tmp residue after a successful write.
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn interval_sink_downsamples_but_force_always_writes() {
+        let dir = std::env::temp_dir().join(format!("rectpart-snap-int-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("interval.snapshot");
+        let mut sink = FileCheckpointer::new(&path, 1000);
+        let mut p = sample_progress();
+        p.work_spent = 0;
+        sink.on_checkpoint(&p, false); // first is always due
+        p.work_spent = 10;
+        sink.on_checkpoint(&p, false); // 10 < 1000: skipped
+        assert_eq!(sink.writes(), 1);
+        p.work_spent = 20;
+        sink.on_checkpoint(&p, true); // forced: written regardless
+        assert_eq!(sink.writes(), 2);
+        assert_eq!(load_snapshot(&path).unwrap().work_spent, 20);
+        assert_eq!(sink.last_error(), None);
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

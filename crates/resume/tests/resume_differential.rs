@@ -1,0 +1,290 @@
+//! The crash/resume differential suite: for every cancellable algorithm
+//! family, at 1/2/4/7 threads, a solve that is interrupted mid-rung,
+//! snapshotted, serialized to disk, reloaded and resumed must produce
+//! the *bit-identical* [`SolveOutcome`] of an uninterrupted run — same
+//! partition, same per-rung work ledger, same report.
+//!
+//! Every test arms the process-global cancellation deadline, so the
+//! whole file serializes on one mutex.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use rectpart_core::{LoadMatrix, RectpartError};
+use rectpart_parallel::with_threads;
+use rectpart_resume::{load_snapshot, write_snapshot, FileCheckpointer, MemorySink};
+use rectpart_robust::{SolveOutcome, SolverDriver};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn demo_matrix() -> LoadMatrix {
+    LoadMatrix::from_fn(24, 18, |r, c| ((r * 31 + c * 17) % 97 + 1) as u32)
+}
+
+fn snapshot_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rectpart-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.snapshot"))
+}
+
+/// Interrupt a single-rung solve of `algo` mid-rung at `threads`
+/// threads, persist the forced snapshot, reload it, resume, and return
+/// (uninterrupted outcome, resumed outcome).
+fn interrupt_and_resume(algo: &str, threads: usize) -> (SolveOutcome, SolveOutcome) {
+    let matrix = demo_matrix();
+    let m = 6;
+    let driver = SolverDriver::new().with_ladder([algo, "RECT-UNIFORM"]);
+
+    rectpart_obs::cancel::disarm();
+    let clean = with_threads(threads, || driver.try_solve(&matrix, m))
+        .unwrap_or_else(|f| panic!("{algo}: clean solve failed: {f}"));
+
+    // Arm the deadline exactly at the rung-start meter value (right
+    // after the Γ build), so the first in-rung poll observes it even
+    // for algorithms that charge no work of their own.
+    let rung_work: u64 = clean.report.rungs.iter().map(|r| r.work).sum();
+    let pre_rung_work = clean.report.total_work - rung_work;
+    let path = snapshot_path(&format!("{algo}-t{threads}"));
+    let mut sink = FileCheckpointer::new(&path, 0);
+    rectpart_obs::cancel::arm_at(rectpart_obs::work::spent() + pre_rung_work);
+    let interrupted = with_threads(threads, || {
+        driver.try_solve_checkpointed(&matrix, m, &mut sink)
+    });
+    rectpart_obs::cancel::disarm();
+
+    let failure = interrupted.expect_err("armed deadline must cancel the solve");
+    assert_eq!(
+        failure.error,
+        RectpartError::Cancelled,
+        "{algo} at {threads} threads: expected cancellation"
+    );
+    assert!(sink.writes() >= 1, "{algo}: no snapshot was written");
+    assert_eq!(sink.last_error(), None);
+
+    let progress = load_snapshot(&path)
+        .unwrap_or_else(|e| panic!("{algo}: reloading own snapshot failed: {e}"));
+    let resumed = with_threads(threads, || driver.resume_from(&progress, &matrix, m))
+        .unwrap_or_else(|f| panic!("{algo}: resume failed: {f}"));
+    std::fs::remove_file(&path).ok();
+    (clean, resumed)
+}
+
+/// The tentpole acceptance criterion: interrupt → snapshot → reload →
+/// resume is bit-identical to an uninterrupted run, for every
+/// cancellable algorithm family, at every thread count — and the
+/// outcome is also identical *across* thread counts.
+#[test]
+fn interrupted_resume_is_bit_identical_for_every_family() {
+    let _guard = lock();
+    // Every registry family that observes the cancellation deadline at
+    // its serial work-meter checkpoints.
+    let families = [
+        "JAG-M-OPT-BEST",
+        "JAG-M-HEUR-BEST",
+        "JAG-PQ-HEUR-BEST",
+        "RECT-NICOL",
+        "HIER-RB-LOAD",
+        "HIER-RELAXED-LOAD",
+    ];
+    for algo in families {
+        let mut outcomes: Vec<SolveOutcome> = Vec::new();
+        for threads in THREAD_COUNTS {
+            let (clean, resumed) = interrupt_and_resume(algo, threads);
+            assert_eq!(
+                resumed, clean,
+                "{algo} at {threads} threads: resumed outcome diverged from uninterrupted\n\
+                 clean:\n{}\nresumed:\n{}",
+                clean.report, resumed.report
+            );
+            outcomes.push(resumed);
+        }
+        for pair in outcomes.windows(2) {
+            assert_eq!(
+                pair[0], pair[1],
+                "{algo}: outcome differs across thread counts"
+            );
+        }
+    }
+}
+
+/// A resumed run keeps checkpointing: interrupt it a second time and
+/// resume again — still bit-identical.
+#[test]
+fn double_interruption_still_converges() {
+    let _guard = lock();
+    let matrix = demo_matrix();
+    let m = 6;
+    let driver = SolverDriver::new().with_ladder(["JAG-M-OPT-BEST", "RECT-NICOL", "RECT-UNIFORM"]);
+
+    rectpart_obs::cancel::disarm();
+    let clean = with_threads(2, || driver.try_solve(&matrix, m)).unwrap();
+    let rung_work: u64 = clean.report.rungs.iter().map(|r| r.work).sum();
+    let pre = clean.report.total_work - rung_work;
+
+    // First interruption, mid rung 0.
+    let path = snapshot_path("double");
+    let mut sink = FileCheckpointer::new(&path, 0);
+    rectpart_obs::cancel::arm_at(rectpart_obs::work::spent() + pre);
+    let first = with_threads(2, || driver.try_solve_checkpointed(&matrix, m, &mut sink));
+    rectpart_obs::cancel::disarm();
+    assert_eq!(first.unwrap_err().error, RectpartError::Cancelled);
+
+    // Second interruption: resume, but cancel again mid rung 0.
+    let progress = load_snapshot(&path).unwrap();
+    let mut sink2 = FileCheckpointer::new(&path, 0);
+    rectpart_obs::cancel::arm_at(rectpart_obs::work::spent() + 1);
+    let second = with_threads(2, || {
+        driver.resume_checkpointed(&progress, &matrix, m, &mut sink2)
+    });
+    rectpart_obs::cancel::disarm();
+    assert_eq!(second.unwrap_err().error, RectpartError::Cancelled);
+
+    // Final resume runs to completion.
+    let progress = load_snapshot(&path).unwrap();
+    let resumed = with_threads(2, || driver.resume_from(&progress, &matrix, m)).unwrap();
+    assert_eq!(resumed, clean);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Crash-after-checkpoint differential without cancellation: persist a
+/// routine rung-boundary checkpoint of a multi-rung walk and resume
+/// from it. (Rungs demote naturally here via an unsatisfiable budget on
+/// the first rung — no faultinject needed.)
+#[test]
+fn routine_boundary_checkpoint_resumes_identically() {
+    let _guard = lock();
+    let matrix = demo_matrix();
+    let m = 6;
+    // A budget large enough for the heuristic rungs but too small for
+    // the exact DP: rung 0 is skipped by estimate, later rungs run.
+    let driver = SolverDriver::new().with_budget(40_000);
+
+    rectpart_obs::cancel::disarm();
+    for threads in THREAD_COUNTS {
+        let clean = with_threads(threads, || driver.try_solve(&matrix, m)).unwrap();
+        let mut sink = MemorySink::new();
+        let watched = with_threads(threads, || {
+            driver.try_solve_checkpointed(&matrix, m, &mut sink)
+        })
+        .unwrap();
+        assert_eq!(watched, clean);
+        for (i, (progress, force)) in sink.checkpoints.iter().enumerate() {
+            assert!(!force, "routine checkpoints must not be forced");
+            let path = snapshot_path(&format!("boundary-{i}-t{threads}"));
+            write_snapshot(&path, progress).unwrap();
+            let reloaded = load_snapshot(&path).unwrap();
+            assert_eq!(&reloaded, progress);
+            let resumed =
+                with_threads(threads, || driver.resume_from(&reloaded, &matrix, m)).unwrap();
+            assert_eq!(
+                resumed, clean,
+                "resume from boundary checkpoint {i} at {threads} threads diverged"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+/// Corrupt or mismatched snapshots must never be silently loaded.
+#[test]
+fn corrupt_snapshots_are_always_refused() {
+    let _guard = lock();
+    let matrix = demo_matrix();
+    let m = 6;
+    let driver = SolverDriver::new();
+
+    rectpart_obs::cancel::disarm();
+    let mut sink = MemorySink::new();
+    with_threads(2, || driver.try_solve_checkpointed(&matrix, m, &mut sink)).unwrap();
+    let (progress, _) = sink.checkpoints.first().expect("one boundary checkpoint");
+
+    let path = snapshot_path("corrupt");
+    write_snapshot(&path, progress).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+
+    // Truncations (all strict prefixes short of the full content).
+    for cut in (0..text.len() - 1).step_by(11) {
+        std::fs::write(&path, &text[..cut]).unwrap();
+        assert!(
+            matches!(
+                load_snapshot(&path),
+                Err(RectpartError::SnapshotCorrupt { .. })
+            ),
+            "truncation to {cut} bytes must be refused"
+        );
+    }
+    // Bit flips under an intact footer.
+    let payload_len = text.rfind(rectpart_resume::SNAPSHOT_MAGIC).unwrap();
+    for at in (0..payload_len).step_by(13) {
+        let mut evil = text.clone().into_bytes();
+        evil[at] ^= 0x01;
+        std::fs::write(&path, &evil).unwrap();
+        assert!(
+            matches!(
+                load_snapshot(&path),
+                Err(RectpartError::SnapshotCorrupt { .. })
+            ),
+            "bit flip at byte {at} must be refused"
+        );
+    }
+    // A pristine snapshot against the wrong instance.
+    std::fs::write(&path, &text).unwrap();
+    let reloaded = load_snapshot(&path).unwrap();
+    let other = LoadMatrix::from_fn(24, 18, |r, c| ((r * 13 + c * 29) % 89 + 1) as u32);
+    let failure = driver.resume_from(&reloaded, &other, m).unwrap_err();
+    assert!(
+        matches!(failure.error, RectpartError::SnapshotCorrupt { .. }),
+        "fingerprint mismatch must be refused, got {}",
+        failure.error
+    );
+    let failure = driver.resume_from(&reloaded, &matrix, m + 1).unwrap_err();
+    assert!(
+        matches!(failure.error, RectpartError::SnapshotCorrupt { .. }),
+        "part-count mismatch must be refused, got {}",
+        failure.error
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Observability satellites: snapshot writes and resume hits tick their
+/// counters when the `obs` feature is on; without it the calls are
+/// no-ops and this test still passes trivially.
+#[test]
+fn resume_counters_tick() {
+    let _guard = lock();
+    let matrix = demo_matrix();
+    let m = 6;
+    let driver = SolverDriver::new();
+    rectpart_obs::cancel::disarm();
+
+    let counter = |name: &str| {
+        rectpart_obs::Recorder::global()
+            .snapshot()
+            .get(name)
+            .unwrap_or(0)
+    };
+    let path = snapshot_path("counters");
+    let mut sink = FileCheckpointer::new(&path, 0);
+    let writes_before = counter("resume.snapshot_writes");
+    let resumes_before = counter("resume.resume_hits");
+    with_threads(2, || driver.try_solve_checkpointed(&matrix, m, &mut sink)).unwrap();
+    let progress = load_snapshot(&path).unwrap();
+    with_threads(2, || driver.resume_from(&progress, &matrix, m)).unwrap();
+
+    let wrote = counter("resume.snapshot_writes") - writes_before;
+    let resumed = counter("resume.resume_hits") - resumes_before;
+    if cfg!(feature = "obs") {
+        assert_eq!(wrote, sink.writes());
+        assert!(resumed >= 1);
+    } else {
+        assert_eq!(wrote + resumed, 0);
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -15,6 +15,9 @@
 //! 3. Each admitted rung runs under a panic boundary: a panicking
 //!    algorithm records [`RungOutcome::Failed`] and control demotes to
 //!    the next rung. Solutions are re-validated before being returned.
+//!    A [`RetryPolicy`] may grant a rung several attempts, separated by
+//!    deterministic work-unit backoff; a rung that trips its per-rung
+//!    circuit breaker is abandoned with [`RungOutcome::CircuitOpen`].
 //!
 //! Budget accounting uses the deterministic work meter
 //! ([`rectpart_obs::work`]): charges are decided by the algorithms, not
@@ -22,6 +25,26 @@
 //! [`DegradationReport`] is bit-identical — at every thread count.
 //! The budget is enforced only at these serial checkpoints; a running
 //! rung is never interrupted, so a rung may overshoot its estimate.
+//!
+//! # Checkpoints, cancellation, resume
+//!
+//! The same rung boundaries double as the driver's *progress
+//! checkpoints*: before each rung the driver hands a [`SolveProgress`]
+//! to the run's [`CheckpointSink`] (the `rectpart-resume` crate's file
+//! checkpointer serializes it with a torn-write-detecting footer). The
+//! rungs run through [`Partitioner::try_partition`], so a caller that
+//! arms the work-unit cancellation deadline (`rectpart_obs::cancel`)
+//! gets control back mid-rung as [`RectpartError::Cancelled`] — the
+//! driver then emits one final *forced* checkpoint describing the state
+//! at the cancelled rung's start (partial rung work is discarded
+//! wholesale) and unwinds cleanly.
+//!
+//! [`SolverDriver::resume_from`] warm-starts a solve from such a
+//! snapshot. Completed rungs are replayed from the snapshot verbatim,
+//! the interrupted rung re-runs from scratch, and work accounting
+//! continues from the snapshot's meter value (the Γ rebuild is *not*
+//! double-charged), so a resumed run's [`SolveOutcome`] is bit-identical
+//! to the run that was never interrupted.
 
 use std::fmt;
 use std::panic::AssertUnwindSafe;
@@ -35,6 +58,10 @@ use rectpart_obs::work;
 /// to the paper's best m-way heuristic, demoting to the closed-form
 /// uniform grid (which cannot fail and costs almost nothing).
 pub const DEFAULT_LADDER: [&str; 3] = ["JAG-M-OPT-BEST", "JAG-M-HEUR-BEST", "RECT-UNIFORM"];
+
+/// A fallback ladder resolved against the core registry: each rung's
+/// name paired with its instantiated algorithm.
+pub type ResolvedLadder = Vec<(String, Box<dyn Partitioner>)>;
 
 /// Coarse a-priori work estimate, in [`rectpart_obs::work`] units, for
 /// running algorithm `name` on a `rows × cols` instance with `m` parts.
@@ -53,6 +80,95 @@ pub fn estimate_work(name: &str, rows: usize, cols: usize, m: usize) -> u64 {
         cells.saturating_mul(m64.max(1)).saturating_add(cells)
     } else {
         cells.saturating_add(m64.saturating_mul((rows + cols) as u64))
+    }
+}
+
+/// The splitmix64 mixer — the deterministic jitter stream behind
+/// [`RetryPolicy`] backoff. Pure function of its input, so the backoff
+/// schedule is identical at every thread count and on every resume.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a fingerprint of a load matrix (dimensions + row-major cells).
+/// Stored in every [`SolveProgress`] so a snapshot can never be resumed
+/// against a different instance.
+pub fn matrix_fingerprint(matrix: &LoadMatrix) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    fn mix(mut h: u64, v: u64) -> u64 {
+        for b in v.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+        h
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = mix(h, matrix.rows() as u64);
+    h = mix(h, matrix.cols() as u64);
+    for &cell in matrix.data() {
+        h = mix(h, cell as u64);
+    }
+    h
+}
+
+/// Per-rung retry and circuit-breaker configuration.
+///
+/// The default grants each rung a single attempt and never opens the
+/// breaker — exactly the historical demote-on-first-failure behaviour.
+/// With `max_attempts > 1`, a rung that panics or returns an invalid
+/// cover is retried after a deterministic backoff *charged in work
+/// units* (base·2^attempt plus splitmix64 jitter) — wall-clock sleeps
+/// would break thread-count determinism, work charges do not. Every
+/// failed attempt also *trips* the rung; once a rung accumulates
+/// `breaker_trips` trips (within a run or across resumed runs — trips
+/// persist in [`SolveProgress`]) its breaker opens and the rung is
+/// skipped with [`RungOutcome::CircuitOpen`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per rung per run (≥ 1).
+    pub max_attempts: u32,
+    /// Trip count at which a rung's circuit breaker opens.
+    pub breaker_trips: u32,
+    /// Base backoff charge, in work units, between attempts.
+    pub backoff_base: u64,
+    /// Seed of the splitmix64 jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            breaker_trips: u32::MAX,
+            backoff_base: 16,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with retries and a finite breaker; backoff and seed keep
+    /// their defaults.
+    pub fn retries(max_attempts: u32, breaker_trips: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            breaker_trips: breaker_trips.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Deterministic backoff charge before retrying `rung` after its
+    /// `attempt`-th failed attempt (1-based).
+    fn backoff_units(&self, rung: usize, attempt: u32) -> u64 {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u64 << attempt.min(16) as u64);
+        let jitter = splitmix64(self.seed ^ ((rung as u64) << 32) ^ attempt as u64)
+            .checked_rem(self.backoff_base.max(1))
+            .unwrap_or(0);
+        exp.saturating_add(jitter)
     }
 }
 
@@ -78,6 +194,13 @@ pub enum RungOutcome {
         /// Budget units left when the rung was considered.
         remaining: u64,
     },
+    /// The rung's circuit breaker opened: it accumulated
+    /// [`RetryPolicy::breaker_trips`] failed attempts (within this run
+    /// or across resumed runs) and was abandoned.
+    CircuitOpen {
+        /// Trip count when the breaker opened.
+        trips: u32,
+    },
     /// An earlier rung already answered before this one was considered.
     NotReached,
 }
@@ -91,6 +214,7 @@ impl RungOutcome {
                 estimate,
                 remaining,
             } => format!("skipped (estimate {estimate} > remaining {remaining})"),
+            RungOutcome::CircuitOpen { trips } => format!("circuit open ({trips} trips)"),
             RungOutcome::NotReached => "not reached".to_string(),
         }
     }
@@ -103,8 +227,28 @@ pub struct RungReport {
     pub name: String,
     /// What happened to the rung.
     pub outcome: RungOutcome,
-    /// Work units the rung actually spent (0 if skipped/not reached).
+    /// Work units the rung actually spent, including retry backoff
+    /// charges (0 if skipped/not reached).
     pub work: u64,
+    /// Attempts actually executed (0 if skipped/not reached).
+    pub attempts: u32,
+    /// Cumulative run work when the rung was resolved — the per-rung
+    /// work-spent ledger. Like every report field it is derived from
+    /// algorithm-decided charges only, so it is identical at every
+    /// thread count and across resumes.
+    pub spent_after: u64,
+}
+
+impl RungReport {
+    fn unreached(name: &str) -> Self {
+        RungReport {
+            name: name.to_string(),
+            outcome: RungOutcome::NotReached,
+            work: 0,
+            attempts: 0,
+            spent_after: 0,
+        }
+    }
 }
 
 /// Deterministic record of one driver run: which rungs ran, what each
@@ -149,11 +293,13 @@ impl fmt::Display for DegradationReport {
         for (i, r) in self.rungs.iter().enumerate() {
             writeln!(
                 f,
-                "  [{}] {:<18} {} ({} units)",
+                "  [{}] {:<18} {} ({} units, {} attempts, {} spent)",
                 i,
                 r.name,
                 r.outcome.label(),
-                r.work
+                r.work,
+                r.attempts,
+                r.spent_after
             )?;
         }
         Ok(())
@@ -198,12 +344,83 @@ impl From<DriverFailure> for RectpartError {
     }
 }
 
+/// A resumable description of a solve in flight, emitted at every rung
+/// boundary (and, `force`d, on cancellation). Everything a fresh
+/// process needs to continue the run bit-identically: the effective
+/// ladder and budget, the instance identity, the completed rung
+/// reports, the persistent breaker trip counts, and the work-meter
+/// value at the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveProgress {
+    /// The ladder the run is walking (resume uses this, not the resuming
+    /// driver's own ladder, so the combined run equals one fresh run).
+    pub ladder: Vec<String>,
+    /// The work budget the run was given, if any.
+    pub budget: Option<u64>,
+    /// Instance shape.
+    pub rows: usize,
+    /// Instance shape.
+    pub cols: usize,
+    /// Requested part count.
+    pub m: usize,
+    /// FNV-1a fingerprint of the instance ([`matrix_fingerprint`]).
+    pub matrix_fingerprint: u64,
+    /// Index of the next rung to run; `rungs` holds exactly the reports
+    /// of the rungs before it.
+    pub next_rung: usize,
+    /// Reports of the rungs already resolved, in ladder order.
+    pub rungs: Vec<RungReport>,
+    /// Per-rung circuit-breaker trip counts at the boundary (one entry
+    /// per ladder rung; an interrupted rung's mid-flight trips are
+    /// rolled back so the re-run re-accumulates them identically).
+    pub trips: Vec<u32>,
+    /// Work-meter reading at the boundary. Resume continues the ledger
+    /// from here; the Γ rebuild is not double-charged.
+    pub work_spent: u64,
+}
+
+/// Receiver of [`SolveProgress`] checkpoints — the driver-side half of
+/// the snapshot protocol. `force` is `false` for routine rung-boundary
+/// checkpoints (sinks may downsample, e.g. by work interval) and `true`
+/// when the checkpoint is the run's last word (cancellation): a forced
+/// checkpoint must not be dropped.
+pub trait CheckpointSink {
+    /// Observes one progress checkpoint.
+    fn on_checkpoint(&mut self, progress: &SolveProgress, force: bool);
+}
+
+/// A sink that drops every checkpoint; used by the non-resumable entry
+/// points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl CheckpointSink for NoopSink {
+    fn on_checkpoint(&mut self, _progress: &SolveProgress, _force: bool) {}
+}
+
+/// Work-ledger anchor of one ladder run: `base` is the meter value the
+/// run inherited (0 for a fresh solve, the snapshot's `work_spent` for
+/// a resume), `mark` the local meter mark everything after the anchor
+/// is measured from.
+#[derive(Debug, Clone, Copy)]
+struct Ledger {
+    base: u64,
+    mark: work::Mark,
+}
+
+impl Ledger {
+    fn spent(&self) -> u64 {
+        self.base.saturating_add(self.mark.elapsed())
+    }
+}
+
 /// The fault-tolerant, budgeted solver driver. See the crate docs for
 /// the execution model.
 #[derive(Debug, Clone)]
 pub struct SolverDriver {
     ladder: Vec<String>,
     budget: Option<u64>,
+    retry: RetryPolicy,
 }
 
 impl Default for SolverDriver {
@@ -213,11 +430,13 @@ impl Default for SolverDriver {
 }
 
 impl SolverDriver {
-    /// A driver with the [`DEFAULT_LADDER`] and no budget.
+    /// A driver with the [`DEFAULT_LADDER`], no budget, and the
+    /// single-attempt default [`RetryPolicy`].
     pub fn new() -> Self {
         SolverDriver {
             ladder: DEFAULT_LADDER.iter().map(|s| s.to_string()).collect(),
             budget: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -240,6 +459,12 @@ impl SolverDriver {
         self
     }
 
+    /// Sets the per-rung retry and circuit-breaker policy.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// The configured ladder, in order.
     pub fn ladder(&self) -> &[String] {
         &self.ladder
@@ -250,25 +475,29 @@ impl SolverDriver {
         self.budget
     }
 
+    /// The configured retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Validates the instance, then walks the fallback ladder until a
     /// rung answers. Returns the first validated partition together
     /// with the [`DegradationReport`]; on failure the report is still
     /// attached to the [`DriverFailure`].
     pub fn try_solve(&self, matrix: &LoadMatrix, m: usize) -> Result<SolveOutcome, DriverFailure> {
-        let mut rungs: Vec<(String, Box<dyn Partitioner>)> = Vec::with_capacity(self.ladder.len());
-        for name in &self.ladder {
-            match algorithm_by_name(name) {
-                Some(algo) => rungs.push((name.clone(), algo)),
-                None => {
-                    return Err(self.failure_before_rungs(
-                        matrix,
-                        m,
-                        RectpartError::UnknownAlgorithm(name.clone()),
-                    ));
-                }
-            }
-        }
-        self.try_solve_with(rungs, matrix, m)
+        self.try_solve_checkpointed(matrix, m, &mut NoopSink)
+    }
+
+    /// [`try_solve`](Self::try_solve) with a [`CheckpointSink`] observing
+    /// every rung boundary — the resumable entry point.
+    pub fn try_solve_checkpointed(
+        &self,
+        matrix: &LoadMatrix,
+        m: usize,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<SolveOutcome, DriverFailure> {
+        let rungs = self.resolve_ladder(matrix, m)?;
+        self.try_solve_with_sink(rungs, matrix, m, sink)
     }
 
     /// [`try_solve`](Self::try_solve) with explicit, pre-resolved rungs
@@ -279,6 +508,18 @@ impl SolverDriver {
         rungs: Vec<(String, Box<dyn Partitioner>)>,
         matrix: &LoadMatrix,
         m: usize,
+    ) -> Result<SolveOutcome, DriverFailure> {
+        self.try_solve_with_sink(rungs, matrix, m, &mut NoopSink)
+    }
+
+    /// The fully explicit fresh-solve entry point: pre-resolved rungs
+    /// plus a checkpoint sink.
+    pub fn try_solve_with_sink(
+        &self,
+        rungs: Vec<(String, Box<dyn Partitioner>)>,
+        matrix: &LoadMatrix,
+        m: usize,
+        sink: &mut dyn CheckpointSink,
     ) -> Result<SolveOutcome, DriverFailure> {
         let (rows, cols) = (matrix.rows(), matrix.cols());
         if rungs.is_empty() {
@@ -292,54 +533,200 @@ impl SolverDriver {
             let mut failure = self.failure_before_rungs(matrix, m, e);
             failure.report.rungs = rungs
                 .iter()
-                .map(|(name, _)| RungReport {
-                    name: name.clone(),
-                    outcome: RungOutcome::NotReached,
-                    work: 0,
-                })
+                .map(|(name, _)| RungReport::unreached(name))
                 .collect();
             return Err(failure);
         }
 
         // Everything from here on counts against the budget, including
         // Γ construction (one work unit per cell).
-        let start = work::Mark::now();
+        let ledger = Ledger {
+            base: 0,
+            mark: work::Mark::now(),
+        };
         let pfx = match PrefixSum2D::try_new(matrix) {
             Ok(pfx) => pfx,
             Err(e) => {
                 let mut failure = self.failure_before_rungs(matrix, m, e);
                 failure.report.rungs = rungs
                     .iter()
-                    .map(|(name, _)| RungReport {
-                        name: name.clone(),
-                        outcome: RungOutcome::NotReached,
-                        work: 0,
-                    })
+                    .map(|(name, _)| RungReport::unreached(name))
                     .collect();
-                failure.report.total_work = start.elapsed();
+                failure.report.total_work = ledger.spent();
                 return Err(failure);
             }
         };
 
-        let mut reports: Vec<RungReport> = Vec::with_capacity(rungs.len());
+        let trips = vec![0u32; rungs.len()];
+        self.run_ladder(
+            &rungs,
+            m,
+            &pfx,
+            self.budget,
+            matrix_fingerprint(matrix),
+            ledger,
+            0,
+            Vec::with_capacity(rungs.len()),
+            trips,
+            sink,
+        )
+    }
+
+    /// Warm-starts a solve from a [`SolveProgress`] snapshot, resolving
+    /// the snapshot's ladder against the core registry. The snapshot is
+    /// validated against the supplied instance (shape, part count,
+    /// fingerprint, internal consistency); any mismatch is
+    /// [`RectpartError::SnapshotCorrupt`] — a damaged or mismatched
+    /// snapshot is never silently accepted.
+    pub fn resume_from(
+        &self,
+        progress: &SolveProgress,
+        matrix: &LoadMatrix,
+        m: usize,
+    ) -> Result<SolveOutcome, DriverFailure> {
+        self.resume_checkpointed(progress, matrix, m, &mut NoopSink)
+    }
+
+    /// [`resume_from`](Self::resume_from) with a [`CheckpointSink`], so
+    /// a resumed run keeps checkpointing (a solve may be interrupted
+    /// more than once).
+    pub fn resume_checkpointed(
+        &self,
+        progress: &SolveProgress,
+        matrix: &LoadMatrix,
+        m: usize,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<SolveOutcome, DriverFailure> {
+        let mut rungs: ResolvedLadder = Vec::with_capacity(progress.ladder.len());
+        for name in &progress.ladder {
+            match algorithm_by_name(name) {
+                Some(algo) => rungs.push((name.clone(), algo)),
+                None => {
+                    return Err(self.snapshot_failure(
+                        matrix,
+                        m,
+                        format!("snapshot ladder names unknown algorithm {name:?}"),
+                    ));
+                }
+            }
+        }
+        self.resume_with_sink(rungs, progress, matrix, m, sink)
+    }
+
+    /// The fully explicit resume entry point: pre-resolved rungs (which
+    /// must match the snapshot's ladder names) plus a checkpoint sink.
+    pub fn resume_with_sink(
+        &self,
+        rungs: ResolvedLadder,
+        progress: &SolveProgress,
+        matrix: &LoadMatrix,
+        m: usize,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<SolveOutcome, DriverFailure> {
+        // The resume span wraps validation, Γ rebuild and the continued
+        // ladder walk, so rung spans of a resumed run nest under it.
+        let _span = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::DriverResume);
+        if let Err(reason) = validate_progress(progress, &rungs, matrix, m) {
+            return Err(self.snapshot_failure(matrix, m, reason));
+        }
+        rectpart_obs::incr(rectpart_obs::Counter::ResumeHits);
+
+        let pfx = match PrefixSum2D::try_new(matrix) {
+            Ok(pfx) => pfx,
+            Err(e) => {
+                let mut failure = self.failure_before_rungs(matrix, m, e);
+                failure.report.rungs = rungs
+                    .iter()
+                    .map(|(name, _)| RungReport::unreached(name))
+                    .collect();
+                return Err(failure);
+            }
+        };
+        // The ledger anchors *after* the Γ rebuild: the snapshot's
+        // `work_spent` already accounts for the original construction,
+        // so recharging it here would break resume bit-identity.
+        let ledger = Ledger {
+            base: progress.work_spent,
+            mark: work::Mark::now(),
+        };
+        self.run_ladder(
+            &rungs,
+            m,
+            &pfx,
+            progress.budget,
+            progress.matrix_fingerprint,
+            ledger,
+            progress.next_rung,
+            progress.rungs.clone(),
+            progress.trips.clone(),
+            sink,
+        )
+    }
+
+    /// The shared ladder walk behind fresh solves and resumes.
+    #[allow(clippy::too_many_arguments)]
+    fn run_ladder(
+        &self,
+        rungs: &[(String, Box<dyn Partitioner>)],
+        m: usize,
+        pfx: &PrefixSum2D,
+        budget: Option<u64>,
+        fingerprint: u64,
+        ledger: Ledger,
+        start_rung: usize,
+        mut reports: Vec<RungReport>,
+        mut trips: Vec<u32>,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<SolveOutcome, DriverFailure> {
+        let (rows, cols) = (pfx.rows(), pfx.cols());
+        let ladder_names: Vec<String> = rungs.iter().map(|(name, _)| name.clone()).collect();
         let mut answered: Option<Partition> = None;
         let mut answered_by: Option<String> = None;
         let mut last_failure: Option<RectpartError> = None;
         let mut budget_blocked = false;
 
         let n_rungs = rungs.len();
-        for (idx, (name, algo)) in rungs.iter().enumerate() {
+        for (idx, (name, algo)) in rungs.iter().enumerate().skip(start_rung) {
             if answered.is_some() {
+                reports.push(RungReport::unreached(name));
+                continue;
+            }
+            // Rung boundary: this is both the budget checkpoint and the
+            // snapshot point. The progress carries the trips as they are
+            // *now* — the rung about to run has not tripped yet.
+            sink.on_checkpoint(
+                &SolveProgress {
+                    ladder: ladder_names.clone(),
+                    budget,
+                    rows,
+                    cols,
+                    m,
+                    matrix_fingerprint: fingerprint,
+                    next_rung: idx,
+                    rungs: reports.clone(),
+                    trips: trips.clone(),
+                    work_spent: ledger.spent(),
+                },
+                false,
+            );
+            // Circuit breaker: a rung that already tripped out (possibly
+            // in a previous, interrupted run) is not retried.
+            let trips_at_start = trips.get(idx).copied().unwrap_or(0);
+            if trips_at_start >= self.retry.breaker_trips {
                 reports.push(RungReport {
                     name: name.clone(),
-                    outcome: RungOutcome::NotReached,
+                    outcome: RungOutcome::CircuitOpen {
+                        trips: trips_at_start,
+                    },
                     work: 0,
+                    attempts: 0,
+                    spent_after: ledger.spent(),
                 });
                 continue;
             }
             // Budget admission: serial checkpoint against the meter.
-            if let Some(budget) = self.budget {
-                let remaining = budget.saturating_sub(start.elapsed());
+            if let Some(budget) = budget {
+                let remaining = budget.saturating_sub(ledger.spent());
                 let estimate = estimate_work(name, rows, cols, m);
                 let last = idx == n_rungs - 1;
                 let admit = if last {
@@ -356,75 +743,133 @@ impl SolverDriver {
                             remaining,
                         },
                         work: 0,
+                        attempts: 0,
+                        spent_after: ledger.spent(),
                     });
                     continue;
                 }
             }
-            let rung_mark = work::Mark::now();
+            let rung_start_spent = ledger.spent();
+            let mut rung_trips = trips_at_start;
             // The rung span wraps the panic boundary from outside: guards
             // are plain RAII, so an unwinding rung still exits its span
             // here rather than leaking an open frame into the next rung.
             let _rung_span =
                 rectpart_obs::span::enter_arg(rectpart_obs::span::SpanKind::DriverRung, idx as u32);
-            // lint:allow(panic) -- the workspace's one intentional panic boundary: a panicking rung demotes to the next ladder entry instead of tearing down the caller
-            let solved = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                #[cfg(feature = "faultinject")]
-                if rectpart_obs::fault::rung_should_panic(idx as u64) {
-                    // lint:allow(panic) -- faultinject: deliberate injected rung panic, contained by the catch_unwind boundary above
-                    panic!("injected rung fault");
-                }
-                algo.partition(&pfx, m)
-            }));
-            let rung_work = rung_mark.elapsed();
-            match solved {
-                Ok(partition) => match partition.validate(&pfx) {
-                    Ok(()) => {
-                        let lmax = partition.lmax(&pfx);
+            let mut attempts = 0u32;
+            let outcome = loop {
+                attempts += 1;
+                // lint:allow(panic) -- the workspace's one intentional panic boundary: a panicking rung demotes to the next ladder entry instead of tearing down the caller
+                let solved = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(feature = "faultinject")]
+                    if rectpart_obs::fault::rung_should_panic(idx as u64) {
+                        // lint:allow(panic) -- faultinject: deliberate injected rung panic, contained by the catch_unwind boundary above
+                        panic!("injected rung fault");
+                    }
+                    algo.try_partition(pfx, m)
+                }));
+                let failed = match solved {
+                    Ok(Ok(partition)) => match partition.validate(pfx) {
+                        Ok(()) => {
+                            let lmax = partition.lmax(pfx);
+                            answered = Some(partition);
+                            answered_by = Some(name.clone());
+                            break RungOutcome::Answered { lmax };
+                        }
+                        Err(pe) => RectpartError::InvalidSolution(pe),
+                    },
+                    Ok(Err(RectpartError::Cancelled)) => {
+                        // Cancellation is not a failure of the rung: the
+                        // partial attempt (and any earlier trips of this
+                        // run's attempt loop) is discarded wholesale, so
+                        // the forced checkpoint describes the rung's
+                        // *start* and the re-run replays identically.
+                        // (`trips` was never updated mid-rung — the
+                        // local `rung_trips` holds the in-flight count —
+                        // so it already reads as it did at rung start.)
+                        sink.on_checkpoint(
+                            &SolveProgress {
+                                ladder: ladder_names.clone(),
+                                budget,
+                                rows,
+                                cols,
+                                m,
+                                matrix_fingerprint: fingerprint,
+                                next_rung: idx,
+                                rungs: reports.clone(),
+                                trips: trips.clone(),
+                                work_spent: rung_start_spent,
+                            },
+                            true,
+                        );
                         reports.push(RungReport {
                             name: name.clone(),
-                            outcome: RungOutcome::Answered { lmax },
-                            work: rung_work,
+                            outcome: RungOutcome::Failed {
+                                error: RectpartError::Cancelled,
+                            },
+                            work: ledger.spent().saturating_sub(rung_start_spent),
+                            attempts,
+                            spent_after: ledger.spent(),
                         });
-                        answered = Some(partition);
-                        answered_by = Some(name.clone());
-                    }
-                    Err(pe) => {
-                        let e = RectpartError::InvalidSolution(pe);
-                        reports.push(RungReport {
-                            name: name.clone(),
-                            outcome: RungOutcome::Failed { error: e.clone() },
-                            work: rung_work,
+                        for (later, _) in rungs.iter().skip(idx + 1) {
+                            reports.push(RungReport::unreached(later));
+                        }
+                        return Err(DriverFailure {
+                            error: RectpartError::Cancelled,
+                            report: Box::new(DegradationReport {
+                                rows,
+                                cols,
+                                m,
+                                budget,
+                                rungs: reports,
+                                answered_by: None,
+                                total_work: ledger.spent(),
+                            }),
                         });
-                        last_failure = Some(e);
                     }
-                },
-                Err(_payload) => {
-                    let e = RectpartError::WorkerPanic { rung: name.clone() };
-                    reports.push(RungReport {
-                        name: name.clone(),
-                        outcome: RungOutcome::Failed { error: e.clone() },
-                        work: rung_work,
-                    });
-                    last_failure = Some(e);
+                    Ok(Err(e)) => e,
+                    Err(_payload) => RectpartError::WorkerPanic { rung: name.clone() },
+                };
+                rung_trips += 1;
+                last_failure = Some(failed.clone());
+                if rung_trips >= self.retry.breaker_trips {
+                    break RungOutcome::CircuitOpen { trips: rung_trips };
                 }
+                if attempts >= self.retry.max_attempts {
+                    break RungOutcome::Failed { error: failed };
+                }
+                // Deterministic backoff, charged in work units so the
+                // ledger (and any budget) sees the retry pressure.
+                work::charge(self.retry.backoff_units(idx, attempts));
+                rectpart_obs::incr(rectpart_obs::Counter::RetryBackoffs);
+            };
+            if let Some(t) = trips.get_mut(idx) {
+                *t = rung_trips;
             }
+            reports.push(RungReport {
+                name: name.clone(),
+                outcome,
+                work: ledger.spent().saturating_sub(rung_start_spent),
+                attempts,
+                spent_after: ledger.spent(),
+            });
         }
 
         let report = DegradationReport {
             rows,
             cols,
             m,
-            budget: self.budget,
+            budget,
             rungs: reports,
             answered_by: answered_by.clone(),
-            total_work: start.elapsed(),
+            total_work: ledger.spent(),
         };
         match answered {
             Some(partition) => Ok(SolveOutcome { partition, report }),
             None => {
                 let error = if budget_blocked && last_failure.is_none() {
                     RectpartError::BudgetExhausted {
-                        budget: self.budget.unwrap_or(0),
+                        budget: budget.unwrap_or(0),
                         spent: report.total_work,
                     }
                 } else {
@@ -438,6 +883,28 @@ impl SolverDriver {
                 })
             }
         }
+    }
+
+    /// Resolves the configured ladder against the core registry.
+    fn resolve_ladder(
+        &self,
+        matrix: &LoadMatrix,
+        m: usize,
+    ) -> Result<ResolvedLadder, DriverFailure> {
+        let mut rungs: ResolvedLadder = Vec::with_capacity(self.ladder.len());
+        for name in &self.ladder {
+            match algorithm_by_name(name) {
+                Some(algo) => rungs.push((name.clone(), algo)),
+                None => {
+                    return Err(self.failure_before_rungs(
+                        matrix,
+                        m,
+                        RectpartError::UnknownAlgorithm(name.clone()),
+                    ));
+                }
+            }
+        }
+        Ok(rungs)
     }
 
     /// A failure whose report shows the configured ladder untouched.
@@ -457,15 +924,80 @@ impl SolverDriver {
                 rungs: self
                     .ladder
                     .iter()
-                    .map(|name| RungReport {
-                        name: name.clone(),
-                        outcome: RungOutcome::NotReached,
-                        work: 0,
-                    })
+                    .map(|name| RungReport::unreached(name))
                     .collect(),
                 answered_by: None,
                 total_work: 0,
             }),
         }
     }
+
+    /// A rejected-snapshot failure.
+    fn snapshot_failure(&self, matrix: &LoadMatrix, m: usize, reason: String) -> DriverFailure {
+        self.failure_before_rungs(matrix, m, RectpartError::SnapshotCorrupt { reason })
+    }
+}
+
+/// Semantic validation of a snapshot against the instance being
+/// resumed. The file-format layer (`rectpart-resume`) has already
+/// verified the checksum footer; this layer rejects snapshots that are
+/// structurally sound but describe a different problem.
+fn validate_progress(
+    progress: &SolveProgress,
+    rungs: &[(String, Box<dyn Partitioner>)],
+    matrix: &LoadMatrix,
+    m: usize,
+) -> Result<(), String> {
+    if progress.rows != matrix.rows() || progress.cols != matrix.cols() {
+        return Err(format!(
+            "snapshot is for a {}x{} instance, got {}x{}",
+            progress.rows,
+            progress.cols,
+            matrix.rows(),
+            matrix.cols()
+        ));
+    }
+    if progress.m != m {
+        return Err(format!("snapshot is for m={}, got m={m}", progress.m));
+    }
+    let fp = matrix_fingerprint(matrix);
+    if progress.matrix_fingerprint != fp {
+        return Err(format!(
+            "matrix fingerprint mismatch: snapshot {:#018x}, instance {fp:#018x}",
+            progress.matrix_fingerprint
+        ));
+    }
+    if rungs.len() != progress.ladder.len()
+        || rungs
+            .iter()
+            .zip(&progress.ladder)
+            .any(|((name, _), want)| name != want)
+    {
+        return Err("resolved rungs do not match the snapshot ladder".into());
+    }
+    if progress.ladder.is_empty() {
+        return Err("snapshot ladder is empty".into());
+    }
+    if progress.next_rung > progress.ladder.len() {
+        return Err(format!(
+            "snapshot next_rung {} exceeds ladder length {}",
+            progress.next_rung,
+            progress.ladder.len()
+        ));
+    }
+    if progress.rungs.len() != progress.next_rung {
+        return Err(format!(
+            "snapshot holds {} rung reports but next_rung is {}",
+            progress.rungs.len(),
+            progress.next_rung
+        ));
+    }
+    if progress.trips.len() != progress.ladder.len() {
+        return Err(format!(
+            "snapshot holds {} trip counters for a {}-rung ladder",
+            progress.trips.len(),
+            progress.ladder.len()
+        ));
+    }
+    Ok(())
 }

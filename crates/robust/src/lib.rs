@@ -45,8 +45,9 @@ mod driver;
 mod fault;
 
 pub use driver::{
-    estimate_work, DegradationReport, DriverFailure, RungOutcome, RungReport, SolveOutcome,
-    SolverDriver, DEFAULT_LADDER,
+    estimate_work, matrix_fingerprint, CheckpointSink, DegradationReport, DriverFailure, NoopSink,
+    RetryPolicy, RungOutcome, RungReport, SolveOutcome, SolveProgress, SolverDriver,
+    DEFAULT_LADDER,
 };
 #[cfg(feature = "faultinject")]
 pub use fault::FaultPlan;

@@ -48,6 +48,8 @@
 pub use rectpart_core as core;
 pub use rectpart_obs as obs;
 pub use rectpart_onedim as onedim;
+#[cfg(feature = "resume")]
+pub use rectpart_resume as resume;
 pub use rectpart_robust as robust;
 pub use rectpart_simexec as simexec;
 pub use rectpart_volume as volume;

@@ -23,6 +23,11 @@ fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_substrate.json")
 }
 
+/// The committed resident-engine baseline at the workspace root.
+fn engine_baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+}
+
 /// Multiplies every integer leaf of every `*_ops`/`*_ops`-like counter
 /// by `pct` percent. Returns how many leaves were inflated.
 fn inflate_ops(json: &mut Json, pct: u64) -> usize {
@@ -61,6 +66,80 @@ fn self_diff_of_committed_baseline_exits_zero() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+}
+
+/// Multiplies every integer leaf under the named key by `pct` percent.
+/// Returns how many leaves were inflated.
+fn inflate_key(json: &mut Json, name: &str, pct: u64) -> usize {
+    match json {
+        Json::Obj(fields) => {
+            let mut n = 0;
+            for (key, value) in fields.iter_mut() {
+                if let Json::UInt(u) = value {
+                    if key == name {
+                        *u += (*u * pct) / 100;
+                        n += 1;
+                    }
+                } else {
+                    n += inflate_key(value, name, pct);
+                }
+            }
+            n
+        }
+        Json::Arr(items) => items.iter_mut().map(|j| inflate_key(j, name, pct)).sum(),
+        _ => 0,
+    }
+}
+
+#[test]
+fn self_diff_of_committed_engine_baseline_exits_zero() {
+    let baseline = engine_baseline_path();
+    let out = benchdiff(&[
+        baseline.to_str().unwrap(),
+        baseline.to_str().unwrap(),
+        "--tolerance",
+        "0",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The engine report's warm/cold counter leaves participate in the
+/// gate: more work units on the warm path than the committed baseline
+/// is a perf regression of the resident engine.
+#[test]
+fn injected_engine_work_regression_exits_nonzero() {
+    let baseline = engine_baseline_path();
+    let mut doc = rectpart_json::parse(&std::fs::read_to_string(&baseline).unwrap()).unwrap();
+    let inflated = inflate_key(&mut doc, "work_units", 10);
+    assert!(
+        inflated >= 4,
+        "engine baseline must price work units for both paths of both series"
+    );
+    let regressed = tmp("engine-regressed.json");
+    std::fs::write(&regressed, doc.to_string_pretty()).unwrap();
+    let out = benchdiff(&[baseline.to_str().unwrap(), regressed.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("work_units"), "{stderr}");
+    // An improvement in the same leaves is never a failure.
+    let out = benchdiff(&[
+        regressed.to_str().unwrap(),
+        baseline.to_str().unwrap(),
+        "--tolerance",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_file(&regressed).ok();
 }
 
 #[test]

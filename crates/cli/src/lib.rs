@@ -21,8 +21,10 @@ pub use rectpart_core::{algorithm_by_name, algorithm_names};
 use std::path::PathBuf;
 
 use rectpart_core::{
-    GammaMode, LoadMatrix, PartitionError, PartitionStats, PrefixSum2D, RectpartError,
+    GammaMode, LoadMatrix, PartitionError, PartitionStats, PrefixSum2D, Rect, RectpartError,
+    RowUpdate,
 };
+use rectpart_engine::{Engine, EngineConfig, EngineStats, Query, RebalancePolicy, Request};
 use rectpart_robust::{DriverFailure, SolverDriver, DEFAULT_LADDER};
 use rectpart_simexec::{CommModel, Simulator};
 use rectpart_workloads::io::{read_csv, write_csv};
@@ -89,6 +91,28 @@ pub enum Command {
         algo: String,
         /// Processor count.
         m: usize,
+        /// Optional stats JSON destination (see `Partition::stats`).
+        stats: Option<String>,
+        /// Optional span-trace destination (see `Partition::trace`).
+        trace: Option<String>,
+    },
+    /// `rectpart serve --input F --queries Q.json [--out R.json]
+    /// [--rebalance-threshold T] [--budget UNITS] [--stats [F]]`
+    Serve {
+        /// CSV load matrix the engine stays resident on.
+        input: PathBuf,
+        /// JSON request batch (see the usage text for the format).
+        queries: PathBuf,
+        /// Optional per-request results JSON destination.
+        out: Option<PathBuf>,
+        /// Stale partitions keep serving while their imbalance on the
+        /// current (delta-patched) matrix stays at or below this, the
+        /// `simexec::dynamic` rebalance trigger. `None` re-solves after
+        /// every delta (the bit-identity default).
+        rebalance_threshold: Option<f64>,
+        /// Default per-query work budget; routes queries through the
+        /// fault-tolerant driver.
+        budget: Option<u64>,
         /// Optional stats JSON destination (see `Partition::stats`).
         stats: Option<String>,
         /// Optional span-trace destination (see `Partition::trace`).
@@ -347,6 +371,15 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             stats: optional_value_flag(args, "--stats"),
             trace: trace_out_flag(args)?,
         }),
+        "serve" => Ok(Command::Serve {
+            input: require(flag(args, "--input").map(PathBuf::from), "--input")?,
+            queries: require(flag(args, "--queries").map(PathBuf::from), "--queries")?,
+            out: flag(args, "--out").map(PathBuf::from),
+            rebalance_threshold: parse_flag(args, "--rebalance-threshold")?,
+            budget: parse_flag(args, "--budget")?,
+            stats: optional_value_flag(args, "--stats"),
+            trace: trace_out_flag(args)?,
+        }),
         other => Err(UsageError(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -402,6 +435,22 @@ fn emit_trace(out: &mut String, target: &str) -> Result<(), std::io::Error> {
 /// Builds the stats block: solution summary, the execution environment
 /// (Γ policy and the backend it actually selected, host core count),
 /// plus the recorder report.
+/// The resident-engine block of the stats report. Batch commands
+/// (`partition`, `evaluate`) never touch the engine, so theirs reports
+/// zeros; `serve` reports the engine's real tallies.
+fn engine_stats_json(s: &EngineStats) -> rectpart_json::Json {
+    use rectpart_json::Json;
+    Json::obj(vec![
+        ("queries", Json::UInt(s.queries)),
+        ("warm_hits", Json::UInt(s.warm_hits)),
+        ("delta_rows_patched", Json::UInt(s.delta_rows_patched)),
+        (
+            "warm_start_probes_skipped",
+            Json::UInt(s.warm_start_probes_skipped),
+        ),
+    ])
+}
+
 fn stats_json(
     algo: &str,
     m: usize,
@@ -446,6 +495,28 @@ fn stats_json(
                 ("rect_count", Json::UInt(summary.rect_count as u64)),
             ]),
         ),
+        ("engine", engine_stats_json(&EngineStats::default())),
+        ("stats", report.to_json()),
+    ])
+}
+
+/// Builds the `serve` stats block: execution environment, the resident
+/// engine's tallies, and the recorder report.
+fn serve_stats_json(pfx: &PrefixSum2D, engine: &EngineStats) -> rectpart_json::Json {
+    use rectpart_json::Json;
+    let report = rectpart_obs::Recorder::global().snapshot();
+    Json::obj(vec![
+        ("mode", Json::Str("serve".to_string())),
+        ("gamma_mode", Json::Str(gamma_mode().as_str().to_string())),
+        (
+            "gamma_backend",
+            Json::Str(pfx.backend().as_str().to_string()),
+        ),
+        (
+            "host_cores",
+            Json::UInt(rectpart_parallel::host_cores() as u64),
+        ),
+        ("engine", engine_stats_json(engine)),
         ("stats", report.to_json()),
     ])
 }
@@ -486,6 +557,119 @@ pub fn generate_matrix(
             "unknown class {other:?} (uniform, diagonal, peak, multi-peak, mesh)"
         ))),
     }
+}
+
+/// Parses a serve-mode request batch.
+///
+/// The file is a JSON object with a `queries` array; each element is
+/// either a solve —
+/// `{"op": "solve", "algo": "JAG-M-OPT-BEST", "m": 8}` with optional
+/// `"region": [r0, r1, c0, c1]` (half-open), `"budget": N` and
+/// `"fallback": ["A", "B"]` — or a delta:
+/// `{"op": "delta", "rows": [{"row": 3, "cells": [..]}, ..]}`. A
+/// missing `op` means solve.
+pub fn parse_serve_requests(text: &str) -> Result<Vec<Request>, String> {
+    use rectpart_json::Json;
+    let json = rectpart_json::parse(text).map_err(|e| e.to_string())?;
+    let queries = json
+        .get("queries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing \"queries\" array".to_string())?;
+    let mut requests = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let op = match q.get("op") {
+            None => "solve",
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| format!("query {i}: \"op\" must be a string"))?,
+        };
+        match op {
+            "solve" => {
+                let algorithm = q
+                    .get("algo")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("query {i}: missing \"algo\""))?
+                    .to_string();
+                let m = q
+                    .get("m")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| format!("query {i}: missing \"m\""))?;
+                let region = match q.get("region") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let bounds: Vec<usize> = v
+                            .as_array()
+                            .map(|a| a.iter().filter_map(Json::as_usize).collect())
+                            .unwrap_or_default();
+                        match bounds.as_slice() {
+                            [r0, r1, c0, c1] => Some(Rect {
+                                r0: *r0,
+                                r1: *r1,
+                                c0: *c0,
+                                c1: *c1,
+                            }),
+                            _ => {
+                                return Err(format!(
+                                    "query {i}: \"region\" must be [r0, r1, c0, c1]"
+                                ))
+                            }
+                        }
+                    }
+                };
+                let budget = q.get("budget").and_then(Json::as_u64);
+                let fallback = match q.get("fallback") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(v) => v
+                        .as_array()
+                        .ok_or_else(|| format!("query {i}: \"fallback\" must be an array"))?
+                        .iter()
+                        .map(|s| {
+                            s.as_str().map(str::to_string).ok_or_else(|| {
+                                format!("query {i}: \"fallback\" entries must be strings")
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                requests.push(Request::Solve(Query {
+                    algorithm,
+                    m,
+                    region,
+                    budget,
+                    fallback,
+                }));
+            }
+            "delta" => {
+                let rows = q
+                    .get("rows")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| format!("query {i}: delta needs a \"rows\" array"))?;
+                let mut updates = Vec::with_capacity(rows.len());
+                for (j, entry) in rows.iter().enumerate() {
+                    let row = entry
+                        .get("row")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| format!("query {i} row {j}: missing \"row\""))?;
+                    let cells = entry
+                        .get("cells")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| format!("query {i} row {j}: missing \"cells\""))?
+                        .iter()
+                        .map(|c| {
+                            c.as_u64()
+                                .and_then(|v| u32::try_from(v).ok())
+                                .ok_or_else(|| {
+                                    format!("query {i} row {j}: cells must be u32 integers")
+                                })
+                        })
+                        .collect::<Result<Vec<u32>, _>>()?;
+                    updates.push(RowUpdate { row, cells });
+                }
+                requests.push(Request::Delta(updates));
+            }
+            other => return Err(format!("query {i}: unknown op {other:?}")),
+        }
+    }
+    Ok(requests)
 }
 
 /// Builds the fallback ladder for a driver run: an explicit
@@ -738,6 +922,135 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::Serve {
+            input,
+            queries,
+            out,
+            rebalance_threshold,
+            budget,
+            stats,
+            trace,
+        } => {
+            use rectpart_json::Json;
+            let stats_dst = stats_target(stats);
+            let trace_dst = trace_target(trace);
+            // Reset only when a report was requested, so unrelated runs
+            // in the same process cannot wipe an in-flight recording.
+            if stats_dst.is_some() || trace_dst.is_some() {
+                rectpart_obs::Recorder::global().reset();
+            }
+            let (matrix, requests) = {
+                let _io = rectpart_obs::phase(rectpart_obs::Phase::Io);
+                let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliIo);
+                let matrix = read_csv(&input)?;
+                let text = std::fs::read_to_string(&queries)?;
+                let requests = parse_serve_requests(&text)
+                    .map_err(|e| CliError::Input(format!("{}: {e}", queries.display())))?;
+                (matrix, requests)
+            };
+            let cfg = EngineConfig {
+                gamma_mode: gamma_mode(),
+                rebalance: match rebalance_threshold {
+                    Some(t) => RebalancePolicy::Threshold(t),
+                    None => RebalancePolicy::EverySnapshot,
+                },
+                budget,
+            };
+            let request_count = requests.len();
+            let mut engine = Engine::with_config(matrix, cfg)?;
+            let mut text = format!(
+                "serving {} requests on {}x{} (Γ resident, backend {})",
+                request_count,
+                engine.matrix().rows(),
+                engine.matrix().cols(),
+                engine.prefix().backend().as_str(),
+            );
+            let mut results = Vec::with_capacity(request_count);
+            {
+                let _p = rectpart_obs::phase(rectpart_obs::Phase::Partition);
+                let _s = rectpart_obs::span::enter(rectpart_obs::span::SpanKind::CliPartition);
+                for (i, req) in requests.iter().enumerate() {
+                    match req {
+                        Request::Solve(q) => {
+                            let got =
+                                engine
+                                    .solve(q)
+                                    .map_err(CliError::from)
+                                    .map_err(|e| match e {
+                                        CliError::Input(m) => {
+                                            CliError::Input(format!("request {i}: {m}"))
+                                        }
+                                        other => other,
+                                    })?;
+                            let lmax = got.partition.lmax(engine.prefix());
+                            text.push_str(&format!(
+                                "\n  [{i}] solve {} m={}{}: Lmax={lmax}{}",
+                                got.answered_by,
+                                q.m,
+                                match q.region {
+                                    Some(r) =>
+                                        format!(" region={}..{}x{}..{}", r.r0, r.r1, r.c0, r.c1),
+                                    None => String::new(),
+                                },
+                                if got.warm_hit { " (warm)" } else { "" },
+                            ));
+                            results.push(Json::obj(vec![
+                                ("op", Json::Str("solve".to_string())),
+                                ("algorithm", Json::Str(q.algorithm.clone())),
+                                ("answered_by", Json::Str(got.answered_by.clone())),
+                                ("m", Json::UInt(q.m as u64)),
+                                ("warm_hit", Json::Bool(got.warm_hit)),
+                                ("lmax", Json::UInt(lmax)),
+                                (
+                                    "rects",
+                                    Json::Arr(
+                                        got.partition
+                                            .rects()
+                                            .iter()
+                                            .map(|r| {
+                                                Json::Arr(vec![
+                                                    Json::UInt(r.r0 as u64),
+                                                    Json::UInt(r.r1 as u64),
+                                                    Json::UInt(r.c0 as u64),
+                                                    Json::UInt(r.c1 as u64),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ]));
+                        }
+                        Request::Delta(rows) => {
+                            let patched = engine
+                                .apply_delta(rows)
+                                .map_err(|e| CliError::Input(format!("request {i}: {e}")))?;
+                            text.push_str(&format!("\n  [{i}] delta: {patched} rows patched"));
+                            results.push(Json::obj(vec![
+                                ("op", Json::Str("delta".to_string())),
+                                ("rows_patched", Json::UInt(patched)),
+                            ]));
+                        }
+                    }
+                }
+            }
+            let s = engine.stats();
+            text.push_str(&format!(
+                "\nengine: {} queries, {} warm hits, {} delta rows, {} probes skipped",
+                s.queries, s.warm_hits, s.delta_rows_patched, s.warm_start_probes_skipped
+            ));
+            if let Some(path) = out {
+                let json = Json::obj(vec![("results", Json::Arr(results))]);
+                std::fs::write(&path, json.to_string_pretty())?;
+                text.push_str(&format!("\n  results       -> {}", path.display()));
+            }
+            if let Some(dst) = stats_dst {
+                emit_stats(&mut text, &dst, &serve_stats_json(engine.prefix(), &s))?;
+            }
+            if let Some(dst) = trace_dst {
+                emit_trace(&mut text, &dst)?;
+            }
+            Ok(text)
+        }
     }
 }
 
@@ -755,6 +1068,9 @@ USAGE:
                      [--checkpoint-interval UNITS] [--resume SNAP]
   rectpart evaluate  --input FILE.csv -m N [--algo NAME] [--stats [OUT.json]]
                      [--trace-out TRACE.json]
+  rectpart serve     --input FILE.csv --queries BATCH.json [--out OUT.json]
+                     [--rebalance-threshold T] [--budget UNITS]
+                     [--stats [OUT.json]] [--trace-out TRACE.json]
   rectpart algos
 
 GLOBAL OPTIONS:
@@ -804,6 +1120,25 @@ GLOBAL OPTIONS:
                  downsample routine snapshots: write one only after at
                  least UNITS work units since the last (default 0 =
                  every rung boundary)
+SERVE MODE:
+  `serve` loads the matrix once, builds the Γ prefix sum once, and keeps
+  a resident engine warm across the whole request batch: repeated
+  queries are answered from a solution cache, matrix deltas patch Γ
+  row-incrementally instead of rebuilding it, and re-solves after a
+  delta are warm-started from the previous cuts — every answer is
+  bit-identical to a cold solve on the then-current matrix. The batch
+  file is a JSON object {\"queries\": [...]} whose entries are either
+    {\"op\": \"solve\", \"algo\": NAME, \"m\": N}
+      with optional \"region\": [r0, r1, c0, c1] (half-open bounds),
+      \"budget\": UNITS and \"fallback\": [NAME, ...] (both route the
+      query through the fault-tolerant driver), or
+    {\"op\": \"delta\", \"rows\": [{\"row\": R, \"cells\": [..]}, ...]}
+      which rewrites whole matrix rows.
+  --rebalance-threshold T keeps serving a stale partition while its
+  imbalance on the current matrix stays at or below T (the dynamic
+  rebalance trigger of the BSP simulator); without it every delta forces
+  a re-solve.
+
   --resume SNAP  continue an interrupted run from the snapshot at SNAP.
                  The ladder and budget recorded in the snapshot are
                  used (--algo/--fallback/--budget are ignored); the
@@ -1028,6 +1363,21 @@ mod tests {
         let (_, json_text) = msg.split_once("stats:\n").expect("stats block present");
         let json = rectpart_json::parse(json_text).unwrap();
         assert_eq!(json.get("budget").and_then(|j| j.as_u64()), Some(1_000_000));
+        // Batch commands pin the resident-engine block at zero: the
+        // schema is stable across modes, only `serve` accumulates.
+        let engine = json.get("engine").expect("engine block present");
+        for key in [
+            "queries",
+            "warm_hits",
+            "delta_rows_patched",
+            "warm_start_probes_skipped",
+        ] {
+            assert_eq!(
+                engine.get(key).and_then(|j| j.as_u64()),
+                Some(0),
+                "engine.{key} must be pinned to 0 in batch mode"
+            );
+        }
         let rectpart_json::Json::Arr(ladder) = json.get("fallback").expect("fallback present")
         else {
             panic!("fallback must be an array of rung names");
@@ -1388,6 +1738,10 @@ mod tests {
             Some("JAG-M-HEUR-BEST")
         );
         assert!(json.get("summary").and_then(|s| s.get("lmax")).is_some());
+        assert!(
+            json.get("engine").and_then(|e| e.get("queries")).is_some(),
+            "engine block present in the stats schema"
+        );
         let recorder = json.get("stats").expect("recorder report present");
         let enabled = recorder
             .get("enabled")
@@ -1419,5 +1773,228 @@ mod tests {
         );
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&stats_file).ok();
+    }
+
+    #[test]
+    fn serve_parses_and_requires_its_flags() {
+        let args: Vec<String> = [
+            "serve",
+            "--input",
+            "m.csv",
+            "--queries",
+            "q.json",
+            "--out",
+            "r.json",
+            "--rebalance-threshold",
+            "0.25",
+            "--budget",
+            "500",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(
+            parse(&args).unwrap(),
+            Command::Serve {
+                input: PathBuf::from("m.csv"),
+                queries: PathBuf::from("q.json"),
+                out: Some(PathBuf::from("r.json")),
+                rebalance_threshold: Some(0.25),
+                budget: Some(500),
+                stats: None,
+                trace: None,
+            }
+        );
+        let args: Vec<String> = ["serve", "--input", "m.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse(&args).is_err(), "--queries is required");
+    }
+
+    #[test]
+    fn serve_request_file_parsing() {
+        let good = r#"{"queries": [
+            {"op": "solve", "algo": "JAG-M-OPT-BEST", "m": 4},
+            {"algo": "RECT-UNIFORM", "m": 2,
+             "region": [0, 4, 0, 4], "budget": 100, "fallback": ["RECT-UNIFORM"]},
+            {"op": "delta", "rows": [{"row": 1, "cells": [1, 2, 3, 4]}]}
+        ]}"#;
+        let reqs = parse_serve_requests(good).unwrap();
+        assert_eq!(reqs.len(), 3);
+        let Request::Solve(q) = &reqs[1] else {
+            panic!("second request must be a solve");
+        };
+        assert_eq!(q.region, Some(Rect::new(0, 4, 0, 4)));
+        assert_eq!(q.budget, Some(100));
+        assert_eq!(q.fallback, vec!["RECT-UNIFORM".to_string()]);
+        let Request::Delta(rows) = &reqs[2] else {
+            panic!("third request must be a delta");
+        };
+        assert_eq!(rows[0].cells, vec![1, 2, 3, 4]);
+
+        for bad in [
+            "not json",
+            r#"{"no_queries": []}"#,
+            r#"{"queries": [{"op": "solve", "m": 4}]}"#,
+            r#"{"queries": [{"op": "solve", "algo": "X"}]}"#,
+            r#"{"queries": [{"op": "warp", "algo": "X", "m": 1}]}"#,
+            r#"{"queries": [{"op": "solve", "algo": "X", "m": 1, "region": [1, 2]}]}"#,
+            r#"{"queries": [{"op": "delta"}]}"#,
+            r#"{"queries": [{"op": "delta", "rows": [{"row": 0, "cells": [4294967296]}]}]}"#,
+        ] {
+            assert!(parse_serve_requests(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn serve_end_to_end_with_results_and_stats() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let input = dir.join(format!("rectpart-cli-serve-{pid}.csv"));
+        let queries = dir.join(format!("rectpart-cli-serve-{pid}.q.json"));
+        let results = dir.join(format!("rectpart-cli-serve-{pid}.r.json"));
+        run(Command::Generate {
+            class: "peak".into(),
+            rows: 16,
+            cols: 16,
+            seed: 6,
+            delta: 1.2,
+            out: input.clone(),
+        })
+        .unwrap();
+        let delta_cells: Vec<String> = (0..16).map(|c| (c % 7).to_string()).collect();
+        std::fs::write(
+            &queries,
+            format!(
+                r#"{{"queries": [
+                    {{"op": "solve", "algo": "JAG-M-OPT-BEST", "m": 4}},
+                    {{"op": "solve", "algo": "JAG-M-OPT-BEST", "m": 4}},
+                    {{"op": "delta", "rows": [{{"row": 2, "cells": [{cells}]}}]}},
+                    {{"op": "solve", "algo": "JAG-M-OPT-BEST", "m": 4}},
+                    {{"op": "solve", "algo": "JAG-M-OPT-BEST", "m": 4,
+                      "region": [0, 8, 0, 8]}}
+                ]}}"#,
+                cells = delta_cells.join(", ")
+            ),
+        )
+        .unwrap();
+        let msg = run(Command::Serve {
+            input: input.clone(),
+            queries: queries.clone(),
+            out: Some(results.clone()),
+            rebalance_threshold: None,
+            budget: None,
+            stats: Some("-".into()),
+            trace: None,
+        })
+        .unwrap();
+        assert!(msg.contains("serving 5 requests"), "{msg}");
+        assert!(msg.contains("(warm)"), "repeat query served warm: {msg}");
+        assert!(msg.contains("1 rows patched"), "{msg}");
+        assert!(msg.contains("engine: 4 queries, 1 warm hits"), "{msg}");
+
+        // The results file reports every request in order.
+        let json = rectpart_json::parse(&std::fs::read_to_string(&results).unwrap()).unwrap();
+        let rectpart_json::Json::Arr(items) = json.get("results").expect("results") else {
+            panic!("results must be an array");
+        };
+        assert_eq!(items.len(), 5);
+        assert_eq!(
+            items[1].get("warm_hit").and_then(|j| j.as_bool()),
+            Some(true)
+        );
+        assert_eq!(
+            items[3].get("warm_hit").and_then(|j| j.as_bool()),
+            Some(false)
+        );
+        assert_eq!(
+            items[2].get("rows_patched").and_then(|j| j.as_u64()),
+            Some(1)
+        );
+
+        // The stats block reports the engine's real tallies.
+        let (_, json_text) = msg.split_once("stats:\n").expect("stats block present");
+        let stats = rectpart_json::parse(json_text).unwrap();
+        assert_eq!(stats.get("mode").and_then(|j| j.as_str()), Some("serve"));
+        let engine = stats.get("engine").expect("engine block");
+        assert_eq!(engine.get("queries").and_then(|j| j.as_u64()), Some(4));
+        assert_eq!(engine.get("warm_hits").and_then(|j| j.as_u64()), Some(1));
+        assert_eq!(
+            engine.get("delta_rows_patched").and_then(|j| j.as_u64()),
+            Some(1)
+        );
+
+        // A warm re-solve after the delta matches a cold partition run
+        // on the patched matrix (bit-identity at the CLI boundary).
+        let matrix = read_csv(&input).unwrap();
+        let mut patched = matrix.clone();
+        let row: Vec<u32> = (0..16u32).map(|c| c % 7).collect();
+        patched.data_mut()[2 * 16..3 * 16].copy_from_slice(&row);
+        let pfx = PrefixSum2D::new(&patched);
+        use rectpart_core::Partitioner as _;
+        let cold = rectpart_core::JagMOpt::default().partition(&pfx, 4);
+        let got_rects: Vec<Vec<u64>> = match items[3].get("rects") {
+            Some(rectpart_json::Json::Arr(rs)) => rs
+                .iter()
+                .map(|r| match r {
+                    rectpart_json::Json::Arr(v) => v.iter().filter_map(|x| x.as_u64()).collect(),
+                    _ => panic!("rect must be an array"),
+                })
+                .collect(),
+            _ => panic!("rects must be an array"),
+        };
+        let want: Vec<Vec<u64>> = cold
+            .rects()
+            .iter()
+            .map(|r| vec![r.r0 as u64, r.r1 as u64, r.c0 as u64, r.c1 as u64])
+            .collect();
+        assert_eq!(got_rects, want, "serve answer diverged from cold solve");
+
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&queries).ok();
+        std::fs::remove_file(&results).ok();
+    }
+
+    #[test]
+    fn serve_maps_engine_errors_to_input_exit_code() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let input = dir.join(format!("rectpart-cli-serve-err-{pid}.csv"));
+        let queries = dir.join(format!("rectpart-cli-serve-err-{pid}.q.json"));
+        std::fs::write(&input, "1,2\n3,4\n").unwrap();
+        std::fs::write(
+            &queries,
+            r#"{"queries": [{"op": "solve", "algo": "RECT-UNIFORM", "m": 1,
+                "region": [0, 9, 0, 9]}]}"#,
+        )
+        .unwrap();
+        let err = run(Command::Serve {
+            input: input.clone(),
+            queries: queries.clone(),
+            out: None,
+            rebalance_threshold: None,
+            budget: None,
+            stats: None,
+            trace: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(err.to_string().contains("region"), "{err}");
+        // A malformed batch file is also an input error.
+        std::fs::write(&queries, "{").unwrap();
+        let err = run(Command::Serve {
+            input: input.clone(),
+            queries: queries.clone(),
+            out: None,
+            rebalance_threshold: None,
+            budget: None,
+            stats: None,
+            trace: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&queries).ok();
     }
 }

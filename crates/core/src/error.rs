@@ -85,6 +85,23 @@ pub enum RectpartError {
         /// Human-readable reason the snapshot was rejected.
         reason: String,
     },
+    /// A delta update addressed a row outside the matrix.
+    RowOutOfRange {
+        /// Offending row index.
+        row: usize,
+        /// Rows actually present.
+        rows: usize,
+    },
+    /// A serving-mode query addressed a region that is empty or reaches
+    /// outside the resident matrix.
+    RegionOutOfRange {
+        /// The requested region.
+        region: crate::geometry::Rect,
+        /// Rows actually present.
+        rows: usize,
+        /// Columns actually present.
+        cols: usize,
+    },
 }
 
 impl fmt::Display for RectpartError {
@@ -124,6 +141,16 @@ impl fmt::Display for RectpartError {
             RectpartError::SnapshotCorrupt { reason } => {
                 write!(f, "snapshot unusable: {reason}")
             }
+            RectpartError::RowOutOfRange { row, rows } => {
+                write!(f, "delta row {row} outside matrix of {rows} rows")
+            }
+            RectpartError::RegionOutOfRange { region, rows, cols } => {
+                write!(
+                    f,
+                    "query region rows {}..{} cols {}..{} is empty or outside the {rows}x{cols} matrix",
+                    region.r0, region.r1, region.c0, region.c1
+                )
+            }
         }
     }
 }
@@ -157,6 +184,8 @@ impl RectpartError {
                 | RectpartError::ZeroParts
                 | RectpartError::TooManyParts { .. }
                 | RectpartError::UnknownAlgorithm(_)
+                | RectpartError::RowOutOfRange { .. }
+                | RectpartError::RegionOutOfRange { .. }
         )
     }
 

@@ -69,7 +69,9 @@ pub use jagged::{allocate_processors, JagMHeur, JagPqHeur, JaggedVariant, Stripe
 pub use jagged_opt::{jag_m_opt_dp, JagMOpt, JagPqOpt};
 pub use matrix::LoadMatrix;
 pub use multilevel::Multilevel;
-pub use prefix::{GammaBackend, GammaMode, PrefixSum2D, View, SPARSE_ZERO_FRACTION_PERCENT};
+pub use prefix::{
+    GammaBackend, GammaMode, PrefixSum2D, RowExtrema, RowUpdate, View, SPARSE_ZERO_FRACTION_PERCENT,
+};
 pub use rectilinear::{RectNicol, RectUniform};
 /// Thread-budget configuration for the parallel execution layer,
 /// re-exported so downstream users need not depend on

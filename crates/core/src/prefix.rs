@@ -660,6 +660,221 @@ impl PrefixSum2D {
     pub fn view(&self, axis: Axis) -> View<'_> {
         View { pfx: self, axis }
     }
+
+    /// Applies row-granular delta updates to `a` **and** patches this Γ
+    /// in place, keeping the two consistent — the resident engine's
+    /// alternative to a full rebuild when only a few rows moved.
+    ///
+    /// Each [`RowUpdate`] replaces one whole matrix row. Updates are
+    /// applied in order (a later update to the same row wins). The
+    /// patched Γ is **bit-identical** to a fresh build from the updated
+    /// matrix on either backend:
+    ///
+    /// * **dense** — a changed row `r` shifts every Γ row `> r` by that
+    ///   row's column-prefix delta. The deltas are folded into one
+    ///   cumulative per-column correction and swept down the table once,
+    ///   in two's-complement (`wrapping`) arithmetic: the true new
+    ///   entries are exact sums below 2⁶⁴ (pre-checked), so arithmetic
+    ///   mod 2⁶⁴ reproduces them exactly. O(changed·n + span·n) where
+    ///   `span` is the distance from the first changed row to the
+    ///   bottom, versus O(rows·n) for a rebuild — and no Γ allocation.
+    /// * **sparse** — changed rows are rescanned, unchanged rows' run
+    ///   storage is spliced over verbatim (within-row prefixes do not
+    ///   depend on other rows), and the dense borders are recomputed in
+    ///   the same accumulation order as a fresh
+    ///   [`SparsePrefixSum::build`], so every array matches it
+    ///   bit-for-bit.
+    ///
+    /// Overflow (new grand total ≥ 2⁶⁴) and validation errors are
+    /// detected **before** anything is mutated: on `Err`, matrix, Γ, and
+    /// `extrema` are all unchanged.
+    ///
+    /// `extrema` must describe `a` (build it once per resident matrix
+    /// with [`RowExtrema::new`]); it is patched along with Γ so the
+    /// facade's [`max_cell`](Self::max_cell)/[`min_cell`](Self::min_cell)
+    /// stay exact in O(rows) instead of O(cells) per delta.
+    ///
+    /// Charges [`DeltaRowsPatched`](rectpart_obs::Counter::DeltaRowsPatched)
+    /// and `changed·(cols+1) + 1` work units (the row-repair work proxy;
+    /// a rebuild charges `rows·cols + 1`). Returns the number of rows
+    /// patched (after de-duplication).
+    pub fn apply_row_updates(
+        &mut self,
+        a: &mut LoadMatrix,
+        updates: &[RowUpdate],
+        extrema: &mut RowExtrema,
+    ) -> Result<u64, RectpartError> {
+        let rows = self.rows;
+        let cols = self.cols;
+        if a.rows() != rows || a.cols() != cols || extrema.max.len() != rows {
+            return Err(RectpartError::DimMismatch {
+                rows,
+                cols,
+                len: a.data().len(),
+            });
+        }
+        // Validate, then de-duplicate keeping the last update per row.
+        let mut slot: Vec<Option<&[u32]>> = vec![None; rows];
+        for u in updates {
+            if u.row >= rows {
+                return Err(RectpartError::RowOutOfRange { row: u.row, rows });
+            }
+            if u.cells.len() != cols {
+                return Err(RectpartError::RaggedRow {
+                    row: u.row,
+                    expected: cols,
+                    got: u.cells.len(),
+                });
+            }
+            // lint:allow(panic-reach) -- u.row < rows = slot.len() just checked
+            slot[u.row] = Some(&u.cells);
+        }
+        let deduped: Vec<(usize, &[u32])> = slot
+            .iter()
+            .enumerate()
+            .filter_map(|(r, c)| c.map(|cells| (r, cells)))
+            .collect();
+        if deduped.is_empty() {
+            return Ok(0);
+        }
+        // Pre-check the new grand total so the patch cannot overflow
+        // mid-sweep — the same error condition as a cold build (total
+        // reaching 2⁶⁴), detected before any state changes.
+        let mut new_total = self.total as i128;
+        for &(r, cells) in &deduped {
+            let old: i128 = a.row(r).iter().map(|&v| v as i128).sum();
+            let new: i128 = cells.iter().map(|&v| v as i128).sum();
+            new_total += new - old;
+        }
+        if new_total >= (1i128 << 64) {
+            return Err(RectpartError::Overflow);
+        }
+        let k = deduped.len() as u64;
+        let _timer = rectpart_obs::phase(rectpart_obs::Phase::Gamma);
+        rectpart_obs::add(rectpart_obs::Counter::DeltaRowsPatched, k);
+        rectpart_obs::work::charge(k * (cols as u64 + 1) + 1);
+
+        if let Repr::Dense(g) = &mut self.repr {
+            // Sweep once from the first changed row to the bottom,
+            // folding each changed row's column-prefix delta into a
+            // cumulative per-column correction as it is passed.
+            let w = cols + 1;
+            let mut cum = vec![0u64; w];
+            let first = deduped[0].0;
+            let mut next = 0usize;
+            for i in (first + 1)..=rows {
+                let r = i - 1;
+                if next < deduped.len() && deduped[next].0 == r {
+                    let cells = deduped[next].1;
+                    next += 1;
+                    let src = a.row(r);
+                    let mut old_p = 0u64;
+                    let mut new_p = 0u64;
+                    for c in 0..cols {
+                        old_p = old_p.wrapping_add(src[c] as u64);
+                        new_p = new_p.wrapping_add(cells[c] as u64);
+                        // lint:allow(panic-reach) -- c < cols < w = cum.len()
+                        cum[c + 1] = cum[c + 1].wrapping_add(new_p.wrapping_sub(old_p));
+                    }
+                }
+                // lint:allow(panic-reach) -- g.len() = (rows+1)*w and i <= rows
+                let grow = &mut g[i * w..(i + 1) * w];
+                for c in 1..w {
+                    grow[c] = grow[c].wrapping_add(cum[c]);
+                }
+            }
+        }
+        // Commit the rows to the matrix and the extrema scratch.
+        for &(r, cells) in &deduped {
+            // lint:allow(panic-reach) -- r < rows, cells.len() == cols
+            a.data_mut()[r * cols..(r + 1) * cols].copy_from_slice(cells);
+            extrema.set_row(r, cells);
+        }
+        let (max_cell, min_cell) = extrema.fold(rows * cols);
+        // Sparse backend: splice a fresh structure around the changed
+        // rows (cannot fail past the total pre-check above).
+        let patched = match &self.repr {
+            Repr::Sparse(s) => {
+                let changed: Vec<usize> = deduped.iter().map(|&(r, _)| r).collect();
+                Some(s.patched_rows(a, &changed, max_cell, min_cell)?)
+            }
+            Repr::Dense(_) => None,
+        };
+        if let Some(s) = patched {
+            self.repr = Repr::Sparse(s);
+        }
+        self.total = new_total as u64;
+        self.max_cell = max_cell;
+        self.min_cell = min_cell;
+        Ok(k)
+    }
+}
+
+/// One replaced row of a delta update (see
+/// [`PrefixSum2D::apply_row_updates`]): the full new contents of
+/// matrix row `row`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowUpdate {
+    /// Row index to replace.
+    pub row: usize,
+    /// New cell loads; must be exactly `cols` long.
+    pub cells: Vec<u32>,
+}
+
+/// Per-row cell extrema of a resident matrix — the O(rows) scratch that
+/// lets [`PrefixSum2D::apply_row_updates`] keep the global
+/// `max_cell`/`min_cell` exact without rescanning the whole matrix
+/// (the previous maximum may have lived in a row the delta shrank).
+#[derive(Clone, Debug)]
+pub struct RowExtrema {
+    max: Vec<u32>,
+    min: Vec<u32>,
+}
+
+impl RowExtrema {
+    /// Scans `a` once and records each row's max and min cell.
+    pub fn new(a: &LoadMatrix) -> Self {
+        let rows = a.rows();
+        let mut max = Vec::with_capacity(rows);
+        let mut min = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let (mut mx, mut mn) = (0u32, u32::MAX);
+            for &v in a.row(r) {
+                mx = mx.max(v);
+                mn = mn.min(v);
+            }
+            max.push(mx);
+            min.push(mn);
+        }
+        Self { max, min }
+    }
+
+    /// Re-records row `r` from its new contents.
+    fn set_row(&mut self, r: usize, cells: &[u32]) {
+        let (mut mx, mut mn) = (0u32, u32::MAX);
+        for &v in cells {
+            mx = mx.max(v);
+            mn = mn.min(v);
+        }
+        // lint:allow(panic-reach) -- callers validate r against the row count
+        self.max[r] = mx;
+        self.min[r] = mn;
+    }
+
+    /// Global `(max_cell, min_cell)` under the build conventions:
+    /// `(0, 0)` for a degenerate matrix.
+    fn fold(&self, cells: usize) -> (u32, u32) {
+        if cells == 0 {
+            return (0, 0);
+        }
+        let mut mx = 0u32;
+        let mut mn = u32::MAX;
+        for i in 0..self.max.len() {
+            mx = mx.max(self.max[i]);
+            mn = mn.min(self.min[i]);
+        }
+        (mx, mn)
+    }
 }
 
 impl GammaBackend for PrefixSum2D {
@@ -915,6 +1130,125 @@ mod tests {
         assert_eq!(p.total(), 0);
         assert_eq!(p.delta(), None);
         assert_eq!(p.min_cell(), 0);
+    }
+
+    fn random_updates(
+        rng: &mut StdRng,
+        rows: usize,
+        cols: usize,
+        k: usize,
+        hi: u32,
+    ) -> Vec<RowUpdate> {
+        (0..k)
+            .map(|_| RowUpdate {
+                row: rng.gen_range(0..rows),
+                cells: (0..cols).map(|_| rng.gen_range(0..hi)).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_patch_is_bit_identical_to_rebuild() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for (rows, cols, k) in [(1, 6, 1), (9, 13, 3), (40, 17, 8), (7, 7, 12)] {
+            let mut m = LoadMatrix::from_fn(rows, cols, |_, _| rng.gen_range(0..500));
+            let mut p = PrefixSum2D::try_new_with(&m, GammaMode::Dense).unwrap();
+            let mut ex = RowExtrema::new(&m);
+            let updates = random_updates(&mut rng, rows, cols, k, 500);
+            p.apply_row_updates(&mut m, &updates, &mut ex).unwrap();
+            let fresh = PrefixSum2D::try_new_with(&m, GammaMode::Dense).unwrap();
+            assert_eq!(p.dense_entries(), fresh.dense_entries(), "{rows}x{cols}");
+            assert_eq!(p.total(), fresh.total());
+            assert_eq!(p.max_cell(), fresh.max_cell());
+            assert_eq!(p.min_cell(), fresh.min_cell());
+        }
+    }
+
+    #[test]
+    fn sparse_patch_is_bit_identical_to_rebuild() {
+        let mut rng = StdRng::seed_from_u64(92);
+        for (rows, cols, k) in [(1, 6, 1), (11, 19, 4), (33, 24, 9)] {
+            let mut m = LoadMatrix::from_fn(rows, cols, |_, _| {
+                if rng.gen_bool(0.8) {
+                    0
+                } else {
+                    rng.gen_range(1..100)
+                }
+            });
+            let mut p = PrefixSum2D::try_new_with(&m, GammaMode::Sparse).unwrap();
+            let mut ex = RowExtrema::new(&m);
+            let mut updates = random_updates(&mut rng, rows, cols, k, 4);
+            // Bias updates toward zeros so run structure genuinely changes.
+            for u in &mut updates {
+                for c in &mut u.cells {
+                    if *c == 1 {
+                        *c = 0;
+                    }
+                }
+            }
+            p.apply_row_updates(&mut m, &updates, &mut ex).unwrap();
+            let fresh = PrefixSum2D::try_new_with(&m, GammaMode::Sparse).unwrap();
+            let (Repr::Sparse(ps), Repr::Sparse(fs)) = (&p.repr, &fresh.repr) else {
+                panic!("sparse backend expected");
+            };
+            assert_eq!(ps.raw_parts(), fs.raw_parts(), "{rows}x{cols}");
+            assert_eq!(p.total(), fresh.total());
+            assert_eq!(p.max_cell(), fresh.max_cell());
+            assert_eq!(p.min_cell(), fresh.min_cell());
+        }
+    }
+
+    #[test]
+    fn patch_dedups_later_update_wins_and_shrinks_extrema() {
+        let mut m = LoadMatrix::from_vec(3, 2, vec![9, 1, 2, 3, 4, 5]);
+        let mut p = PrefixSum2D::try_new(&m).unwrap();
+        let mut ex = RowExtrema::new(&m);
+        assert_eq!(p.max_cell(), 9);
+        let updates = vec![
+            RowUpdate {
+                row: 0,
+                cells: vec![7, 7],
+            },
+            RowUpdate {
+                row: 0,
+                cells: vec![2, 2],
+            },
+        ];
+        let n = p.apply_row_updates(&mut m, &updates, &mut ex).unwrap();
+        assert_eq!(n, 1, "duplicates collapse to one patched row");
+        assert_eq!(m.get(0, 0), 2);
+        assert_eq!(p.max_cell(), 5, "old max row was overwritten");
+        assert_eq!(p.total(), 2 + 2 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn patch_validation_errors_leave_state_unchanged() {
+        let mut m = LoadMatrix::from_vec(2, 2, vec![1, 2, 3, 4]);
+        let mut p = PrefixSum2D::try_new(&m).unwrap();
+        let mut ex = RowExtrema::new(&m);
+        let bad_row = vec![RowUpdate {
+            row: 5,
+            cells: vec![0, 0],
+        }];
+        assert!(matches!(
+            p.apply_row_updates(&mut m, &bad_row, &mut ex),
+            Err(RectpartError::RowOutOfRange { row: 5, rows: 2 })
+        ));
+        let ragged = vec![RowUpdate {
+            row: 0,
+            cells: vec![0, 0, 0],
+        }];
+        assert!(matches!(
+            p.apply_row_updates(&mut m, &ragged, &mut ex),
+            Err(RectpartError::RaggedRow { .. })
+        ));
+        assert_eq!(m.data(), &[1, 2, 3, 4]);
+        assert_eq!(p.total(), 10);
+        assert_eq!(
+            p.apply_row_updates(&mut m, &[], &mut ex).unwrap(),
+            0,
+            "empty delta is a no-op"
+        );
     }
 
     #[test]

@@ -177,6 +177,138 @@ impl SparsePrefixSum {
         })
     }
 
+    /// Rebuilds the structure around a set of replaced rows: changed
+    /// rows are rescanned from `a` (which must already hold the new
+    /// contents), unchanged rows' run storage is spliced over verbatim —
+    /// within-row prefixes depend on nothing outside their row — and the
+    /// dense borders are recomputed in the same accumulation order as
+    /// [`build`](Self::build), so the result is bit-identical to a fresh
+    /// build of the updated matrix. `changed` must be sorted and
+    /// de-duplicated; `max_cell`/`min_cell` are supplied by the caller
+    /// (the facade tracks them via `RowExtrema`).
+    ///
+    /// Charges [`SparseGammaRuns`](rectpart_obs::Counter::SparseGammaRuns)
+    /// only for the rescanned rows' runs — spliced runs are reused, not
+    /// rebuilt. The caller must have pre-checked that the new grand
+    /// total fits `u64`; every internal sum is bounded by it, so the
+    /// checked adds below cannot fail after that check.
+    pub(crate) fn patched_rows(
+        &self,
+        a: &LoadMatrix,
+        changed: &[usize],
+        max_cell: u32,
+        min_cell: u32,
+    ) -> Result<Self, RectpartError> {
+        let rows = self.rows;
+        let cols = self.cols;
+        debug_assert!(changed.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(a.rows() == rows && a.cols() == cols);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0u32);
+        let mut run_col0: Vec<u32> = Vec::with_capacity(self.run_col0.len());
+        let mut run_val0: Vec<u32> = Vec::with_capacity(self.run_val0.len());
+        let mut vals: Vec<u64> = Vec::with_capacity(self.vals.len());
+        let mut row_pfx = Vec::with_capacity(rows + 1);
+        row_pfx.push(0u64);
+        let mut col_pfx = vec![0u64; cols + 1];
+        let mut running = 0u64;
+        let mut next = 0usize;
+        let mut new_runs = 0u64;
+        for r in 0..rows {
+            if next < changed.len() && changed[next] == r {
+                next += 1;
+                // Rescan the replaced row exactly like `build` does.
+                let src = a.row(r);
+                let mut row_sum = 0u64;
+                let mut in_run = false;
+                for (c, &v) in src.iter().enumerate() {
+                    if v == 0 {
+                        in_run = false;
+                        continue;
+                    }
+                    if !in_run {
+                        run_col0.push(c as u32);
+                        run_val0.push(vals.len() as u32);
+                        in_run = true;
+                        new_runs += 1;
+                    }
+                    row_sum = row_sum
+                        .checked_add(v as u64)
+                        .ok_or(RectpartError::Overflow)?;
+                    vals.push(row_sum);
+                    col_pfx[c + 1] = col_pfx[c + 1]
+                        .checked_add(v as u64)
+                        .ok_or(RectpartError::Overflow)?;
+                }
+                running = running
+                    .checked_add(row_sum)
+                    .ok_or(RectpartError::Overflow)?;
+            } else {
+                // Splice the old row's runs; cell values fall out of
+                // within-row prefix differences for the column border.
+                let lo = self.row_ptr[r] as usize;
+                let hi = self.row_ptr[r + 1] as usize;
+                for i in lo..hi {
+                    let v0 = self.run_val0[i] as usize;
+                    let v1 = self.run_val0[i + 1] as usize;
+                    run_col0.push(self.run_col0[i]);
+                    run_val0.push(vals.len() as u32);
+                    vals.extend_from_slice(&self.vals[v0..v1]);
+                    let c0 = self.run_col0[i] as usize;
+                    let mut prev = if i > lo { self.vals[v0 - 1] } else { 0 };
+                    for (j, &pv) in self.vals[v0..v1].iter().enumerate() {
+                        let cell = pv - prev;
+                        prev = pv;
+                        col_pfx[c0 + j + 1] = col_pfx[c0 + j + 1]
+                            .checked_add(cell)
+                            .ok_or(RectpartError::Overflow)?;
+                    }
+                }
+                let row_sum = self.row_pfx[r + 1] - self.row_pfx[r];
+                running = running
+                    .checked_add(row_sum)
+                    .ok_or(RectpartError::Overflow)?;
+            }
+            row_ptr.push(run_col0.len() as u32);
+            row_pfx.push(running);
+        }
+        run_val0.push(vals.len() as u32);
+        for c in 1..=cols {
+            let prev = col_pfx[c - 1];
+            col_pfx[c] = prev
+                .checked_add(col_pfx[c])
+                .ok_or(RectpartError::Overflow)?;
+        }
+        rectpart_obs::add(rectpart_obs::Counter::SparseGammaRuns, new_runs);
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            run_col0,
+            run_val0,
+            vals,
+            row_pfx,
+            col_pfx,
+            total: running,
+            max_cell,
+            min_cell,
+        })
+    }
+
+    /// The raw CSR arrays, for bit-identity assertions in tests.
+    #[cfg(test)]
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[u32], &[u32], &[u64], &[u64], &[u64]) {
+        (
+            &self.row_ptr,
+            &self.run_col0,
+            &self.run_val0,
+            &self.vals,
+            &self.row_pfx,
+            &self.col_pfx,
+        )
+    }
+
     /// Number of stored nonzero cells.
     pub fn nnz(&self) -> usize {
         self.vals.len()

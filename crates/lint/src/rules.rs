@@ -142,8 +142,8 @@ pub struct FileContext {
 /// to the same bar: its `catch_unwind` boundary and injected-fault
 /// panics are individually waived at the site, so any new panic
 /// construct needs its own justification.
-const PANIC_FREE_CRATES: [&str; 7] = [
-    "core", "onedim", "parallel", "obs", "json", "robust", "resume",
+const PANIC_FREE_CRATES: [&str; 8] = [
+    "core", "onedim", "parallel", "obs", "json", "robust", "resume", "engine",
 ];
 
 /// Crates allowed to touch wall clocks anywhere in their library code

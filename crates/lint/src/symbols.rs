@@ -498,7 +498,7 @@ pub struct FileSymbols {
 /// Set of crate dir names treated as panic-free (shared with rules v1).
 pub fn panic_free_crates() -> BTreeSet<&'static str> {
     [
-        "core", "onedim", "parallel", "obs", "json", "robust", "resume",
+        "core", "onedim", "parallel", "obs", "json", "robust", "resume", "engine",
     ]
     .into_iter()
     .collect()

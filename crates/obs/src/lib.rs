@@ -105,10 +105,26 @@ pub enum Counter {
     /// Deterministic retry backoffs charged by the driver's rung retry
     /// loop (one per re-attempt after a contained rung panic).
     RetryBackoffs,
+    /// Queries answered by a resident `Engine` (solve requests only;
+    /// delta updates are not queries).
+    EngineQueries,
+    /// Engine queries served from the per-`(algorithm, m, region)`
+    /// solution cache without re-solving (including stale partitions
+    /// deliberately reused under a drift-threshold rebalance policy).
+    EngineWarmHits,
+    /// Matrix rows applied through `Engine::apply_delta` (counted
+    /// whether the Γ table was patched row-incrementally or rebuilt —
+    /// the engine picks whichever the work model says is cheaper).
+    DeltaRowsPatched,
+    /// `JAG-M-OPT` bisection probes avoided by warm-start seeding: the
+    /// bit-length shrink of the `[lb, ub]` search range bought by a
+    /// verified incumbent, net of the one verification probe spent.
+    /// A pure function of the bounds, so identical at any thread count.
+    WarmStartProbesSkipped,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 22;
+pub const COUNTER_COUNT: usize = 26;
 
 impl Counter {
     /// All counters, in stable report order.
@@ -135,6 +151,10 @@ impl Counter {
         Counter::SnapshotWrites,
         Counter::ResumeHits,
         Counter::RetryBackoffs,
+        Counter::EngineQueries,
+        Counter::EngineWarmHits,
+        Counter::DeltaRowsPatched,
+        Counter::WarmStartProbesSkipped,
     ];
 
     /// Dotted `layer.name` identifier used as the JSON key.
@@ -162,6 +182,10 @@ impl Counter {
             Counter::SnapshotWrites => "resume.snapshot_writes",
             Counter::ResumeHits => "resume.resume_hits",
             Counter::RetryBackoffs => "robust.retry_backoffs",
+            Counter::EngineQueries => "engine.queries",
+            Counter::EngineWarmHits => "engine.warm_hits",
+            Counter::DeltaRowsPatched => "engine.delta_rows_patched",
+            Counter::WarmStartProbesSkipped => "engine.warm_start_probes_skipped",
         }
     }
 }

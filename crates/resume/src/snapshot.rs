@@ -205,6 +205,17 @@ fn error_to_json(e: &RectpartError) -> Json {
             ("kind", Json::Str("snapshot_corrupt".into())),
             ("reason", Json::Str(reason.clone())),
         ]),
+        RectpartError::RowOutOfRange { row, rows } => Json::obj(vec![
+            ("kind", Json::Str("row_out_of_range".into())),
+            ("row", Json::UInt(*row as u64)),
+            ("rows", Json::UInt(*rows as u64)),
+        ]),
+        RectpartError::RegionOutOfRange { region, rows, cols } => Json::obj(vec![
+            ("kind", Json::Str("region_out_of_range".into())),
+            ("region", rect_to_json(region)),
+            ("rows", Json::UInt(*rows as u64)),
+            ("cols", Json::UInt(*cols as u64)),
+        ]),
     }
 }
 
@@ -246,6 +257,15 @@ fn error_from_json(j: &Json) -> Result<RectpartError, RectpartError> {
         "cancelled" => Ok(RectpartError::Cancelled),
         "snapshot_corrupt" => Ok(RectpartError::SnapshotCorrupt {
             reason: field_str(j, "reason")?.to_string(),
+        }),
+        "row_out_of_range" => Ok(RectpartError::RowOutOfRange {
+            row: field_usize(j, "row")?,
+            rows: field_usize(j, "rows")?,
+        }),
+        "region_out_of_range" => Ok(RectpartError::RegionOutOfRange {
+            region: rect_from_json(j.field("region").map_err(|e| corrupt(e.to_string()))?)?,
+            rows: field_usize(j, "rows")?,
+            cols: field_usize(j, "cols")?,
         }),
         other => Err(corrupt(format!("unknown error kind {other:?}"))),
     }

@@ -46,6 +46,7 @@
 //! ```
 
 pub use rectpart_core as core;
+pub use rectpart_engine as engine;
 pub use rectpart_obs as obs;
 pub use rectpart_onedim as onedim;
 #[cfg(feature = "resume")]
@@ -62,6 +63,7 @@ pub mod prelude {
         JaggedVariant, LoadMatrix, Multilevel, Partition, PartitionStats, Partitioner, PrefixSum2D,
         Rect, RectNicol, RectUniform, RectpartError, SpiralRelaxed,
     };
+    pub use rectpart_engine::{Engine, EngineConfig, Query};
     pub use rectpart_onedim::{nicol, IntervalCost, PrefixCosts};
     pub use rectpart_robust::{DegradationReport, SolveOutcome, SolverDriver};
     pub use rectpart_simexec::{CommModel, ExecutionReport, Simulator};
